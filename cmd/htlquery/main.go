@@ -1,0 +1,131 @@
+// Command htlquery evaluates an HTL query against a video store and prints
+// the ranked similarity list — the whole Fig. 1 pipeline from the command
+// line.
+//
+// The store is loaded from a JSON file (the format documented on
+// htlvideo.StoreDoc) or, with -demo, the built-in 50-shot Casablanca case
+// study is used.
+//
+// Usage:
+//
+//	htlquery -demo "exists x, y . present(x) and type(x) = 'man' and present(y) and type(y) = 'woman'"
+//	htlquery -store videos.json -level 3 -k 5 "M1 until M2"
+//	htlquery -demo -engine sql "..."
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"htlvideo"
+	"htlvideo/internal/casablanca"
+)
+
+func main() {
+	storePath := flag.String("store", "", "JSON store file")
+	demo := flag.Bool("demo", false, "use the built-in Casablanca demo store")
+	level := flag.Int("level", 2, "hierarchy level the query is asserted on")
+	atRoot := flag.Bool("root", false, "assert the query at the video root (level 1)")
+	k := flag.Int("k", 10, "number of top segments to print")
+	engine := flag.String("engine", "auto", "evaluation engine: auto, direct, sql, reference")
+	tau := flag.Float64("tau", 0.5, "until threshold on fractional similarity")
+	explain := flag.Bool("explain", false, "print the parsed formula and its class, then exit")
+	flag.Parse()
+
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: htlquery [flags] '<HTL query>'")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+	query := flag.Arg(0)
+
+	if *explain {
+		f, err := htlvideo.Parse(query)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		fmt.Printf("parsed:  %s\nclass:   %v\n", f, htlvideo.Classify(f))
+		return
+	}
+
+	store, err := buildStore(*storePath, *demo)
+	if err != nil {
+		fatalf("%v", err)
+	}
+
+	opts := []htlvideo.QueryOption{
+		htlvideo.AtLevel(*level),
+		htlvideo.WithUntilThreshold(*tau),
+	}
+	if *atRoot {
+		opts = append(opts, htlvideo.AtRoot())
+	}
+	switch *engine {
+	case "auto":
+	case "direct":
+		opts = append(opts, htlvideo.WithEngine(htlvideo.EngineDirect))
+	case "sql":
+		opts = append(opts, htlvideo.WithEngine(htlvideo.EngineSQL))
+	case "reference":
+		opts = append(opts, htlvideo.WithEngine(htlvideo.EngineReference))
+	default:
+		fatalf("unknown engine %q", *engine)
+	}
+
+	res, err := store.Query(query, opts...)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	fmt.Printf("query class: %v\n", res.Class)
+	top := res.TopK(*k)
+	if len(top) == 0 {
+		fmt.Println("no segments with non-zero similarity")
+		return
+	}
+	fmt.Printf("%-7s %-12s %-12s %-9s %s\n", "video", "segments", "similarity", "fraction", "frames")
+	spans := map[int][]htlvideo.LeafSpan{}
+	for _, r := range top {
+		sp, ok := spans[r.VideoID]
+		if !ok {
+			lv := *level
+			if *atRoot {
+				lv = 1
+			}
+			sp, err = store.LeafSpans(r.VideoID, lv)
+			if err != nil {
+				fatalf("%v", err)
+			}
+			spans[r.VideoID] = sp
+		}
+		frames := "-"
+		if r.Iv.Beg >= 1 && r.Iv.End <= len(sp) {
+			frames = fmt.Sprintf("%d-%d", sp[r.Iv.Beg-1].Beg, sp[r.Iv.End-1].End)
+		}
+		fmt.Printf("%-7d %-12s %-12.6g %-9.3f %s\n", r.VideoID, r.Iv.String(), r.Sim.Act, r.Sim.Frac(), frames)
+	}
+}
+
+func buildStore(path string, demo bool) (*htlvideo.Store, error) {
+	if demo || path == "" {
+		s := htlvideo.NewStore(casablanca.Taxonomy(), casablanca.Weights())
+		if err := s.Add(casablanca.Video()); err != nil {
+			return nil, err
+		}
+		if !demo {
+			fmt.Fprintln(os.Stderr, "htlquery: no -store given; using the built-in Casablanca demo")
+		}
+		return s, nil
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return htlvideo.LoadStore(f)
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "htlquery: "+format+"\n", args...)
+	os.Exit(1)
+}

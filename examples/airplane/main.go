@@ -1,0 +1,73 @@
+// Airplane: the paper's §2.4 formula (C) — the freeze (assignment) operator
+// captures an attribute value in one segment and compares it in later
+// segments:
+//
+//	∃z ( Q1(z) ∧ [h ← height(z)] eventually Q2(z, h) )
+//	Q1(z) = present(z) ∧ type(z) = 'airplane'
+//	Q2(z, h) = present(z) ∧ height(z) > h
+//
+// "the video starts with a picture containing an airplane followed by
+// another picture in which the same plane appears at a higher altitude."
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"htlvideo"
+)
+
+func main() {
+	tax := htlvideo.NewTaxonomy()
+	tax.MustAdd("airplane", "vehicle")
+
+	store := htlvideo.NewStore(tax, htlvideo.DefaultWeights())
+	if err := store.Add(climbing()); err != nil {
+		log.Fatal(err)
+	}
+	if err := store.Add(descending()); err != nil {
+		log.Fatal(err)
+	}
+
+	const formulaC = `
+		exists z . (present(z) and type(z) = 'airplane')
+		and [h <- height(z)] eventually (present(z) and height(z) > h)`
+
+	res, err := store.Query(formulaC)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("class: %v (the freeze operator makes it conjunctive, beyond type 2)\n\n", res.Class)
+	for _, v := range store.Videos() {
+		fmt.Printf("%s:\n", v.Name)
+		l := res.PerVideo[v.ID]
+		for id := 1; id <= len(v.Sequence(2)); id++ {
+			fmt.Printf("  frame %d: similarity %.3g / %g\n", id, l.At(id).Act, l.MaxSim)
+		}
+		fmt.Println()
+	}
+	fmt.Println("the climbing plane satisfies the query where a later frame is higher;")
+	fmt.Println("the descending plane only keeps the partial Q1 credit.")
+}
+
+// climbing: the same plane at heights 100, 250, 400.
+func climbing() *htlvideo.Video {
+	v := htlvideo.NewVideo(1, "climbing plane", map[string]int{"frame": 2})
+	for _, h := range []int64{100, 250, 400} {
+		v.Root.AppendChild(htlvideo.Seg().
+			ObjC(9, "airplane", 1).OAttr("height", htlvideo.Int(h)).
+			Build())
+	}
+	return v
+}
+
+// descending: the same plane at heights 400, 250, 100.
+func descending() *htlvideo.Video {
+	v := htlvideo.NewVideo(2, "descending plane", map[string]int{"frame": 2})
+	for _, h := range []int64{400, 250, 100} {
+		v.Root.AppendChild(htlvideo.Seg().
+			ObjC(9, "airplane", 1).OAttr("height", htlvideo.Int(h)).
+			Build())
+	}
+	return v
+}

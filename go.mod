@@ -1,0 +1,3 @@
+module htlvideo
+
+go 1.22

@@ -1,0 +1,126 @@
+// Package casablanca reconstructs the paper's §4.1 case study: "The Making
+// of Casablanca", a ~30-minute video cut-detected into 50 shots, whose
+// meta-data drives the picture-retrieval substrate to produce exactly the
+// atomic similarity tables the paper prints.
+//
+// The paper reports (Tables 1–2, reconstructed through Table 4, which is the
+// conjunction of Table 2 with the eventually-closure of Table 1):
+//
+//	Moving-Train: ([9 9], 9.787)
+//	Man-Woman:    ([1 4], 2.595) ([6 6], 1.26) ([8 8], 1.26)
+//	              ([10 44], 1.26) ([47 49], 6.26)
+//
+// With the weights below, a man+woman shot scores 4·(c_man + c_woman) and a
+// two-men shot scores 4·c₁ + 3·c₂ (the second man matching 'woman' at
+// taxonomy similarity ½ — the paper notes the low-similarity entries
+// "correspond to pictures/shots containing two men"), so the detection
+// certainties recorded here yield the paper's numbers exactly.
+package casablanca
+
+import (
+	"htlvideo/internal/metadata"
+	"htlvideo/internal/picture"
+)
+
+// Shots is the number of shots the cut-detection produced (§4.1).
+const Shots = 50
+
+// Queries of the case study, in the library's HTL syntax.
+const (
+	// MovingTrainQuery is the paper's Moving-train atomic predicate.
+	MovingTrainQuery = "exists t . present(t) and type(t) = 'train' and moving(t)"
+	// ManWomanQuery is the paper's Man-Woman atomic predicate.
+	ManWomanQuery = "exists x, y . present(x) and type(x) = 'man' and present(y) and type(y) = 'woman'"
+	// Query1 is the paper's "Query 1":
+	// { Man-Woman and { eventually Moving-train } }.
+	Query1 = "(" + ManWomanQuery + ") and eventually (" + MovingTrainQuery + ")"
+)
+
+// Object ids of the recurring cast.
+const (
+	ManLead    metadata.ObjectID = 101 // the man of shots 1–4
+	WomanLead  metadata.ObjectID = 102 // the woman of shots 1–4
+	CrewManA   metadata.ObjectID = 201 // first of the two men
+	CrewManB   metadata.ObjectID = 202 // second of the two men
+	StuntManA  metadata.ObjectID = 211 // the two men of shots 6 and 8
+	StuntManB  metadata.ObjectID = 212
+	ManFinal   metadata.ObjectID = 301 // the couple of shots 47–49
+	WomanFinal metadata.ObjectID = 302
+	Train      metadata.ObjectID = 401 // the moving train of shot 9
+)
+
+// Taxonomy returns the case study's type hierarchy: man and woman are kinds
+// of person, train a kind of vehicle.
+func Taxonomy() *picture.Taxonomy {
+	t := picture.NewTaxonomy()
+	t.MustAdd("person", "entity")
+	t.MustAdd("man", "person")
+	t.MustAdd("woman", "person")
+	t.MustAdd("vehicle", "entity")
+	t.MustAdd("train", "vehicle")
+	return t
+}
+
+// Weights returns the scoring weights of the case study: presence, type and
+// attribute terms weigh 2; the moving(t) property weighs 6, so the
+// Moving-Train query has maximum similarity 10 and the Man-Woman query 8.
+func Weights() picture.Weights {
+	w := picture.DefaultWeights()
+	w.Prop = 6
+	return w
+}
+
+// Video builds the 50-shot video. Each shot is a child of the root (the
+// §3 two-level arrangement: the paper "fed the data corresponding to the
+// different shots into the picture retrieval system considering each shot as
+// a single picture").
+func Video() *metadata.Video {
+	v := metadata.NewVideo(1, "The Making of Casablanca", map[string]int{"shot": 2})
+	for shot := 1; shot <= Shots; shot++ {
+		v.Root.AppendChild(shotMeta(shot))
+	}
+	return v
+}
+
+func shotMeta(shot int) metadata.SegmentMeta {
+	switch {
+	case shot >= 1 && shot <= 4:
+		// A man and a woman, detected with low certainty:
+		// 4·(0.4 + 0.24875) = 2.595.
+		return metadata.Seg().
+			ObjC(ManLead, "man", 0.4).
+			ObjC(WomanLead, "woman", 0.24875).
+			Build()
+	case shot == 6 || shot == 8:
+		// Two men: 4·0.24 + 3·0.1 = 1.26.
+		return metadata.Seg().
+			ObjC(StuntManA, "man", 0.24).
+			ObjC(StuntManB, "man", 0.1).
+			Build()
+	case shot == 9:
+		// The moving train: 10·0.9787 = 9.787.
+		return metadata.Seg().
+			ObjC(Train, "train", 0.9787).Prop("moving").
+			Build()
+	case shot >= 10 && shot <= 44:
+		// A long run of two-men shots: 4·0.24 + 3·0.1 = 1.26.
+		return metadata.Seg().
+			ObjC(CrewManA, "man", 0.24).
+			ObjC(CrewManB, "man", 0.1).
+			Build()
+	case shot >= 47 && shot <= 49:
+		// The man and woman of the finale: 4·(0.9 + 0.665) = 6.26.
+		return metadata.Seg().
+			ObjC(ManFinal, "man", 0.9).
+			ObjC(WomanFinal, "woman", 0.665).
+			Build()
+	default:
+		// Shots 5, 7, 45, 46, 50: scenery without people or trains.
+		return metadata.Seg().Attr("content", metadata.Str("scenery")).Build()
+	}
+}
+
+// System builds the picture-retrieval system over the 50 shots.
+func System() (*picture.System, error) {
+	return picture.NewSystem(Video(), 2, Taxonomy(), Weights())
+}

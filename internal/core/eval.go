@@ -1,0 +1,263 @@
+package core
+
+import (
+	"fmt"
+
+	"htlvideo/internal/htl"
+	"htlvideo/internal/interval"
+	"htlvideo/internal/simlist"
+)
+
+// Options control the evaluation of HTL formulas.
+type Options struct {
+	// UntilThreshold is the minimum fractional similarity the left side of
+	// `until` must reach to count as satisfied while waiting for the right
+	// side (§2.5).
+	UntilThreshold float64
+	// And selects the conjunction similarity function (§5's "other
+	// similarity functions"); the default AndSum is the paper's semantics.
+	And AndMode
+}
+
+// DefaultOptions returns the library defaults.
+func DefaultOptions() Options {
+	return Options{UntilThreshold: DefaultUntilThreshold}
+}
+
+// ErrNotConjunctive reports a formula outside the extended conjunctive class,
+// which the similarity-list generator cannot evaluate; callers may fall back
+// to the reference evaluator.
+type ErrNotConjunctive struct {
+	Formula htl.Formula
+	Reason  string
+}
+
+func (e *ErrNotConjunctive) Error() string {
+	return fmt.Sprintf("core: formula %q is outside the extended conjunctive class: %s", e.Formula, e.Reason)
+}
+
+// Eval computes the similarity list of a closed formula f of the extended
+// conjunctive class over the sequence supplied by src, using the paper's §3
+// algorithms. The resulting list maps segment ids (1-based positions in the
+// sequence) to similarity values.
+func Eval(src Source, f htl.Formula, opts Options) (simlist.List, error) {
+	if htl.Classify(f) == htl.ClassGeneral {
+		return simlist.List{}, &ErrNotConjunctive{Formula: f, Reason: "negation or quantification over a temporal subformula"}
+	}
+	// Strip the existential prefix; the final projection maximizes over all
+	// evaluations regardless of the prefix variables (§3.2 part two).
+	g := f
+	for {
+		e, ok := g.(htl.Exists)
+		if !ok {
+			break
+		}
+		g = e.F
+	}
+	t, err := evalTable(src, g, opts)
+	if err != nil {
+		return simlist.List{}, err
+	}
+	return ProjectMax(t), nil
+}
+
+// EvalTable computes the similarity table of a (possibly open) extended
+// conjunctive formula over src's sequence; exposed for the SQL baseline and
+// for tests.
+func EvalTable(src Source, f htl.Formula, opts Options) (*simlist.Table, error) {
+	return evalTable(src, f, opts)
+}
+
+// MaxSimOf returns the maximum possible similarity of f, which depends only
+// on the formula (§2.5).
+func MaxSimOf(src Source, f htl.Formula) float64 {
+	if htl.NonTemporal(f) {
+		return src.AtomicMaxSim(f)
+	}
+	switch n := f.(type) {
+	case htl.And:
+		return MaxSimOf(src, n.L) + MaxSimOf(src, n.R)
+	case htl.Until:
+		return MaxSimOf(src, n.R)
+	case htl.Next:
+		return MaxSimOf(src, n.F)
+	case htl.Eventually:
+		return MaxSimOf(src, n.F)
+	case htl.Exists:
+		return MaxSimOf(src, n.F)
+	case htl.Freeze:
+		return MaxSimOf(src, n.F)
+	case htl.AtLevel:
+		return MaxSimOf(src, n.F)
+	case htl.Not:
+		return MaxSimOf(src, n.F)
+	default:
+		return 0
+	}
+}
+
+func evalTable(src Source, f htl.Formula, opts Options) (*simlist.Table, error) {
+	if htl.NonTemporal(f) {
+		return src.EvalAtomic(f)
+	}
+	switch n := f.(type) {
+	case htl.And:
+		t1, err := evalTable(src, n.L, opts)
+		if err != nil {
+			return nil, err
+		}
+		t2, err := evalTable(src, n.R, opts)
+		if err != nil {
+			return nil, err
+		}
+		and := func(l1, l2 simlist.List) simlist.List {
+			return AndListsMode(l1, l2, opts.And)
+		}
+		return CombineTables(t1, t2, and, t1.MaxSim+t2.MaxSim), nil
+	case htl.Until:
+		t1, err := evalTable(src, n.L, opts)
+		if err != nil {
+			return nil, err
+		}
+		t2, err := evalTable(src, n.R, opts)
+		if err != nil {
+			return nil, err
+		}
+		until := func(l1, l2 simlist.List) simlist.List {
+			return UntilLists(l1, l2, opts.UntilThreshold)
+		}
+		return CombineTables(t1, t2, until, t2.MaxSim), nil
+	case htl.Next:
+		return mapRows(src, n.F, opts, NextList)
+	case htl.Eventually:
+		return mapRows(src, n.F, opts, EventuallyList)
+	case htl.Freeze:
+		t1, err := evalTable(src, n.F, opts)
+		if err != nil {
+			return nil, err
+		}
+		vt, err := src.ValueTable(n.Attr)
+		if err != nil {
+			return nil, err
+		}
+		return FreezeTable(t1, n.Var, vt, n.Attr.Of), nil
+	case htl.AtLevel:
+		return evalAtLevel(src, n, opts)
+	case htl.Exists:
+		return nil, &ErrNotConjunctive{Formula: f, Reason: "existential quantifier over a temporal subformula not at the beginning"}
+	case htl.Not:
+		return nil, &ErrNotConjunctive{Formula: f, Reason: "negation of a temporal subformula"}
+	default:
+		return nil, &ErrNotConjunctive{Formula: f, Reason: fmt.Sprintf("unsupported node %T", f)}
+	}
+}
+
+// mapRows evaluates the operand table and applies a per-list operator
+// (`next`, `eventually`) to every row, dropping rows that become empty.
+func mapRows(src Source, f htl.Formula, opts Options, op func(simlist.List) simlist.List) (*simlist.Table, error) {
+	t, err := evalTable(src, f, opts)
+	if err != nil {
+		return nil, err
+	}
+	out := simlist.NewTable(t.ObjVars, t.AttrVars, t.MaxSim)
+	for _, r := range t.Rows {
+		row := simlist.Row{Bindings: r.Bindings, Ranges: r.Ranges, List: op(r.List)}
+		if keepRow(row) {
+			out.Rows = append(out.Rows, row)
+		}
+	}
+	return out, nil
+}
+
+// evalAtLevel evaluates a level-modal operator (§2.5): the similarity of
+// at-L(g) at segment u is the similarity of g at the first element of u's
+// descendant sequence at level L, or 0 when there is none. Free variables of
+// g flow through: each distinct evaluation of g becomes a row over the
+// parent sequence.
+func evalAtLevel(src Source, n htl.AtLevel, opts Options) (*simlist.Table, error) {
+	objVars, attrVars := htl.FreeVars(n.F)
+	maxSim := MaxSimOf(src, n.F)
+	out := simlist.NewTable(objVars, attrVars, maxSim)
+
+	type acc struct {
+		bindings []simlist.ObjectID
+		ranges   []simlist.Range
+		entries  []simlist.Entry
+	}
+	groups := map[string]*acc{}
+	var order []string
+
+	for id := 1; id <= src.Len(); id++ {
+		cs, err := src.ChildSource(id, n.Level)
+		if err != nil {
+			return nil, err
+		}
+		if cs == nil || cs.Len() == 0 {
+			continue
+		}
+		ct, err := evalTable(cs, n.F, opts)
+		if err != nil {
+			return nil, err
+		}
+		for _, row := range ct.Rows {
+			sim := row.List.At(1) // similarity at the first descendant
+			bindings, ranges := remapRow(ct, row, objVars, attrVars)
+			if sim.Act <= 0 && !anyConstrained(ranges) {
+				continue
+			}
+			k := rowKey(bindings, ranges)
+			g := groups[k]
+			if g == nil {
+				g = &acc{bindings: bindings, ranges: ranges}
+				groups[k] = g
+				order = append(order, k)
+			}
+			if sim.Act > 0 {
+				g.entries = append(g.entries, simlist.Entry{Iv: interval.Point(id), Act: sim.Act})
+			}
+		}
+	}
+	for _, k := range order {
+		g := groups[k]
+		row := simlist.Row{
+			Bindings: g.bindings,
+			Ranges:   g.ranges,
+			List:     simlist.Normalize(maxSim, g.entries).Canonical(),
+		}
+		if keepRow(row) {
+			out.Rows = append(out.Rows, row)
+		}
+	}
+	return out, nil
+}
+
+func anyConstrained(ranges []simlist.Range) bool {
+	for _, r := range ranges {
+		if r.Kind != simlist.RangeAny {
+			return true
+		}
+	}
+	return false
+}
+
+// remapRow aligns a child table's row onto the canonical column order;
+// columns the child table lacks become wildcards/unconstrained.
+func remapRow(t *simlist.Table, r simlist.Row, objVars, attrVars []string) ([]simlist.ObjectID, []simlist.Range) {
+	bindings := make([]simlist.ObjectID, len(objVars))
+	for i, v := range objVars {
+		if c := t.ObjIndex(v); c >= 0 {
+			bindings[i] = r.Bindings[c]
+		} else {
+			bindings[i] = AnyObject
+		}
+	}
+	ranges := make([]simlist.Range, len(attrVars))
+	for i, v := range attrVars {
+		if c := t.AttrIndex(v); c >= 0 {
+			ranges[i] = r.Ranges[c]
+		} else {
+			ranges[i] = simlist.AnyRange()
+		}
+	}
+	return bindings, ranges
+}

@@ -1,0 +1,455 @@
+// Package core implements the paper's primary contribution (§3): the
+// similarity-list generator. It provides the interval-based algorithms for
+// the temporal connectives on similarity lists (type (1) formulas, §3.1),
+// the similarity-table algorithms with object-variable joins (type (2),
+// §3.2), value-table joins for the freeze operator (full conjunctive, §3.3),
+// the recursive treatment of level-modal operators (extended conjunctive),
+// and top-k retrieval.
+package core
+
+import (
+	"sort"
+
+	"htlvideo/internal/interval"
+	"htlvideo/internal/simlist"
+)
+
+// AndLists combines the similarity lists of g and h into the list of g ∧ h:
+// at every id the actual similarities add (§2.5), so ids on one list only
+// keep their value — a conjunction is partially satisfied even when one
+// conjunct is not satisfied at all. The maximum similarity is m1 + m2.
+//
+// The implementation is the paper's "modified merge" over the two sorted
+// entry slices and runs in O(len(l1) + len(l2)).
+func AndLists(l1, l2 simlist.List) simlist.List {
+	out := simlist.List{MaxSim: l1.MaxSim + l2.MaxSim}
+	e1, e2 := l1.Entries, l2.Entries
+	i, j := 0, 0
+	// pos is the next id not yet emitted.
+	pos := minBeg(e1, e2)
+	for i < len(e1) || j < len(e2) {
+		var a, b float64
+		var segEnd int
+		// Advance past entries that ended before pos.
+		if i < len(e1) && e1[i].Iv.End < pos {
+			i++
+			continue
+		}
+		if j < len(e2) && e2[j].Iv.End < pos {
+			j++
+			continue
+		}
+		// Determine the value of each side at pos and the next boundary.
+		segEnd = int(^uint(0) >> 1) // max int
+		if i < len(e1) {
+			if e1[i].Iv.Beg <= pos {
+				a = e1[i].Act
+				segEnd = min(segEnd, e1[i].Iv.End)
+			} else {
+				segEnd = min(segEnd, e1[i].Iv.Beg-1)
+			}
+		}
+		if j < len(e2) {
+			if e2[j].Iv.Beg <= pos {
+				b = e2[j].Act
+				segEnd = min(segEnd, e2[j].Iv.End)
+			} else {
+				segEnd = min(segEnd, e2[j].Iv.Beg-1)
+			}
+		}
+		if a+b > 0 {
+			out.Entries = append(out.Entries, simlist.Entry{
+				Iv:  interval.I{Beg: pos, End: segEnd},
+				Act: a + b,
+			})
+		}
+		pos = segEnd + 1
+	}
+	return out.Canonical()
+}
+
+func minBeg(e1, e2 []simlist.Entry) int {
+	switch {
+	case len(e1) == 0 && len(e2) == 0:
+		return 0
+	case len(e1) == 0:
+		return e2[0].Iv.Beg
+	case len(e2) == 0:
+		return e1[0].Iv.Beg
+	default:
+		return min(e1[0].Iv.Beg, e2[0].Iv.Beg)
+	}
+}
+
+// AndMode selects the similarity function for conjunction — the paper's §5
+// names "other similarity functions" as future work; both modes keep
+// m = m1 + m2 so that maxima stay a function of the formula alone.
+type AndMode uint8
+
+const (
+	// AndSum is the paper's semantics: actual similarities add, so a
+	// conjunction is partially satisfied even when one side is 0.
+	AndSum AndMode = iota
+	// AndMin is a weakest-link alternative: the fractional similarity of
+	// the conjunction is the minimum of the conjuncts' fractions,
+	// a = min(a1/m1, a2/m2) · (m1+m2). One unsatisfied conjunct zeroes the
+	// whole conjunction.
+	AndMin
+)
+
+// AndListsMode combines two similarity lists under the chosen conjunction
+// semantics.
+func AndListsMode(l1, l2 simlist.List, mode AndMode) simlist.List {
+	if mode == AndSum {
+		return AndLists(l1, l2)
+	}
+	m := l1.MaxSim + l2.MaxSim
+	out := simlist.List{MaxSim: m}
+	e1, e2 := l1.Entries, l2.Entries
+	pos := minBeg(e1, e2)
+	i, j := 0, 0
+	for i < len(e1) || j < len(e2) {
+		if i < len(e1) && e1[i].Iv.End < pos {
+			i++
+			continue
+		}
+		if j < len(e2) && e2[j].Iv.End < pos {
+			j++
+			continue
+		}
+		var a, b float64
+		segEnd := int(^uint(0) >> 1)
+		if i < len(e1) {
+			if e1[i].Iv.Beg <= pos {
+				a = e1[i].Act
+				segEnd = min(segEnd, e1[i].Iv.End)
+			} else {
+				segEnd = min(segEnd, e1[i].Iv.Beg-1)
+			}
+		}
+		if j < len(e2) {
+			if e2[j].Iv.Beg <= pos {
+				b = e2[j].Act
+				segEnd = min(segEnd, e2[j].Iv.End)
+			} else {
+				segEnd = min(segEnd, e2[j].Iv.Beg-1)
+			}
+		}
+		frac := 0.0
+		if l1.MaxSim > 0 && l2.MaxSim > 0 {
+			frac = min(a/l1.MaxSim, b/l2.MaxSim)
+		}
+		if v := frac * m; v > 0 {
+			out.Entries = append(out.Entries, simlist.Entry{Iv: interval.I{Beg: pos, End: segEnd}, Act: v})
+		}
+		pos = segEnd + 1
+	}
+	return out.Canonical()
+}
+
+// NextList computes the list of `next g` from the list of g: an entry of g
+// over [u, v] becomes an entry over [u-1, v-1] (§3.1). Ids below 1 fall off
+// the sequence; the last segment of the video gets similarity 0 naturally,
+// since g can have no entry beyond the sequence.
+func NextList(l simlist.List) simlist.List {
+	out := simlist.List{MaxSim: l.MaxSim}
+	for _, e := range l.Entries {
+		iv := e.Iv.Shift(-1)
+		clipped, ok := iv.ClampLow(1)
+		if !ok {
+			continue
+		}
+		out.Entries = append(out.Entries, simlist.Entry{Iv: clipped, Act: e.Act})
+	}
+	return out
+}
+
+// EventuallyList computes the list of `eventually g`: the similarity at id i
+// is the maximum similarity of g at any id >= i (the suffix maximum), which
+// is non-increasing in i. Segment ids start at 1 (§3.1), so coverage extends
+// down to id 1.
+func EventuallyList(l simlist.List) simlist.List {
+	out := simlist.List{MaxSim: l.MaxSim}
+	if len(l.Entries) == 0 {
+		return out
+	}
+	// Walk entries right to left accumulating the running maximum; emit the
+	// pieces left to right afterwards.
+	type piece struct {
+		iv  interval.I
+		act float64
+	}
+	var rev []piece
+	runMax := 0.0
+	hi := 0 // highest id covered so far (exclusive upper bound of next piece)
+	for k := len(l.Entries) - 1; k >= 0; k-- {
+		e := l.Entries[k]
+		if e.Iv.End > hi {
+			hi = e.Iv.End
+		}
+		// Ids in (prevEnd, hi] see runMax including this entry.
+		lo := 1
+		if k > 0 {
+			lo = l.Entries[k-1].Iv.End + 1
+		}
+		if e.Act > runMax {
+			runMax = e.Act
+		}
+		if lo <= hi {
+			rev = append(rev, piece{iv: interval.I{Beg: lo, End: hi}, act: runMax})
+			hi = lo - 1
+		}
+	}
+	for k := len(rev) - 1; k >= 0; k-- {
+		out.Entries = append(out.Entries, simlist.Entry{Iv: rev[k].iv, Act: rev[k].act})
+	}
+	return out.Canonical()
+}
+
+// DefaultUntilThreshold is the minimum fractional similarity the left side
+// of `until` must reach to count as "satisfied" while waiting for the right
+// side (§2.5 leaves the threshold open; 0.5 is this library's default).
+const DefaultUntilThreshold = 0.5
+
+// UntilLists computes the list of `g until h` (§3.1). tau is the threshold
+// on g's fractional similarity. The similarity of the result at id i is the
+// maximum similarity of h at any id u” >= i reachable from i through
+// segments where g's fractional similarity is >= tau; the maximum similarity
+// of the result is that of h.
+//
+// The paper's backward-merge property ("entries in L2 whose intervals
+// intersect with that of I at some point >= i") misses one case admitted by
+// the exact §2.3 semantics: an h-entry beginning immediately after a g-run
+// ends (u” = I.End+1 needs g only on [i, I.End]). This implementation
+// follows the exact semantics; the worked example of Fig. 2 is unaffected.
+// The algorithm runs in O(len(lg) + len(lh)) plus the final sort of the
+// emitted pieces.
+func UntilLists(lg, lh simlist.List, tau float64) simlist.List {
+	out := simlist.List{MaxSim: lh.MaxSim}
+	// Step 1: keep g-entries at or above the threshold and coalesce adjacent
+	// intervals; actual values of g are not used beyond the threshold test.
+	var gRuns []interval.I
+	for _, e := range lg.Entries {
+		if lg.MaxSim <= 0 || e.Act/lg.MaxSim < tau {
+			continue
+		}
+		gRuns = append(gRuns, e.Iv)
+	}
+	gRuns = interval.Coalesce(gRuns)
+
+	var pieces []simlist.Entry
+
+	// Step 2a: within each g-run I, the value at i is the maximum act of the
+	// h-entries J reachable from i: J.End >= i and J.Beg <= I.End+1.
+	j := 0
+	for _, I := range gRuns {
+		// Skip h-entries that end before the run begins.
+		for j < len(lh.Entries) && lh.Entries[j].Iv.End < I.Beg {
+			j++
+		}
+		// Qualifying entries, in ascending t = min(J.End, I.End).
+		type reach struct {
+			t   int
+			act float64
+		}
+		var qual []reach
+		k := j
+		for k < len(lh.Entries) && lh.Entries[k].Iv.Beg <= I.End+1 {
+			J := lh.Entries[k]
+			qual = append(qual, reach{t: min(J.Iv.End, I.End), act: J.Act})
+			k++
+		}
+		// Emit pieces right to left: ids in (t_prev, t_cur] see the maximum
+		// act among entries with t >= i.
+		runMax := 0.0
+		hi := 0
+		for q := len(qual) - 1; q >= 0; q-- {
+			if qual[q].t > hi {
+				hi = qual[q].t
+			}
+			lo := I.Beg
+			if q > 0 && qual[q-1].t+1 > lo {
+				lo = qual[q-1].t + 1
+			}
+			if qual[q].act > runMax {
+				runMax = qual[q].act
+			}
+			if lo <= hi {
+				pieces = append(pieces, simlist.Entry{Iv: interval.I{Beg: lo, End: hi}, Act: runMax})
+				hi = lo - 1
+			}
+		}
+	}
+
+	// Step 2b: ids on an h-entry but on no g-run keep h's value there
+	// (u'' = i itself). Subtract the g-runs from each h-entry.
+	g := 0
+	for _, J := range lh.Entries {
+		pos := J.Iv.Beg
+		for g < len(gRuns) && gRuns[g].End < J.Iv.Beg {
+			g++
+		}
+		for k := g; k < len(gRuns) && gRuns[k].Beg <= J.Iv.End; k++ {
+			if gRuns[k].Beg > pos {
+				pieces = append(pieces, simlist.Entry{Iv: interval.I{Beg: pos, End: gRuns[k].Beg - 1}, Act: J.Act})
+			}
+			if gRuns[k].End+1 > pos {
+				pos = gRuns[k].End + 1
+			}
+		}
+		if pos <= J.Iv.End {
+			pieces = append(pieces, simlist.Entry{Iv: interval.I{Beg: pos, End: J.Iv.End}, Act: J.Act})
+		}
+	}
+
+	// Step 3: pieces from 2a lie inside g-runs, pieces from 2b outside, so
+	// they are pairwise disjoint; sort and merge equal neighbours.
+	sort.Slice(pieces, func(a, b int) bool { return pieces[a].Iv.Beg < pieces[b].Iv.Beg })
+	out.Entries = pieces
+	return out.Canonical()
+}
+
+// UntilListsPaperRule evaluates until by the paper's literal §3.1 wording:
+// within a g-run I, an h-entry J qualifies only when it *intersects* I at a
+// point >= i. This misses h-entries beginning immediately after the run ends
+// (u” = I.End+1), which the exact §2.3 semantics admits; UntilLists
+// implements the exact semantics. Kept for the fidelity comparison and the
+// corresponding ablation test/benchmark.
+func UntilListsPaperRule(lg, lh simlist.List, tau float64) simlist.List {
+	out := simlist.List{MaxSim: lh.MaxSim}
+	var gRuns []interval.I
+	for _, e := range lg.Entries {
+		if lg.MaxSim <= 0 || e.Act/lg.MaxSim < tau {
+			continue
+		}
+		gRuns = append(gRuns, e.Iv)
+	}
+	gRuns = interval.Coalesce(gRuns)
+
+	var pieces []simlist.Entry
+	j := 0
+	for _, I := range gRuns {
+		for j < len(lh.Entries) && lh.Entries[j].Iv.End < I.Beg {
+			j++
+		}
+		type reach struct {
+			t   int
+			act float64
+		}
+		var qual []reach
+		k := j
+		for k < len(lh.Entries) && lh.Entries[k].Iv.Beg <= I.End {
+			J := lh.Entries[k]
+			qual = append(qual, reach{t: min(J.Iv.End, I.End), act: J.Act})
+			k++
+		}
+		runMax := 0.0
+		hi := 0
+		for q := len(qual) - 1; q >= 0; q-- {
+			if qual[q].t > hi {
+				hi = qual[q].t
+			}
+			lo := I.Beg
+			if q > 0 && qual[q-1].t+1 > lo {
+				lo = qual[q-1].t + 1
+			}
+			if qual[q].act > runMax {
+				runMax = qual[q].act
+			}
+			if lo <= hi {
+				pieces = append(pieces, simlist.Entry{Iv: interval.I{Beg: lo, End: hi}, Act: runMax})
+				hi = lo - 1
+			}
+		}
+	}
+	g := 0
+	for _, J := range lh.Entries {
+		pos := J.Iv.Beg
+		for g < len(gRuns) && gRuns[g].End < J.Iv.Beg {
+			g++
+		}
+		for k := g; k < len(gRuns) && gRuns[k].Beg <= J.Iv.End; k++ {
+			if gRuns[k].Beg > pos {
+				pieces = append(pieces, simlist.Entry{Iv: interval.I{Beg: pos, End: gRuns[k].Beg - 1}, Act: J.Act})
+			}
+			if gRuns[k].End+1 > pos {
+				pos = gRuns[k].End + 1
+			}
+		}
+		if pos <= J.Iv.End {
+			pieces = append(pieces, simlist.Entry{Iv: interval.I{Beg: pos, End: J.Iv.End}, Act: J.Act})
+		}
+	}
+	sort.Slice(pieces, func(a, b int) bool { return pieces[a].Iv.Beg < pieces[b].Iv.Beg })
+	out.Entries = pieces
+	return normalizeOverlaps(out)
+}
+
+// normalizeOverlaps resolves any overlapping pieces by pointwise maximum.
+func normalizeOverlaps(l simlist.List) simlist.List {
+	return simlist.Normalize(l.MaxSim, l.Entries)
+}
+
+// MaxMergeLists merges m similarity lists into one whose value at each id is
+// the maximum over the lists — the second part of the type (2) algorithm
+// (§3.2), used to existentially project a similarity table onto a list. It
+// works directly on intervals via a boundary sweep (O(l log l) for l total
+// entries, matching the paper's O(l log m) up to the heap base).
+func MaxMergeLists(maxSim float64, ls ...simlist.List) simlist.List {
+	var all []simlist.Entry
+	for _, l := range ls {
+		all = append(all, l.Entries...)
+	}
+	return simlist.Normalize(maxSim, all)
+}
+
+// MaxMergePairwise is the naive alternative to MaxMergeLists that merges the
+// lists one pair at a time; kept for the ablation benchmark (it is
+// O(m * l) instead of O(l log l)).
+func MaxMergePairwise(maxSim float64, ls ...simlist.List) simlist.List {
+	out := simlist.Empty(maxSim)
+	for _, l := range ls {
+		out = maxMerge2(out, l, maxSim)
+	}
+	return out
+}
+
+func maxMerge2(l1, l2 simlist.List, maxSim float64) simlist.List {
+	out := simlist.List{MaxSim: maxSim}
+	e1, e2 := l1.Entries, l2.Entries
+	pos := minBeg(e1, e2)
+	i, j := 0, 0
+	for i < len(e1) || j < len(e2) {
+		if i < len(e1) && e1[i].Iv.End < pos {
+			i++
+			continue
+		}
+		if j < len(e2) && e2[j].Iv.End < pos {
+			j++
+			continue
+		}
+		var a, b float64
+		segEnd := int(^uint(0) >> 1)
+		if i < len(e1) {
+			if e1[i].Iv.Beg <= pos {
+				a = e1[i].Act
+				segEnd = min(segEnd, e1[i].Iv.End)
+			} else {
+				segEnd = min(segEnd, e1[i].Iv.Beg-1)
+			}
+		}
+		if j < len(e2) {
+			if e2[j].Iv.Beg <= pos {
+				b = e2[j].Act
+				segEnd = min(segEnd, e2[j].Iv.End)
+			} else {
+				segEnd = min(segEnd, e2[j].Iv.Beg-1)
+			}
+		}
+		if v := max(a, b); v > 0 {
+			out.Entries = append(out.Entries, simlist.Entry{Iv: interval.I{Beg: pos, End: segEnd}, Act: v})
+		}
+		pos = segEnd + 1
+	}
+	return out.Canonical()
+}

@@ -1,0 +1,392 @@
+package core
+
+import (
+	"strings"
+
+	"htlvideo/internal/interval"
+	"htlvideo/internal/simlist"
+)
+
+// tableops implements the similarity-table algebra of §3.2–3.3: binary
+// combination of two tables under a list operator (with a full outer join on
+// the shared object variables so that partially matched evaluations keep
+// their partial similarity, as §2.5's conjunction semantics requires), the
+// freeze-operator join against a value table, and existential projection.
+
+// listCombiner combines the similarity lists of two joined rows.
+type listCombiner func(l1, l2 simlist.List) simlist.List
+
+// joinSchema precomputes column alignment for a table join.
+type joinSchema struct {
+	objVars  []string
+	attrVars []string
+	// obj1/obj2 map output object columns to input columns (-1 = absent).
+	obj1, obj2 []int
+	att1, att2 []int
+	// shared object columns as (col1, col2) index pairs, for hashing.
+	sharedObj [][2]int
+}
+
+func makeJoinSchema(t1, t2 *simlist.Table) joinSchema {
+	var s joinSchema
+	s.objVars = append(s.objVars, t1.ObjVars...)
+	for _, v := range t2.ObjVars {
+		if t1.ObjIndex(v) < 0 {
+			s.objVars = append(s.objVars, v)
+		}
+	}
+	s.attrVars = append(s.attrVars, t1.AttrVars...)
+	for _, v := range t2.AttrVars {
+		if t1.AttrIndex(v) < 0 {
+			s.attrVars = append(s.attrVars, v)
+		}
+	}
+	for _, v := range s.objVars {
+		i1, i2 := t1.ObjIndex(v), t2.ObjIndex(v)
+		s.obj1 = append(s.obj1, i1)
+		s.obj2 = append(s.obj2, i2)
+		if i1 >= 0 && i2 >= 0 {
+			s.sharedObj = append(s.sharedObj, [2]int{i1, i2})
+		}
+	}
+	for _, v := range s.attrVars {
+		s.att1 = append(s.att1, t1.AttrIndex(v))
+		s.att2 = append(s.att2, t2.AttrIndex(v))
+	}
+	return s
+}
+
+// CombineTables joins two similarity tables on their shared object-variable
+// columns (equality, with AnyObject as wildcard) and shared attribute-
+// variable columns (range intersection), combining the similarity lists of
+// joined rows with op. Rows of either table that match no row of the other
+// are kept — joined against an empty list, with wildcard bindings and
+// unconstrained ranges for the other table's exclusive columns — so that
+// partial satisfaction survives, matching the §2.5 semantics of ∧ (and of
+// until, whose result is monotone in its left operand's coverage).
+// Rows whose combined list is empty are dropped. maxSim is the maximum
+// similarity of the combined formula.
+func CombineTables(t1, t2 *simlist.Table, op listCombiner, maxSim float64) *simlist.Table {
+	s := makeJoinSchema(t1, t2)
+	out := simlist.NewTable(s.objVars, s.attrVars, maxSim)
+
+	// Hash t2's rows by shared-object-variable key. Wildcard bindings cannot
+	// be hashed to one bucket, so rows with a wildcard in a shared column go
+	// to a probe-all list.
+	type bucket struct{ rows []int }
+	hashed := map[string]*bucket{}
+	var probeAll []int
+	key2 := func(r simlist.Row) (string, bool) {
+		var b strings.Builder
+		for _, p := range s.sharedObj {
+			v := r.Bindings[p[1]]
+			if v == AnyObject {
+				return "", false
+			}
+			writeID(&b, v)
+		}
+		return b.String(), true
+	}
+	for i, r := range t2.Rows {
+		if k, ok := key2(r); ok {
+			bk := hashed[k]
+			if bk == nil {
+				bk = &bucket{}
+				hashed[k] = bk
+			}
+			bk.rows = append(bk.rows, i)
+		} else {
+			probeAll = append(probeAll, i)
+		}
+	}
+
+	matched2 := make([]bool, len(t2.Rows))
+	empty1 := simlist.Empty(t1.MaxSim)
+	empty2 := simlist.Empty(t2.MaxSim)
+	allIdx := make([]int, len(t2.Rows))
+	for i := range allIdx {
+		allIdx[i] = i
+	}
+
+	for _, r1 := range t1.Rows {
+		cands := probeAll
+		wild1 := false
+		for _, p := range s.sharedObj {
+			if r1.Bindings[p[0]] == AnyObject {
+				wild1 = true
+				break
+			}
+		}
+		if wild1 {
+			// A wildcard on our side matches every row of the other table.
+			cands = allIdx
+		} else {
+			var b strings.Builder
+			for _, p := range s.sharedObj {
+				writeID(&b, r1.Bindings[p[0]])
+			}
+			if bk := hashed[b.String()]; bk != nil {
+				cands = append(append([]int(nil), probeAll...), bk.rows...)
+			}
+		}
+		matched1 := false
+		for _, i2 := range cands {
+			r2 := t2.Rows[i2]
+			row, ok := joinRows(s, r1, r2, op)
+			if !ok {
+				continue
+			}
+			matched1, matched2[i2] = true, true
+			if keepRow(row) {
+				out.Rows = append(out.Rows, row)
+			}
+		}
+		if !matched1 {
+			row := outerRow(s, r1, nil, op, empty2)
+			if keepRow(row) {
+				out.Rows = append(out.Rows, row)
+			}
+		}
+	}
+	for i2, r2 := range t2.Rows {
+		if matched2[i2] {
+			continue
+		}
+		row := outerRow(s, simlist.Row{}, &r2, op, empty1)
+		if keepRow(row) {
+			out.Rows = append(out.Rows, row)
+		}
+	}
+	return out
+}
+
+// keepRow decides whether a computed row stays in a table. Rows with empty
+// similarity lists are usually useless, but when they constrain an attribute
+// variable they are coverage markers: a table's rows partition the
+// attribute-variable space, and a later join or freeze must be able to land
+// in the zero-similarity part of that partition.
+func keepRow(row simlist.Row) bool {
+	if !row.List.IsEmpty() {
+		return true
+	}
+	for _, r := range row.Ranges {
+		if r.Kind != simlist.RangeAny {
+			return true
+		}
+	}
+	return false
+}
+
+func writeID(b *strings.Builder, v simlist.ObjectID) {
+	// Fixed-width little-endian encoding keeps keys unambiguous.
+	for i := 0; i < 8; i++ {
+		b.WriteByte(byte(v >> (8 * i)))
+	}
+}
+
+// joinRows attempts to join one row from each table; ok is false when the
+// shared bindings conflict or a shared attribute range intersection is
+// empty.
+func joinRows(s joinSchema, r1, r2 simlist.Row, op listCombiner) (simlist.Row, bool) {
+	for _, p := range s.sharedObj {
+		a, b := r1.Bindings[p[0]], r2.Bindings[p[1]]
+		if a != AnyObject && b != AnyObject && a != b {
+			return simlist.Row{}, false
+		}
+	}
+	bindings := make([]simlist.ObjectID, len(s.objVars))
+	for c := range s.objVars {
+		v := AnyObject
+		if s.obj1[c] >= 0 {
+			v = r1.Bindings[s.obj1[c]]
+		}
+		if v == AnyObject && s.obj2[c] >= 0 {
+			v = r2.Bindings[s.obj2[c]]
+		}
+		bindings[c] = v
+	}
+	ranges := make([]simlist.Range, len(s.attrVars))
+	for c := range s.attrVars {
+		r := simlist.AnyRange()
+		if s.att1[c] >= 0 {
+			r = r.Intersect(r1.Ranges[s.att1[c]])
+		}
+		if s.att2[c] >= 0 {
+			r = r.Intersect(r2.Ranges[s.att2[c]])
+		}
+		if r.IsEmpty() {
+			return simlist.Row{}, false
+		}
+		ranges[c] = r
+	}
+	return simlist.Row{Bindings: bindings, Ranges: ranges, List: op(r1.List, r2.List)}, true
+}
+
+// outerRow builds the outer-join row for an unmatched r1 (when r2 == nil) or
+// unmatched r2 (when r2 != nil); the other side contributes the given empty
+// list, wildcard bindings and unconstrained ranges.
+func outerRow(s joinSchema, r1 simlist.Row, r2 *simlist.Row, op listCombiner, other simlist.List) simlist.Row {
+	bindings := make([]simlist.ObjectID, len(s.objVars))
+	ranges := make([]simlist.Range, len(s.attrVars))
+	for c := range ranges {
+		ranges[c] = simlist.AnyRange()
+	}
+	var list simlist.List
+	if r2 == nil {
+		for c := range s.objVars {
+			if s.obj1[c] >= 0 {
+				bindings[c] = r1.Bindings[s.obj1[c]]
+			}
+		}
+		for c := range s.attrVars {
+			if s.att1[c] >= 0 {
+				ranges[c] = r1.Ranges[s.att1[c]]
+			}
+		}
+		list = op(r1.List, other)
+	} else {
+		for c := range s.objVars {
+			if s.obj2[c] >= 0 {
+				bindings[c] = r2.Bindings[s.obj2[c]]
+			}
+		}
+		for c := range s.attrVars {
+			if s.att2[c] >= 0 {
+				ranges[c] = r2.Ranges[s.att2[c]]
+			}
+		}
+		list = op(other, r2.List)
+	}
+	return simlist.Row{Bindings: bindings, Ranges: ranges, List: list}
+}
+
+// ListRestrict keeps only the parts of l that fall inside the sorted
+// disjoint intervals ivs.
+func ListRestrict(l simlist.List, ivs []interval.I) simlist.List {
+	out := simlist.List{MaxSim: l.MaxSim}
+	j := 0
+	for _, e := range l.Entries {
+		for j < len(ivs) && ivs[j].End < e.Iv.Beg {
+			j++
+		}
+		for k := j; k < len(ivs) && ivs[k].Beg <= e.Iv.End; k++ {
+			if iv, ok := e.Iv.Intersect(ivs[k]); ok {
+				out.Entries = append(out.Entries, simlist.Entry{Iv: iv, Act: e.Act})
+			}
+		}
+	}
+	return out
+}
+
+// FreezeTable applies the §3.3 freeze join: t1 is the similarity table of
+// the freeze operand with attribute-variable column y; vt is the value table
+// of the frozen attribute function q (with object variable qVar, "" for a
+// segment attribute). A row of t1 joins a value row when the bindings of
+// qVar agree and the value lies in the row's y-range; the row's list is
+// restricted to the ids where that value holds. The y column disappears;
+// a column for qVar is added when t1 lacks it. Rows with identical output
+// evaluations are merged by pointwise maximum.
+func FreezeTable(t1 *simlist.Table, y string, vt *ValueTable, qVar string) *simlist.Table {
+	yIdx := t1.AttrIndex(y)
+	if yIdx < 0 {
+		// y is not free in the operand: the freeze is vacuous.
+		return t1
+	}
+	zIdx := -1
+	objVars := append([]string(nil), t1.ObjVars...)
+	if qVar != "" {
+		zIdx = t1.ObjIndex(qVar)
+		if zIdx < 0 {
+			objVars = append(objVars, qVar)
+		}
+	}
+	attrVars := make([]string, 0, len(t1.AttrVars)-1)
+	for _, v := range t1.AttrVars {
+		if v != y {
+			attrVars = append(attrVars, v)
+		}
+	}
+	out := simlist.NewTable(objVars, attrVars, t1.MaxSim)
+
+	type acc struct {
+		bindings []simlist.ObjectID
+		ranges   []simlist.Range
+		lists    []simlist.List
+	}
+	groups := map[string]*acc{}
+	var order []string
+
+	for _, r1 := range t1.Rows {
+		for _, vr := range vt.Rows {
+			if qVar != "" && zIdx >= 0 {
+				b := r1.Bindings[zIdx]
+				if b != AnyObject && b != vr.Binding {
+					continue
+				}
+			}
+			if !vr.Value.InRange(r1.Ranges[yIdx]) {
+				continue
+			}
+			restricted := ListRestrict(r1.List, vr.Ivs)
+			bindings := make([]simlist.ObjectID, 0, len(objVars))
+			bindings = append(bindings, r1.Bindings...)
+			if qVar != "" {
+				if zIdx >= 0 {
+					bindings[zIdx] = vr.Binding
+				} else {
+					bindings = append(bindings, vr.Binding)
+				}
+			}
+			ranges := make([]simlist.Range, 0, len(attrVars))
+			for i, rg := range r1.Ranges {
+				if i != yIdx {
+					ranges = append(ranges, rg)
+				}
+			}
+			k := rowKey(bindings, ranges)
+			g := groups[k]
+			if g == nil {
+				g = &acc{bindings: bindings, ranges: ranges}
+				groups[k] = g
+				order = append(order, k)
+			}
+			g.lists = append(g.lists, restricted)
+		}
+	}
+	for _, k := range order {
+		g := groups[k]
+		row := simlist.Row{
+			Bindings: g.bindings,
+			Ranges:   g.ranges,
+			List:     MaxMergeLists(t1.MaxSim, g.lists...),
+		}
+		if keepRow(row) {
+			out.Rows = append(out.Rows, row)
+		}
+	}
+	return out
+}
+
+// rowKey builds a deterministic grouping key for an evaluation.
+func rowKey(bindings []simlist.ObjectID, ranges []simlist.Range) string {
+	var b strings.Builder
+	for _, v := range bindings {
+		writeID(&b, v)
+	}
+	for _, r := range ranges {
+		b.WriteString("|")
+		b.WriteString(r.String())
+	}
+	return b.String()
+}
+
+// ProjectMax existentially projects a similarity table onto a single
+// similarity list: at each id the maximum over all evaluations (§2.5's
+// semantics of ∃, §3.2's second part).
+func ProjectMax(t *simlist.Table) simlist.List {
+	ls := make([]simlist.List, len(t.Rows))
+	for i, r := range t.Rows {
+		ls[i] = r.List
+	}
+	return MaxMergeLists(t.MaxSim, ls...)
+}

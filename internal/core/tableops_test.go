@@ -1,0 +1,258 @@
+package core
+
+import (
+	"testing"
+
+	"htlvideo/internal/interval"
+	"htlvideo/internal/simlist"
+)
+
+func list(max float64, es ...simlist.Entry) simlist.List {
+	return simlist.NewList(max, es...)
+}
+
+func TestCombineTablesSharedVarJoin(t *testing.T) {
+	t1 := simlist.NewTable([]string{"x"}, nil, 4)
+	t1.MustAddRow([]simlist.ObjectID{1}, nil, list(4, entry(1, 3, 2)))
+	t1.MustAddRow([]simlist.ObjectID{2}, nil, list(4, entry(5, 6, 4)))
+	t2 := simlist.NewTable([]string{"x"}, nil, 6)
+	t2.MustAddRow([]simlist.ObjectID{1}, nil, list(6, entry(2, 4, 6)))
+
+	out := CombineTables(t1, t2, AndLists, 10)
+	if err := out.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Row (x=1): joined lists; row (x=2): outer row keeping the partial 4.
+	if len(out.Rows) != 2 {
+		t.Fatalf("rows: %v", out)
+	}
+	byBinding := map[simlist.ObjectID]simlist.List{}
+	for _, r := range out.Rows {
+		byBinding[r.Bindings[0]] = r.List
+	}
+	if got := byBinding[1].At(2).Act; got != 8 {
+		t.Fatalf("x=1 at 2: %g", got)
+	}
+	if got := byBinding[1].At(1).Act; got != 2 {
+		t.Fatalf("x=1 at 1: %g", got)
+	}
+	if got := byBinding[2].At(5).Act; got != 4 {
+		t.Fatalf("x=2 outer row: %g", got)
+	}
+}
+
+func TestCombineTablesCrossJoin(t *testing.T) {
+	t1 := simlist.NewTable([]string{"x"}, nil, 4)
+	t1.MustAddRow([]simlist.ObjectID{1}, nil, list(4, entry(1, 2, 2)))
+	t2 := simlist.NewTable([]string{"y"}, nil, 6)
+	t2.MustAddRow([]simlist.ObjectID{7}, nil, list(6, entry(2, 3, 3)))
+	t2.MustAddRow([]simlist.ObjectID{8}, nil, list(6, entry(9, 9, 1)))
+
+	out := CombineTables(t1, t2, AndLists, 10)
+	if len(out.ObjVars) != 2 || out.ObjVars[0] != "x" || out.ObjVars[1] != "y" {
+		t.Fatalf("schema: %v", out.ObjVars)
+	}
+	if len(out.Rows) != 2 {
+		t.Fatalf("rows: %v", out)
+	}
+}
+
+func TestCombineTablesEmptySides(t *testing.T) {
+	t1 := simlist.NewTable([]string{"x"}, nil, 4)
+	t2 := simlist.NewTable([]string{"x"}, nil, 6)
+	t2.MustAddRow([]simlist.ObjectID{3}, nil, list(6, entry(1, 1, 5)))
+
+	// t1 empty: t2's row survives as an outer row under AND.
+	out := CombineTables(t1, t2, AndLists, 10)
+	if len(out.Rows) != 1 || out.Rows[0].Bindings[0] != 3 || out.Rows[0].List.At(1).Act != 5 {
+		t.Fatalf("out: %v", out)
+	}
+	// Under UNTIL the unmatched right side keeps h pointwise.
+	until := func(a, b simlist.List) simlist.List { return UntilLists(a, b, 0.5) }
+	out2 := CombineTables(t1, t2, until, 6)
+	if len(out2.Rows) != 1 || out2.Rows[0].List.At(1).Act != 5 {
+		t.Fatalf("until out: %v", out2)
+	}
+	// Unmatched LEFT side under UNTIL yields an empty list and is dropped.
+	out3 := CombineTables(t2, t1, until, 6)
+	if len(out3.Rows) != 0 {
+		t.Fatalf("left-only until rows: %v", out3)
+	}
+}
+
+func TestCombineTablesWildcardMatchesEverything(t *testing.T) {
+	t1 := simlist.NewTable([]string{"x"}, nil, 4)
+	t1.MustAddRow([]simlist.ObjectID{AnyObject}, nil, list(4, entry(1, 1, 1)))
+	t2 := simlist.NewTable([]string{"x"}, nil, 6)
+	t2.MustAddRow([]simlist.ObjectID{5}, nil, list(6, entry(1, 1, 2)))
+	t2.MustAddRow([]simlist.ObjectID{6}, nil, list(6, entry(1, 1, 3)))
+
+	out := CombineTables(t1, t2, AndLists, 10)
+	if len(out.Rows) != 2 {
+		t.Fatalf("wildcard join rows: %v", out)
+	}
+	for _, r := range out.Rows {
+		if r.Bindings[0] == AnyObject {
+			t.Fatalf("joined binding should be concrete: %v", r)
+		}
+	}
+}
+
+func TestCombineTablesRangeIntersection(t *testing.T) {
+	t1 := simlist.NewTable(nil, []string{"h"}, 4)
+	t1.MustAddRow(nil, []simlist.Range{simlist.IntAtMost(10)}, list(4, entry(1, 2, 2)))
+	t2 := simlist.NewTable(nil, []string{"h"}, 6)
+	t2.MustAddRow(nil, []simlist.Range{simlist.IntAtLeast(5)}, list(6, entry(2, 2, 3)))
+	t2.MustAddRow(nil, []simlist.Range{simlist.IntAtLeast(11)}, list(6, entry(2, 2, 1)))
+
+	out := CombineTables(t1, t2, AndLists, 10)
+	// First pair intersects to [5,10]; second pair's ranges are disjoint, so
+	// both sides survive as partial outer rows... but the t1 row DID match
+	// the first t2 row, so only the second t2 row is unmatched.
+	var joined, outer int
+	for _, r := range out.Rows {
+		if r.Ranges[0].Equal(simlist.IntRange(5, 10)) {
+			joined++
+			if r.List.At(2).Act != 5 {
+				t.Fatalf("joined row: %v", r)
+			}
+		}
+		if r.Ranges[0].Equal(simlist.IntAtLeast(11)) {
+			outer++
+			if r.List.At(2).Act != 1 {
+				t.Fatalf("outer row: %v", r)
+			}
+		}
+	}
+	if joined != 1 || outer != 1 {
+		t.Fatalf("rows: %v", out)
+	}
+}
+
+func TestKeepRowCoverageMarkers(t *testing.T) {
+	empty := simlist.Empty(5)
+	if keepRow(simlist.Row{List: empty}) {
+		t.Fatal("all-Any empty row should drop")
+	}
+	if !keepRow(simlist.Row{Ranges: []simlist.Range{simlist.IntAtLeast(3)}, List: empty}) {
+		t.Fatal("constrained empty row is a coverage marker")
+	}
+	if !keepRow(simlist.Row{List: list(5, entry(1, 1, 1))}) {
+		t.Fatal("non-empty row stays")
+	}
+}
+
+func TestListRestrict(t *testing.T) {
+	l := list(10, entry(1, 10, 4), entry(20, 25, 7))
+	got := ListRestrict(l, []interval.I{{Beg: 5, End: 8}, {Beg: 22, End: 30}})
+	want := list(10, entry(5, 8, 4), entry(22, 25, 7))
+	if !simlist.Equal(got, want) {
+		t.Fatalf("got %v", got)
+	}
+	if got := ListRestrict(l, nil); !got.IsEmpty() {
+		t.Fatalf("restrict to nothing: %v", got)
+	}
+}
+
+func TestFreezeTableJoinsValues(t *testing.T) {
+	// Operand table: rows over (z; h-range).
+	t1 := simlist.NewTable([]string{"z"}, []string{"h"}, 8)
+	t1.MustAddRow([]simlist.ObjectID{1}, []simlist.Range{simlist.IntBelow(20)}, list(8, entry(1, 5, 8)))
+	t1.MustAddRow([]simlist.ObjectID{1}, []simlist.Range{simlist.IntAtLeast(20)}, list(8, entry(1, 5, 4)))
+
+	// Value table: height(z=1) is 10 at ids 1-2 and 30 at ids 3-4.
+	vt := &ValueTable{Var: "z", Rows: []ValueRow{
+		{Binding: 1, Value: AttrValue{IsInt: true, Int: 10}, Ivs: []interval.I{{Beg: 1, End: 2}}},
+		{Binding: 1, Value: AttrValue{IsInt: true, Int: 30}, Ivs: []interval.I{{Beg: 3, End: 4}}},
+	}}
+	out := FreezeTable(t1, "h", vt, "z")
+	if len(out.AttrVars) != 0 || len(out.ObjVars) != 1 {
+		t.Fatalf("schema: %v %v", out.ObjVars, out.AttrVars)
+	}
+	if len(out.Rows) != 1 {
+		t.Fatalf("rows: %v", out)
+	}
+	l := out.Rows[0].List
+	// ids 1-2: h=10 lands in the <20 row (8); ids 3-4: h=30 lands in the
+	// >=20 row (4); id 5: height undefined -> 0.
+	for id, want := range map[int]float64{1: 8, 2: 8, 3: 4, 4: 4, 5: 0} {
+		if got := l.At(id).Act; got != want {
+			t.Errorf("at %d: %g want %g", id, got, want)
+		}
+	}
+}
+
+func TestFreezeTableVacuous(t *testing.T) {
+	t1 := simlist.NewTable([]string{"z"}, nil, 8)
+	t1.MustAddRow([]simlist.ObjectID{1}, nil, list(8, entry(1, 2, 3)))
+	out := FreezeTable(t1, "h", &ValueTable{}, "")
+	if out != t1 {
+		t.Fatal("freeze without the variable in scope is the identity")
+	}
+}
+
+func TestFreezeTableAddsVarColumn(t *testing.T) {
+	// Operand mentions h but not z: the value table's binding introduces z.
+	t1 := simlist.NewTable(nil, []string{"h"}, 8)
+	t1.MustAddRow(nil, []simlist.Range{simlist.IntAtLeast(0)}, list(8, entry(1, 4, 2)))
+	vt := &ValueTable{Var: "z", Rows: []ValueRow{
+		{Binding: 9, Value: AttrValue{IsInt: true, Int: 5}, Ivs: []interval.I{{Beg: 2, End: 3}}},
+	}}
+	out := FreezeTable(t1, "h", vt, "z")
+	if len(out.ObjVars) != 1 || out.ObjVars[0] != "z" {
+		t.Fatalf("schema: %v", out.ObjVars)
+	}
+	if len(out.Rows) != 1 || out.Rows[0].Bindings[0] != 9 {
+		t.Fatalf("rows: %v", out)
+	}
+	if got := out.Rows[0].List.At(2).Act; got != 2 {
+		t.Fatalf("restricted: %v", out.Rows[0].List)
+	}
+}
+
+func TestFreezeTableStringValues(t *testing.T) {
+	t1 := simlist.NewTable(nil, []string{"g"}, 8)
+	t1.MustAddRow(nil, []simlist.Range{simlist.StrEq("western")}, list(8, entry(1, 9, 5)))
+	vt := &ValueTable{Rows: []ValueRow{
+		{Value: AttrValue{Str: "western"}, Ivs: []interval.I{{Beg: 1, End: 3}}},
+		{Value: AttrValue{Str: "news"}, Ivs: []interval.I{{Beg: 4, End: 9}}},
+	}}
+	out := FreezeTable(t1, "g", vt, "")
+	if len(out.Rows) != 1 {
+		t.Fatalf("rows: %v", out)
+	}
+	if got := out.Rows[0].List; got.At(2).Act != 5 || got.At(5).Act != 0 {
+		t.Fatalf("list: %v", got)
+	}
+}
+
+func TestProjectMax(t *testing.T) {
+	tb := simlist.NewTable([]string{"x"}, nil, 9)
+	tb.MustAddRow([]simlist.ObjectID{1}, nil, list(9, entry(1, 4, 3)))
+	tb.MustAddRow([]simlist.ObjectID{2}, nil, list(9, entry(3, 6, 7)))
+	got := ProjectMax(tb)
+	want := list(9, entry(1, 2, 3), entry(3, 6, 7))
+	if !simlist.Equal(got, want) {
+		t.Fatalf("got %v", got)
+	}
+	if got := ProjectMax(simlist.NewTable(nil, nil, 5)); !got.IsEmpty() || got.MaxSim != 5 {
+		t.Fatalf("empty table: %v", got)
+	}
+}
+
+func TestAttrValueInRange(t *testing.T) {
+	iv := AttrValue{IsInt: true, Int: 7}
+	sv := AttrValue{Str: "x"}
+	if !iv.InRange(simlist.IntRange(1, 10)) || iv.InRange(simlist.IntRange(8, 10)) {
+		t.Fatal("int range check")
+	}
+	if !sv.InRange(simlist.StrEq("x")) || sv.InRange(simlist.StrEq("y")) {
+		t.Fatal("string range check")
+	}
+	if !iv.InRange(simlist.AnyRange()) || !sv.InRange(simlist.AnyRange()) {
+		t.Fatal("any range check")
+	}
+	if iv.String() != "7" || sv.String() != `"x"` {
+		t.Fatal("AttrValue strings")
+	}
+}

@@ -1,0 +1,121 @@
+package core
+
+import (
+	"container/heap"
+	"sort"
+
+	"htlvideo/internal/interval"
+	"htlvideo/internal/simlist"
+)
+
+// Ranked is one run of video segments in a ranked retrieval result.
+type Ranked struct {
+	VideoID int
+	Iv      interval.I
+	Sim     simlist.Sim
+}
+
+// RankEntries orders a similarity list's entries by descending actual
+// similarity (ties by beginning id) — the presentation used by the paper's
+// Table 4.
+func RankEntries(videoID int, l simlist.List) []Ranked {
+	out := make([]Ranked, 0, len(l.Entries))
+	for _, e := range l.Entries {
+		out = append(out, Ranked{VideoID: videoID, Iv: e.Iv, Sim: simlist.Sim{Act: e.Act, Max: l.MaxSim}})
+	}
+	sortRanked(out)
+	return out
+}
+
+func sortRanked(rs []Ranked) {
+	sort.SliceStable(rs, func(i, j int) bool {
+		if rs[i].Sim.Act != rs[j].Sim.Act {
+			return rs[i].Sim.Act > rs[j].Sim.Act
+		}
+		if rs[i].VideoID != rs[j].VideoID {
+			return rs[i].VideoID < rs[j].VideoID
+		}
+		return rs[i].Iv.Beg < rs[j].Iv.Beg
+	})
+}
+
+// TopK returns the k highest-similarity video segments across per-video
+// similarity lists (§1: "the top k video segments that have the highest
+// similarity values ... will be retrieved"). Runs of equal-similarity
+// segments stay as one Ranked entry; the last run is truncated so that the
+// total number of segments returned is exactly min(k, covered). A heap keeps
+// the cost at O(n + r log n) for n entries and r emitted runs.
+func TopK(lists map[int]simlist.List, k int) []Ranked {
+	if k <= 0 {
+		return nil
+	}
+	var h rankedHeap
+	for vid, l := range lists {
+		for _, e := range l.Entries {
+			h = append(h, Ranked{VideoID: vid, Iv: e.Iv, Sim: simlist.Sim{Act: e.Act, Max: l.MaxSim}})
+		}
+	}
+	heap.Init(&h)
+	var out []Ranked
+	remaining := k
+	for remaining > 0 && h.Len() > 0 {
+		r := heap.Pop(&h).(Ranked)
+		if r.Iv.Len() > remaining {
+			r.Iv.End = r.Iv.Beg + remaining - 1
+		}
+		remaining -= r.Iv.Len()
+		out = append(out, r)
+	}
+	return out
+}
+
+// TopKBySort is the naive alternative that fully sorts all entries; kept for
+// the ablation benchmark.
+func TopKBySort(lists map[int]simlist.List, k int) []Ranked {
+	if k <= 0 {
+		return nil
+	}
+	var all []Ranked
+	for vid, l := range lists {
+		for _, e := range l.Entries {
+			all = append(all, Ranked{VideoID: vid, Iv: e.Iv, Sim: simlist.Sim{Act: e.Act, Max: l.MaxSim}})
+		}
+	}
+	sortRanked(all)
+	var out []Ranked
+	remaining := k
+	for _, r := range all {
+		if remaining <= 0 {
+			break
+		}
+		if r.Iv.Len() > remaining {
+			r.Iv.End = r.Iv.Beg + remaining - 1
+		}
+		remaining -= r.Iv.Len()
+		out = append(out, r)
+	}
+	return out
+}
+
+// rankedHeap orders Ranked items best-first with deterministic tie-breaks.
+type rankedHeap []Ranked
+
+func (h rankedHeap) Len() int { return len(h) }
+func (h rankedHeap) Less(i, j int) bool {
+	if h[i].Sim.Act != h[j].Sim.Act {
+		return h[i].Sim.Act > h[j].Sim.Act
+	}
+	if h[i].VideoID != h[j].VideoID {
+		return h[i].VideoID < h[j].VideoID
+	}
+	return h[i].Iv.Beg < h[j].Iv.Beg
+}
+func (h rankedHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *rankedHeap) Push(x any)   { *h = append(*h, x.(Ranked)) }
+func (h *rankedHeap) Pop() any {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}

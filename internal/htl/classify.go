@@ -1,0 +1,156 @@
+package htl
+
+// Class is the paper's formula-class hierarchy (§2.5, §3). Each class is a
+// subclass of the next: Type1 ⊂ Type2 ⊂ Conjunctive ⊂ ExtendedConjunctive.
+// General covers the rest of HTL, which only the reference evaluator handles
+// (the paper defers the full language to future work).
+type Class uint8
+
+const (
+	// ClassType1: conjunctive, no freeze operators, and no temporal operator
+	// in the scope of any existential quantifier (§3: evaluated purely on
+	// similarity lists).
+	ClassType1 Class = iota
+	// ClassType2: conjunctive without freeze operators (§3.2: evaluated on
+	// similarity tables).
+	ClassType2
+	// ClassConjunctive: no negation outside non-temporal subformulas, no
+	// level-modal operators, all variables bound, every existential
+	// quantifier at the beginning of the formula or with non-temporal scope.
+	ClassConjunctive
+	// ClassExtendedConjunctive: conjunctive plus level-modal operators.
+	ClassExtendedConjunctive
+	// ClassGeneral: full HTL.
+	ClassGeneral
+)
+
+func (c Class) String() string {
+	switch c {
+	case ClassType1:
+		return "type (1)"
+	case ClassType2:
+		return "type (2)"
+	case ClassConjunctive:
+		return "conjunctive"
+	case ClassExtendedConjunctive:
+		return "extended conjunctive"
+	default:
+		return "general"
+	}
+}
+
+// NonTemporal reports whether f contains no temporal and no level-modal
+// operators (§2.2). Such a formula asserts a property of a single video
+// segment's meta-data and is evaluated atomically by the picture-retrieval
+// substrate.
+func NonTemporal(f Formula) bool {
+	switch n := f.(type) {
+	case True, Present, Cmp, Pred:
+		return true
+	case And:
+		return NonTemporal(n.L) && NonTemporal(n.R)
+	case Not:
+		return NonTemporal(n.F)
+	case Exists:
+		return NonTemporal(n.F)
+	case Freeze:
+		return NonTemporal(n.F)
+	default: // Next, Until, Eventually, AtLevel
+		return false
+	}
+}
+
+// Classify determines the smallest class of the paper's hierarchy containing
+// f. The formula should be closed (as returned by Parse).
+func Classify(f Formula) Class {
+	// Strip the leading existential prefix (allowed in every conjunctive
+	// class); remember whether it scopes over temporal operators.
+	g := f
+	hadPrefix := false
+	for {
+		e, ok := g.(Exists)
+		if !ok {
+			break
+		}
+		g = e.F
+		hadPrefix = true
+	}
+	prefixOverTemporal := hadPrefix && !NonTemporal(g)
+
+	st := classState{}
+	if !st.walk(g) {
+		return ClassGeneral
+	}
+	switch {
+	case st.hasLevel:
+		return ClassExtendedConjunctive
+	case st.hasFreeze:
+		return ClassConjunctive
+	case st.existsOverTemporal || prefixOverTemporal:
+		return ClassType2
+	default:
+		return ClassType1
+	}
+}
+
+type classState struct {
+	hasFreeze          bool
+	hasLevel           bool
+	existsOverTemporal bool
+}
+
+// walk checks the conjunctive-family conditions on the matrix g (after the
+// prefix); it returns false when g falls outside ExtendedConjunctive.
+// Maximal non-temporal subformulas are atomic units: negation, quantifiers
+// and freezes inside them are the picture system's concern. A freeze inside
+// such a unit still demotes the formula below Type2, which forbids the
+// assignment operator outright.
+func (s *classState) walk(f Formula) bool {
+	if NonTemporal(f) {
+		s.scanNonTemporal(f)
+		return true
+	}
+	switch n := f.(type) {
+	case And:
+		return s.walk(n.L) && s.walk(n.R)
+	case Until:
+		return s.walk(n.L) && s.walk(n.R)
+	case Next:
+		return s.walk(n.F)
+	case Eventually:
+		return s.walk(n.F)
+	case Freeze:
+		s.hasFreeze = true
+		return s.walk(n.F)
+	case AtLevel:
+		s.hasLevel = true
+		return s.walk(n.F)
+	case Exists:
+		// A quantifier not at the beginning whose scope contains temporal
+		// operators (we know f is not non-temporal here).
+		s.existsOverTemporal = true
+		return false
+	case Not:
+		// Negation over a temporal subformula: outside the conjunctive
+		// family.
+		return false
+	default:
+		return false
+	}
+}
+
+// scanNonTemporal records freeze operators hidden inside an atomic unit.
+func (s *classState) scanNonTemporal(f Formula) {
+	switch n := f.(type) {
+	case And:
+		s.scanNonTemporal(n.L)
+		s.scanNonTemporal(n.R)
+	case Not:
+		s.scanNonTemporal(n.F)
+	case Exists:
+		s.scanNonTemporal(n.F)
+	case Freeze:
+		s.hasFreeze = true
+		s.scanNonTemporal(n.F)
+	}
+}

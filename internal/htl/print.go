@@ -1,0 +1,84 @@
+package htl
+
+import (
+	"fmt"
+	"strings"
+)
+
+// String renders formulas in the concrete syntax accepted by Parse. Binary
+// operators are parenthesized per precedence so that Parse(f.String()) yields
+// a structurally identical formula.
+
+func (True) String() string      { return "true" }
+func (p Present) String() string { return "present(" + p.X.Name + ")" }
+
+func (c Cmp) String() string {
+	return fmt.Sprintf("%s %s %s", c.L, c.Op, c.R)
+}
+
+func (p Pred) String() string {
+	if len(p.Args) == 0 {
+		return p.Name
+	}
+	args := make([]string, len(p.Args))
+	for i, a := range p.Args {
+		args[i] = a.String()
+	}
+	return p.Name + "(" + strings.Join(args, ", ") + ")"
+}
+
+// prec returns a binding strength: exists and until are loosest (an
+// existential's scope extends maximally right, so anywhere but tail
+// position it needs parentheses), and=2, everything else atomic/prefix=3.
+func prec(f Formula) int {
+	switch f.(type) {
+	case Until, Exists:
+		return 1
+	case And:
+		return 2
+	default:
+		return 3
+	}
+}
+
+// wrap parenthesizes child when its precedence is too loose for the context.
+func wrap(f Formula, minPrec int) string {
+	s := f.String()
+	if prec(f) < minPrec {
+		return "(" + s + ")"
+	}
+	return s
+}
+
+func (a And) String() string {
+	// `and` is left-associative; require the right child to bind tighter.
+	return wrap(a.L, 2) + " and " + wrap(a.R, 3)
+}
+
+func (u Until) String() string {
+	// `until` is right-associative.
+	return wrap(u.L, 2) + " until " + wrap(u.R, 1)
+}
+
+func (n Not) String() string        { return "not " + wrap(n.F, 3) }
+func (n Next) String() string       { return "next " + wrap(n.F, 3) }
+func (e Eventually) String() string { return "eventually " + wrap(e.F, 3) }
+
+func (e Exists) String() string {
+	return "exists " + strings.Join(e.Vars, ", ") + " . " + wrap(e.F, 1)
+}
+
+func (f Freeze) String() string {
+	return "[" + f.Var + " <- " + f.Attr.String() + "] " + wrap(f.F, 3)
+}
+
+func (a AtLevel) String() string {
+	switch {
+	case a.Level.NextLevel:
+		return "at-next-level(" + a.F.String() + ")"
+	case a.Level.Name != "":
+		return "at-" + a.Level.Name + "-level(" + a.F.String() + ")"
+	default:
+		return fmt.Sprintf("at-level(%d, %s)", a.Level.Num, a.F)
+	}
+}

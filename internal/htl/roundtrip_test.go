@@ -1,0 +1,123 @@
+package htl
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// Generative round-trip: random ASTs must survive String -> Parse intact.
+// This pins the printer's parenthesization against the parser's precedence
+// for shapes no hand-written test enumerates.
+
+type astGen struct {
+	rng     *rand.Rand
+	objVars []string // currently bound object variables
+	attVars []string // currently bound attribute variables
+	fresh   int
+}
+
+func (g *astGen) pickObj() (Var, bool) {
+	if len(g.objVars) == 0 {
+		return Var{}, false
+	}
+	return Var{Name: g.objVars[g.rng.Intn(len(g.objVars))], Kind: ObjectVar}, true
+}
+
+func (g *astGen) atom() Formula {
+	if v, ok := g.pickObj(); ok {
+		switch g.rng.Intn(5) {
+		case 0:
+			return Present{X: v}
+		case 1:
+			return Cmp{Op: OpEq, L: AttrFn{Attr: "type", Of: v.Name}, R: StrLit{S: "man"}}
+		case 2:
+			return Cmp{Op: CmpOp(g.rng.Intn(6)), L: AttrFn{Attr: "height", Of: v.Name}, R: IntLit{V: int64(g.rng.Intn(9) - 3)}}
+		case 3:
+			return Pred{Name: "moving", Args: []Term{v}}
+		default:
+			if w, ok := g.pickObj(); ok {
+				return Pred{Name: "near", Args: []Term{v, w}}
+			}
+			return Present{X: v}
+		}
+	}
+	switch g.rng.Intn(4) {
+	case 0:
+		return Pred{Name: fmt.Sprintf("M%d", g.rng.Intn(3)+1)}
+	case 1:
+		return Cmp{Op: OpEq, L: AttrFn{Attr: "genre"}, R: StrLit{S: "western"}}
+	case 2:
+		return Cmp{Op: CmpOp(g.rng.Intn(6)), L: AttrFn{Attr: "brightness"}, R: IntLit{V: int64(g.rng.Intn(9))}}
+	default:
+		return True{}
+	}
+}
+
+func (g *astGen) formula(depth int) Formula {
+	if depth <= 0 {
+		return g.atom()
+	}
+	switch g.rng.Intn(10) {
+	case 0:
+		return And{L: g.formula(depth - 1), R: g.formula(depth - 1)}
+	case 1:
+		return Until{L: g.formula(depth - 1), R: g.formula(depth - 1)}
+	case 2:
+		return Next{F: g.formula(depth - 1)}
+	case 3:
+		return Eventually{F: g.formula(depth - 1)}
+	case 4:
+		return Not{F: g.formula(depth - 1)}
+	case 5:
+		g.fresh++
+		name := fmt.Sprintf("v%d", g.fresh)
+		g.objVars = append(g.objVars, name)
+		f := Exists{Vars: []string{name}, F: g.formula(depth - 1)}
+		g.objVars = g.objVars[:len(g.objVars)-1]
+		return f
+	case 6:
+		g.fresh++
+		name := fmt.Sprintf("a%d", g.fresh)
+		attr := AttrFn{Attr: "brightness"}
+		if v, ok := g.pickObj(); ok && g.rng.Intn(2) == 0 {
+			attr = AttrFn{Attr: "height", Of: v.Name}
+		}
+		g.attVars = append(g.attVars, name)
+		body := g.formula(depth - 1)
+		// Reference the frozen variable half the time.
+		if g.rng.Intn(2) == 0 {
+			body = And{L: body, R: Cmp{Op: OpGe, L: AttrFn{Attr: "brightness"}, R: Var{Name: name, Kind: AttrVar}}}
+		}
+		g.attVars = g.attVars[:len(g.attVars)-1]
+		return Freeze{Var: name, Attr: attr, F: body}
+	case 7:
+		switch g.rng.Intn(3) {
+		case 0:
+			return AtLevel{Level: LevelRef{NextLevel: true}, F: g.formula(depth - 1)}
+		case 1:
+			return AtLevel{Level: LevelRef{Num: g.rng.Intn(4) + 2}, F: g.formula(depth - 1)}
+		default:
+			return AtLevel{Level: LevelRef{Name: "shot"}, F: g.formula(depth - 1)}
+		}
+	default:
+		return g.atom()
+	}
+}
+
+func TestGenerativeRoundTrip(t *testing.T) {
+	for seed := int64(0); seed < 400; seed++ {
+		g := &astGen{rng: rand.New(rand.NewSource(seed))}
+		f := g.formula(4)
+		text := f.String()
+		back, err := Parse(text)
+		if err != nil {
+			t.Fatalf("seed %d: printed %q failed to parse: %v", seed, text, err)
+		}
+		if !reflect.DeepEqual(f, back) {
+			t.Fatalf("seed %d: round trip changed the formula\n text:  %s\n before: %#v\n after:  %#v",
+				seed, text, f, back)
+		}
+	}
+}

@@ -1,0 +1,148 @@
+// Package interval provides closed integer intervals over video-segment ids
+// and small algebraic operations on them.
+//
+// Throughout the system a video is a temporally ordered sequence of video
+// segments numbered 1, 2, 3, ... (paper §3.1). Similarity lists store runs of
+// consecutive segment ids as closed intervals [Beg, End].
+package interval
+
+import (
+	"fmt"
+)
+
+// I is a closed integer interval [Beg, End] of video-segment ids.
+// An interval is valid when Beg <= End. The zero value is the valid
+// single-point interval [0, 0], although segment ids in stores are 1-based.
+type I struct {
+	Beg int
+	End int
+}
+
+// New returns the interval [beg, end]. It panics if beg > end; callers that
+// construct intervals from untrusted input should use TryNew.
+func New(beg, end int) I {
+	iv, err := TryNew(beg, end)
+	if err != nil {
+		panic(err)
+	}
+	return iv
+}
+
+// TryNew returns the interval [beg, end], or an error if beg > end.
+func TryNew(beg, end int) (I, error) {
+	if beg > end {
+		return I{}, fmt.Errorf("interval: beg %d > end %d", beg, end)
+	}
+	return I{Beg: beg, End: end}, nil
+}
+
+// Point returns the single-id interval [id, id].
+func Point(id int) I { return I{Beg: id, End: id} }
+
+// Len returns the number of ids covered by v.
+func (v I) Len() int { return v.End - v.Beg + 1 }
+
+// Valid reports whether v.Beg <= v.End.
+func (v I) Valid() bool { return v.Beg <= v.End }
+
+// Contains reports whether id lies in v.
+func (v I) Contains(id int) bool { return v.Beg <= id && id <= v.End }
+
+// Intersects reports whether v and w share at least one id.
+func (v I) Intersects(w I) bool { return v.Beg <= w.End && w.Beg <= v.End }
+
+// Intersect returns the common part of v and w. ok is false when they are
+// disjoint, in which case the returned interval is the zero value.
+func (v I) Intersect(w I) (r I, ok bool) {
+	beg := max(v.Beg, w.Beg)
+	end := min(v.End, w.End)
+	if beg > end {
+		return I{}, false
+	}
+	return I{Beg: beg, End: end}, true
+}
+
+// Adjacent reports whether w begins immediately after v ends.
+func (v I) Adjacent(w I) bool { return v.End+1 == w.Beg }
+
+// Shift returns v translated by delta (negative delta moves it earlier).
+func (v I) Shift(delta int) I { return I{Beg: v.Beg + delta, End: v.End + delta} }
+
+// ClampLow returns the part of v at or above lo. ok is false if no id of v
+// is >= lo.
+func (v I) ClampLow(lo int) (I, bool) {
+	if v.End < lo {
+		return I{}, false
+	}
+	if v.Beg < lo {
+		v.Beg = lo
+	}
+	return v, true
+}
+
+// ClampHigh returns the part of v at or below hi. ok is false if no id of v
+// is <= hi.
+func (v I) ClampHigh(hi int) (I, bool) {
+	if v.Beg > hi {
+		return I{}, false
+	}
+	if v.End > hi {
+		v.End = hi
+	}
+	return v, true
+}
+
+// String renders v in the paper's "[beg end]" notation.
+func (v I) String() string { return fmt.Sprintf("[%d %d]", v.Beg, v.End) }
+
+// Disjoint reports whether the intervals in ivs (which must be sorted by Beg)
+// are pairwise disjoint.
+func Disjoint(ivs []I) bool {
+	for i := 1; i < len(ivs); i++ {
+		if ivs[i].Beg <= ivs[i-1].End {
+			return false
+		}
+	}
+	return true
+}
+
+// Sorted reports whether ivs is sorted by Beg (ties allowed).
+func Sorted(ivs []I) bool {
+	for i := 1; i < len(ivs); i++ {
+		if ivs[i].Beg < ivs[i-1].Beg {
+			return false
+		}
+	}
+	return true
+}
+
+// Coalesce merges adjacent or overlapping intervals of a Beg-sorted slice and
+// returns a minimal sorted disjoint cover of the same id set. The input slice
+// is not modified.
+func Coalesce(ivs []I) []I {
+	if len(ivs) == 0 {
+		return nil
+	}
+	out := make([]I, 0, len(ivs))
+	cur := ivs[0]
+	for _, iv := range ivs[1:] {
+		if iv.Beg <= cur.End+1 {
+			if iv.End > cur.End {
+				cur.End = iv.End
+			}
+			continue
+		}
+		out = append(out, cur)
+		cur = iv
+	}
+	return append(out, cur)
+}
+
+// CoverLen returns the total number of ids covered by a sorted disjoint slice.
+func CoverLen(ivs []I) int {
+	n := 0
+	for _, iv := range ivs {
+		n += iv.Len()
+	}
+	return n
+}

@@ -1,0 +1,872 @@
+package picture
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"htlvideo/internal/core"
+	"htlvideo/internal/htl"
+	"htlvideo/internal/interval"
+	"htlvideo/internal/metadata"
+	"htlvideo/internal/simlist"
+)
+
+// Env is a (partial) evaluation of an atomic formula's variables at one
+// segment: object variables to object ids (core.AnyObject denotes an object
+// absent from the segment) and attribute variables to values. Attribute
+// variables missing from Attr are free: the scorer emits range alternatives
+// for them.
+type Env struct {
+	Obj  map[string]simlist.ObjectID
+	Attr map[string]BoundAttr
+	// cons carries the formula's positive type constraints so that nested
+	// quantifiers prune type-incompatible assignments; set at entry points.
+	cons map[string][]string
+}
+
+// BoundAttr is a bound attribute variable: Defined is false when the frozen
+// attribute had no value at the binding segment (the variable is bound but
+// valueless, and every term using it scores 0).
+type BoundAttr struct {
+	Defined bool
+	Val     core.AttrValue
+}
+
+// alt is one scoring alternative: the additive score holds for every
+// evaluation of the free attribute variables inside the ranges.
+type alt struct {
+	score  float64
+	ranges map[string]simlist.Range
+}
+
+// UnsupportedError marks formulas outside the picture system's atomic
+// fragment (e.g. predicates of arity three, comparisons of two attribute
+// variables).
+type UnsupportedError struct{ Msg string }
+
+func (e *UnsupportedError) Error() string { return "picture: unsupported atomic formula: " + e.Msg }
+
+// AtomicMaxSim implements core.Source: the maximum similarity of a
+// non-temporal formula is the sum of its term weights (§2.5: a function of
+// the formula only).
+func (s *System) AtomicMaxSim(f htl.Formula) float64 {
+	switch n := f.(type) {
+	case htl.True:
+		return 1
+	case htl.Present:
+		return s.w.Present
+	case htl.Pred:
+		switch len(n.Args) {
+		case 0:
+			return s.w.SegPred
+		case 1:
+			return s.w.Prop
+		default:
+			return s.w.Rel
+		}
+	case htl.Cmp:
+		if isTypeCmp(n) {
+			return s.w.Type
+		}
+		if objAttrInvolved(n) {
+			return s.w.Attr
+		}
+		return s.w.SegAttr
+	case htl.And:
+		return s.AtomicMaxSim(n.L) + s.AtomicMaxSim(n.R)
+	case htl.Not:
+		return s.AtomicMaxSim(n.F)
+	case htl.Exists:
+		return s.AtomicMaxSim(n.F)
+	case htl.Freeze:
+		return s.AtomicMaxSim(n.F)
+	default:
+		return 0
+	}
+}
+
+// isTypeCmp reports whether n is a graded type predicate type(x) = 'T'.
+func isTypeCmp(n htl.Cmp) bool {
+	if n.Op != htl.OpEq {
+		return false
+	}
+	l, lok := n.L.(htl.AttrFn)
+	r, rok := n.R.(htl.AttrFn)
+	if lok && l.Of != "" && l.Attr == typeAttr && !rok {
+		_, isStr := n.R.(htl.StrLit)
+		return isStr
+	}
+	if rok && r.Of != "" && r.Attr == typeAttr && !lok {
+		_, isStr := n.L.(htl.StrLit)
+		return isStr
+	}
+	return false
+}
+
+func objAttrInvolved(n htl.Cmp) bool {
+	if a, ok := n.L.(htl.AttrFn); ok && a.Of != "" {
+		return true
+	}
+	if a, ok := n.R.(htl.AttrFn); ok && a.Of != "" {
+		return true
+	}
+	return false
+}
+
+// evalAlts scores a non-temporal formula at one segment under env, returning
+// the scoring alternatives over the remaining free attribute variables.
+func (s *System) evalAlts(f htl.Formula, node *metadata.Node, env Env) ([]alt, error) {
+	switch n := f.(type) {
+	case htl.True:
+		return []alt{{score: 1}}, nil
+	case htl.Present:
+		id, ok := env.Obj[n.X.Name]
+		if !ok {
+			return nil, &UnsupportedError{fmt.Sprintf("object variable %q missing from evaluation", n.X.Name)}
+		}
+		score := 0.0
+		if o := findObj(node, id); o != nil {
+			score = s.w.Present * o.Certainty
+		}
+		return []alt{{score: score}}, nil
+	case htl.Pred:
+		return s.evalPred(n, node, env)
+	case htl.Cmp:
+		return s.evalCmp(n, node, env)
+	case htl.And:
+		left, err := s.evalAlts(n.L, node, env)
+		if err != nil {
+			return nil, err
+		}
+		right, err := s.evalAlts(n.R, node, env)
+		if err != nil {
+			return nil, err
+		}
+		return crossAlts(left, right), nil
+	case htl.Not:
+		sub, err := s.evalAlts(n.F, node, env)
+		if err != nil {
+			return nil, err
+		}
+		if len(sub) != 1 || len(sub[0].ranges) != 0 {
+			return nil, &UnsupportedError{"negation over a subformula with free attribute variables"}
+		}
+		return []alt{{score: s.AtomicMaxSim(n.F) - sub[0].score}}, nil
+	case htl.Exists:
+		return s.evalExists(n, node, env)
+	case htl.Freeze:
+		val := s.freezeValue(n.Attr, node, env)
+		inner := env.withAttr(n.Var, val)
+		return s.evalAlts(n.F, node, inner)
+	default:
+		return nil, &UnsupportedError{fmt.Sprintf("temporal operator %T inside an atomic formula", f)}
+	}
+}
+
+func findObj(node *metadata.Node, id simlist.ObjectID) *metadata.Object {
+	if id == core.AnyObject {
+		return nil
+	}
+	return node.Meta.FindObject(metadata.ObjectID(id))
+}
+
+func (s *System) evalPred(n htl.Pred, node *metadata.Node, env Env) ([]alt, error) {
+	switch len(n.Args) {
+	case 0:
+		score := 0.0
+		if v, ok := node.Meta.Attrs[n.Name]; ok && v == metadata.Int(1) {
+			score = s.w.SegPred
+		}
+		return []alt{{score: score}}, nil
+	case 1:
+		x, ok := n.Args[0].(htl.Var)
+		if !ok {
+			return nil, &UnsupportedError{fmt.Sprintf("argument of %s must be an object variable", n.Name)}
+		}
+		score := 0.0
+		if o := findObj(node, env.Obj[x.Name]); o != nil && o.Props[n.Name] {
+			score = s.w.Prop * o.Certainty
+		}
+		return []alt{{score: score}}, nil
+	case 2:
+		x, xok := n.Args[0].(htl.Var)
+		y, yok := n.Args[1].(htl.Var)
+		if !xok || !yok {
+			return nil, &UnsupportedError{fmt.Sprintf("arguments of %s must be object variables", n.Name)}
+		}
+		score := 0.0
+		ox := findObj(node, env.Obj[x.Name])
+		oy := findObj(node, env.Obj[y.Name])
+		if ox != nil && oy != nil && node.Meta.HasRel(n.Name, ox.ID, oy.ID) {
+			score = s.w.Rel * min(ox.Certainty, oy.Certainty)
+		}
+		return []alt{{score: score}}, nil
+	default:
+		return nil, &UnsupportedError{fmt.Sprintf("predicate %s has arity %d (at most 2 supported)", n.Name, len(n.Args))}
+	}
+}
+
+// operand is one resolved side of a comparison.
+type operand struct {
+	isVar   bool   // a free attribute variable
+	varName string // when isVar
+	defined bool   // a value is available (always true for literals)
+	val     core.AttrValue
+	cert    float64 // certainty multiplier (1 unless an object attribute)
+	isObj   bool    // references an object attribute
+}
+
+// resolveOperand evaluates a comparison operand at the segment.
+func (s *System) resolveOperand(t htl.Term, node *metadata.Node, env Env) (operand, error) {
+	switch x := t.(type) {
+	case htl.IntLit:
+		return operand{defined: true, val: core.AttrValue{IsInt: true, Int: x.V}, cert: 1}, nil
+	case htl.StrLit:
+		return operand{defined: true, val: core.AttrValue{Str: x.S}, cert: 1}, nil
+	case htl.Var:
+		if b, bound := env.Attr[x.Name]; bound {
+			return operand{defined: b.Defined, val: b.Val, cert: 1}, nil
+		}
+		return operand{isVar: true, varName: x.Name, cert: 1}, nil
+	case htl.AttrFn:
+		if x.Of == "" {
+			v, ok := node.Meta.Attrs[x.Attr]
+			if !ok {
+				return operand{cert: 1}, nil
+			}
+			return operand{defined: true, val: toAttrValue(v), cert: 1}, nil
+		}
+		o := findObj(node, env.Obj[x.Of])
+		if o == nil {
+			return operand{cert: 0, isObj: true}, nil
+		}
+		if x.Attr == typeAttr {
+			return operand{defined: true, val: core.AttrValue{Str: o.Type}, cert: o.Certainty, isObj: true}, nil
+		}
+		v, ok := o.Attrs[x.Attr]
+		if !ok {
+			return operand{cert: o.Certainty, isObj: true}, nil
+		}
+		return operand{defined: true, val: toAttrValue(v), cert: o.Certainty, isObj: true}, nil
+	default:
+		return operand{}, &UnsupportedError{fmt.Sprintf("comparison operand %s", t)}
+	}
+}
+
+func toAttrValue(v metadata.Value) core.AttrValue {
+	if v.Kind == metadata.IntValue {
+		return core.AttrValue{IsInt: true, Int: v.Int}
+	}
+	return core.AttrValue{Str: v.Str}
+}
+
+func (s *System) evalCmp(n htl.Cmp, node *metadata.Node, env Env) ([]alt, error) {
+	// Graded type predicate: type(x) = 'T' scores taxonomy similarity.
+	if isTypeCmp(n) {
+		a, lit := n.L, n.R
+		if _, ok := n.L.(htl.StrLit); ok {
+			a, lit = n.R, n.L
+		}
+		af := a.(htl.AttrFn)
+		want := lit.(htl.StrLit).S
+		score := 0.0
+		if o := findObj(node, env.Obj[af.Of]); o != nil {
+			score = s.w.Type * s.tax.Sim(want, o.Type) * o.Certainty
+		}
+		return []alt{{score: score}}, nil
+	}
+
+	weight := s.w.SegAttr
+	if objAttrInvolved(n) {
+		weight = s.w.Attr
+	}
+	l, err := s.resolveOperand(n.L, node, env)
+	if err != nil {
+		return nil, err
+	}
+	r, err := s.resolveOperand(n.R, node, env)
+	if err != nil {
+		return nil, err
+	}
+	cert := min(l.cert, r.cert)
+	op := n.Op
+
+	switch {
+	case l.isVar && r.isVar:
+		return nil, &UnsupportedError{"comparison of two attribute variables"}
+	case l.isVar:
+		// Already in the canonical form  var op value.
+		if !r.defined {
+			return []alt{{score: 0}}, nil
+		}
+		return varAlts(l.varName, op, r.val, weight*cert)
+	case r.isVar:
+		// value op var  normalizes to  var flip(op) value.
+		if !l.defined {
+			return []alt{{score: 0}}, nil
+		}
+		return varAlts(r.varName, op.Flip(), l.val, weight*cert)
+	default:
+		if !l.defined || !r.defined {
+			return []alt{{score: 0}}, nil
+		}
+		ok, err := compareValues(op, l.val, r.val)
+		if err != nil {
+			return nil, err
+		}
+		score := 0.0
+		if ok {
+			score = weight * cert
+		}
+		return []alt{{score: score}}, nil
+	}
+}
+
+// varAlts builds the alternatives for  y op v : the satisfied range with the
+// term's contribution, plus (for integers) the complement ranges with zero
+// contribution, so partially matching evaluations keep their rows (paper
+// §3.3 restricts attribute-variable predicates to ranges for integers and
+// equality for other types).
+func varAlts(varName string, op htl.CmpOp, v core.AttrValue, contribution float64) ([]alt, error) {
+	rng := func(r simlist.Range) map[string]simlist.Range {
+		return map[string]simlist.Range{varName: r}
+	}
+	if !v.IsInt {
+		if op != htl.OpEq {
+			return nil, &UnsupportedError{fmt.Sprintf("attribute variable %s compared to a non-integer value with %s (only = supported)", varName, op)}
+		}
+		return []alt{{score: contribution, ranges: rng(simlist.StrEq(v.Str))}}, nil
+	}
+	var sat simlist.Range
+	var comp []simlist.Range
+	switch op {
+	case htl.OpEq:
+		sat = simlist.IntEq(v.Int)
+		comp = []simlist.Range{simlist.IntBelow(v.Int), simlist.IntAbove(v.Int)}
+	case htl.OpNe:
+		// Two satisfied ranges; handled by returning both plus complement.
+		return []alt{
+			{score: contribution, ranges: rng(simlist.IntBelow(v.Int))},
+			{score: contribution, ranges: rng(simlist.IntAbove(v.Int))},
+			{score: 0, ranges: rng(simlist.IntEq(v.Int))},
+		}, nil
+	case htl.OpLt:
+		sat = simlist.IntBelow(v.Int)
+		comp = []simlist.Range{simlist.IntAtLeast(v.Int)}
+	case htl.OpLe:
+		sat = simlist.IntAtMost(v.Int)
+		comp = []simlist.Range{simlist.IntAbove(v.Int)}
+	case htl.OpGt:
+		sat = simlist.IntAbove(v.Int)
+		comp = []simlist.Range{simlist.IntAtMost(v.Int)}
+	default:
+		sat = simlist.IntAtLeast(v.Int)
+		comp = []simlist.Range{simlist.IntBelow(v.Int)}
+	}
+	out := []alt{}
+	if !sat.IsEmpty() {
+		out = append(out, alt{score: contribution, ranges: rng(sat)})
+	}
+	for _, c := range comp {
+		if !c.IsEmpty() {
+			out = append(out, alt{score: 0, ranges: rng(c)})
+		}
+	}
+	return out, nil
+}
+
+// compareValues applies op to two concrete values. Cross-kind comparisons
+// are simply unsatisfied; string order comparisons are rejected (§3.3).
+func compareValues(op htl.CmpOp, a, b core.AttrValue) (bool, error) {
+	if a.IsInt != b.IsInt {
+		return op == htl.OpNe, nil
+	}
+	if a.IsInt {
+		switch op {
+		case htl.OpEq:
+			return a.Int == b.Int, nil
+		case htl.OpNe:
+			return a.Int != b.Int, nil
+		case htl.OpLt:
+			return a.Int < b.Int, nil
+		case htl.OpLe:
+			return a.Int <= b.Int, nil
+		case htl.OpGt:
+			return a.Int > b.Int, nil
+		default:
+			return a.Int >= b.Int, nil
+		}
+	}
+	switch op {
+	case htl.OpEq:
+		return a.Str == b.Str, nil
+	case htl.OpNe:
+		return a.Str != b.Str, nil
+	default:
+		return false, &UnsupportedError{fmt.Sprintf("order comparison %s on string values", op)}
+	}
+}
+
+// crossAlts combines alternative sets of a conjunction: scores add, range
+// constraints intersect; unsatisfiable combinations disappear.
+func crossAlts(a, b []alt) []alt {
+	out := make([]alt, 0, len(a)*len(b))
+	for _, x := range a {
+		for _, y := range b {
+			ranges, ok := mergeRanges(x.ranges, y.ranges)
+			if !ok {
+				continue
+			}
+			out = append(out, alt{score: x.score + y.score, ranges: ranges})
+		}
+	}
+	return out
+}
+
+func mergeRanges(a, b map[string]simlist.Range) (map[string]simlist.Range, bool) {
+	if len(a) == 0 {
+		return b, true
+	}
+	if len(b) == 0 {
+		return a, true
+	}
+	out := make(map[string]simlist.Range, len(a)+len(b))
+	for k, v := range a {
+		out[k] = v
+	}
+	for k, v := range b {
+		if prev, ok := out[k]; ok {
+			v = prev.Intersect(v)
+			if v.IsEmpty() {
+				return nil, false
+			}
+		}
+		out[k] = v
+	}
+	return out, true
+}
+
+// evalExists enumerates assignments of the quantified object variables to
+// the segment's objects (or to "absent") and unions the alternatives — the
+// maximum over evaluations is taken later, at projection. Distinct variables
+// bind distinct objects within one atomic formula, following the assignment
+// semantics of the underlying picture matchers [27].
+func (s *System) evalExists(n htl.Exists, node *metadata.Node, env Env) ([]alt, error) {
+	used := map[simlist.ObjectID]bool{}
+	for _, id := range env.Obj {
+		if id != core.AnyObject {
+			used[id] = true
+		}
+	}
+	var out []alt
+	var assign func(i int, cur Env) error
+	assign = func(i int, cur Env) error {
+		if i == len(n.Vars) {
+			alts, err := s.evalAlts(n.F, node, cur)
+			if err != nil {
+				return err
+			}
+			out = append(out, alts...)
+			return nil
+		}
+		v := n.Vars[i]
+		// Absent assignment: the variable matches nothing in this segment.
+		if err := assign(i+1, cur.withObj(v, core.AnyObject)); err != nil {
+			return err
+		}
+		for _, o := range node.Meta.Objects {
+			id := simlist.ObjectID(o.ID)
+			if used[id] || !s.compatible(env.cons[v], o.Type) {
+				continue
+			}
+			used[id] = true
+			err := assign(i+1, cur.withObj(v, id))
+			used[id] = false
+			if err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := assign(0, env); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// freezeValue evaluates the frozen attribute function at the segment.
+func (s *System) freezeValue(q htl.AttrFn, node *metadata.Node, env Env) BoundAttr {
+	if q.Of == "" {
+		if v, ok := node.Meta.Attrs[q.Attr]; ok {
+			return BoundAttr{Defined: true, Val: toAttrValue(v)}
+		}
+		return BoundAttr{}
+	}
+	o := findObj(node, env.Obj[q.Of])
+	if o == nil {
+		return BoundAttr{}
+	}
+	if q.Attr == typeAttr {
+		return BoundAttr{Defined: true, Val: core.AttrValue{Str: o.Type}}
+	}
+	if v, ok := o.Attrs[q.Attr]; ok {
+		return BoundAttr{Defined: true, Val: toAttrValue(v)}
+	}
+	return BoundAttr{}
+}
+
+func (e Env) withObj(name string, id simlist.ObjectID) Env {
+	obj := make(map[string]simlist.ObjectID, len(e.Obj)+1)
+	for k, v := range e.Obj {
+		obj[k] = v
+	}
+	obj[name] = id
+	return Env{Obj: obj, Attr: e.Attr, cons: e.cons}
+}
+
+func (e Env) withAttr(name string, v BoundAttr) Env {
+	attr := make(map[string]BoundAttr, len(e.Attr)+1)
+	for k, b := range e.Attr {
+		attr[k] = b
+	}
+	attr[name] = v
+	return Env{Obj: e.Obj, Attr: attr, cons: e.cons}
+}
+
+// validateAtomic statically rejects formulas outside the supported atomic
+// fragment, independent of whether any segment is a candidate.
+func validateAtomic(f htl.Formula) error { return validateAtomicIn(f, map[string]bool{}) }
+
+func validateAtomicIn(f htl.Formula, frozen map[string]bool) error {
+	switch n := f.(type) {
+	case htl.True, htl.Present:
+		return nil
+	case htl.Cmp:
+		lv, lIsVar := n.L.(htl.Var)
+		rv, rIsVar := n.R.(htl.Var)
+		if (lIsVar && lv.Kind == htl.ObjectVar) || (rIsVar && rv.Kind == htl.ObjectVar) {
+			return &UnsupportedError{"object variables cannot be compared; compare their attributes"}
+		}
+		// A variable bound by an enclosing freeze is a concrete value here;
+		// two *free* attribute variables cannot both be ranged.
+		if lIsVar && rIsVar && !frozen[lv.Name] && !frozen[rv.Name] {
+			return &UnsupportedError{"comparison of two attribute variables"}
+		}
+		return nil
+	case htl.Pred:
+		if len(n.Args) > 2 {
+			return &UnsupportedError{fmt.Sprintf("predicate %s has arity %d (at most 2 supported)", n.Name, len(n.Args))}
+		}
+		for _, a := range n.Args {
+			if _, ok := a.(htl.Var); !ok {
+				return &UnsupportedError{fmt.Sprintf("argument %s of %s must be an object variable", a, n.Name)}
+			}
+		}
+		return nil
+	case htl.And:
+		if err := validateAtomicIn(n.L, frozen); err != nil {
+			return err
+		}
+		return validateAtomicIn(n.R, frozen)
+	case htl.Not:
+		// Negation over object variables breaks the monotonicity that makes
+		// wildcard rows sound lower bounds (a row for "x absent" would
+		// over-report ¬P(x) for present objects); only segment-level scopes
+		// are negatable here. Full HTL negation is the reference
+		// evaluator's job.
+		if usesObjects(n.F) {
+			return &UnsupportedError{"negation over a subformula with object variables (conjunctive formulas admit no negation; segment-level scopes only)"}
+		}
+		return validateAtomicIn(n.F, frozen)
+	case htl.Exists:
+		return validateAtomicIn(n.F, frozen)
+	case htl.Freeze:
+		inner := make(map[string]bool, len(frozen)+1)
+		for k := range frozen {
+			inner[k] = true
+		}
+		inner[n.Var] = true
+		return validateAtomicIn(n.F, inner)
+	default:
+		return &UnsupportedError{fmt.Sprintf("temporal operator %T inside an atomic formula", f)}
+	}
+}
+
+// usesObjects reports whether f mentions any object variable or quantifier.
+func usesObjects(f htl.Formula) bool {
+	switch n := f.(type) {
+	case htl.Present, htl.Exists:
+		return true
+	case htl.Pred:
+		return len(n.Args) > 0
+	case htl.Cmp:
+		return objAttrInvolved(n)
+	case htl.And:
+		return usesObjects(n.L) || usesObjects(n.R)
+	case htl.Not:
+		return usesObjects(n.F)
+	case htl.Freeze:
+		return n.Attr.Of != "" || usesObjects(n.F)
+	default:
+		return false
+	}
+}
+
+// ScoreAtomicAt scores a non-temporal formula at one segment under a full
+// evaluation (every free object and attribute variable bound); the maximum
+// over any remaining internal choices (nested ∃) is returned. This is the
+// entry point the reference evaluator shares with the table builder, so the
+// two paths cannot diverge on atomic scoring.
+func (s *System) ScoreAtomicAt(f htl.Formula, id int, env Env) (simlist.Sim, error) {
+	if !htl.NonTemporal(f) {
+		return simlist.Sim{}, &UnsupportedError{"ScoreAtomicAt requires a non-temporal formula"}
+	}
+	if err := validateAtomic(f); err != nil {
+		return simlist.Sim{}, err
+	}
+	if id < 1 || id > len(s.seq) {
+		return simlist.Sim{Max: s.AtomicMaxSim(f)}, nil
+	}
+	// Restrict the evaluation to the formula's own free variables: bindings
+	// of unrelated outer variables must not participate in this unit's
+	// distinct-objects rule.
+	freeObj, freeAttr := htl.FreeVars(f)
+	restricted := Env{Obj: map[string]simlist.ObjectID{}, Attr: map[string]BoundAttr{}}
+	for _, v := range freeObj {
+		if id, ok := env.Obj[v]; ok {
+			restricted.Obj[v] = id
+		}
+	}
+	for _, v := range freeAttr {
+		if b, ok := env.Attr[v]; ok {
+			restricted.Attr[v] = b
+		}
+	}
+	env = restricted
+	env.cons = typeConstraints(f)
+	env = s.pruneEnv(f, id, env)
+	best := 0.0
+	// The picture matchers assign distinct objects to distinct variables of
+	// one atomic formula; an external evaluation binding two variables to
+	// the same object therefore scores as the best way of keeping one of
+	// them and treating the rest as absent — exactly what the table path's
+	// wildcard rows yield at projection.
+	for _, variant := range dedupVariants(env) {
+		alts, err := s.evalAlts(f, s.seq[id-1], variant)
+		if err != nil {
+			return simlist.Sim{}, err
+		}
+		for _, a := range alts {
+			if len(a.ranges) != 0 {
+				return simlist.Sim{}, &UnsupportedError{"free attribute variable not bound in evaluation"}
+			}
+			best = max(best, a.score)
+		}
+	}
+	return simlist.Sim{Act: best, Max: s.AtomicMaxSim(f)}, nil
+}
+
+// dedupVariants expands an evaluation with duplicate concrete bindings into
+// the evaluations keeping exactly one variable of each duplicate group.
+func dedupVariants(env Env) []Env {
+	byID := map[simlist.ObjectID][]string{}
+	for v, id := range env.Obj {
+		if id != core.AnyObject {
+			byID[id] = append(byID[id], v)
+		}
+	}
+	variants := []Env{env}
+	for _, vars := range byID {
+		if len(vars) < 2 {
+			continue
+		}
+		sort.Strings(vars)
+		var next []Env
+		for _, base := range variants {
+			for _, keep := range vars {
+				e := base
+				for _, v := range vars {
+					if v != keep {
+						e = e.withObj(v, core.AnyObject)
+					}
+				}
+				next = append(next, e)
+			}
+		}
+		variants = next
+	}
+	return variants
+}
+
+// WithObj returns a copy of the evaluation with an object variable bound.
+func (e Env) WithObj(name string, id simlist.ObjectID) Env { return e.withObj(name, id) }
+
+// WithAttr returns a copy of the evaluation with an attribute variable bound.
+func (e Env) WithAttr(name string, v BoundAttr) Env { return e.withAttr(name, v) }
+
+// AttrValueAt evaluates an attribute function at segment id under env —
+// the freeze operator's frozen value (Defined is false when the attribute
+// has no value there).
+func (s *System) AttrValueAt(q htl.AttrFn, id int, env Env) BoundAttr {
+	if id < 1 || id > len(s.seq) {
+		return BoundAttr{}
+	}
+	return s.freezeValue(q, s.seq[id-1], env)
+}
+
+// ObjectIDs returns the distinct ids of all objects occurring anywhere in
+// this sequence, ascending — the practical domain of existential
+// quantification for brute-force evaluation.
+func (s *System) ObjectIDs() []simlist.ObjectID {
+	set := map[simlist.ObjectID]bool{}
+	for _, n := range s.seq {
+		for _, o := range n.Meta.Objects {
+			set[simlist.ObjectID(o.ID)] = true
+		}
+	}
+	out := make([]simlist.ObjectID, 0, len(set))
+	for id := range set {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// EvalAtomic implements core.Source: the similarity table of a non-temporal
+// formula over the sequence, built through the inverted indices.
+func (s *System) EvalAtomic(f htl.Formula) (*simlist.Table, error) {
+	if !htl.NonTemporal(f) {
+		return nil, &UnsupportedError{fmt.Sprintf("EvalAtomic requires a non-temporal formula, got %q", f)}
+	}
+	if err := validateAtomic(f); err != nil {
+		return nil, err
+	}
+	freeObj, freeAttr := htl.FreeVars(f)
+	maxSim := s.AtomicMaxSim(f)
+	table := simlist.NewTable(freeObj, freeAttr, maxSim)
+
+	type acc struct {
+		bindings []simlist.ObjectID
+		ranges   []simlist.Range
+		scores   map[int]float64
+	}
+	groups := map[string]*acc{}
+	var order []string
+
+	record := func(bindings []simlist.ObjectID, ranges []simlist.Range, id int, score float64) {
+		k := groupKey(bindings, ranges)
+		g := groups[k]
+		if g == nil {
+			g = &acc{bindings: bindings, ranges: ranges, scores: map[int]float64{}}
+			groups[k] = g
+			order = append(order, k)
+		}
+		if score > g.scores[id] {
+			g.scores[id] = score
+		}
+	}
+
+	cons := typeConstraints(f)
+	for _, id := range s.candidates(f) {
+		node := s.seq[id-1]
+		err := s.enumerateBindings(freeObj, node, cons, func(env Env) error {
+			alts, err := s.evalAlts(f, node, env)
+			if err != nil {
+				return err
+			}
+			for _, a := range alts {
+				// Alternatives with zero score but a range constraint are
+				// kept as empty rows: the rows of a unit partition the
+				// attribute-variable space, so that table joins cover every
+				// evaluation (a partially-covered range would silently drop
+				// partial matches).
+				if a.score <= 0 && len(a.ranges) == 0 {
+					continue
+				}
+				bindings := make([]simlist.ObjectID, len(freeObj))
+				for i, v := range freeObj {
+					bindings[i] = env.Obj[v]
+				}
+				ranges := make([]simlist.Range, len(freeAttr))
+				for i, v := range freeAttr {
+					ranges[i] = simlist.AnyRange()
+					if r, ok := a.ranges[v]; ok {
+						ranges[i] = r
+					}
+				}
+				record(bindings, ranges, id, a.score)
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	for _, k := range order {
+		g := groups[k]
+		ids := make([]int, 0, len(g.scores))
+		for id := range g.scores {
+			ids = append(ids, id)
+		}
+		sort.Ints(ids)
+		entries := make([]simlist.Entry, 0, len(ids))
+		for _, id := range ids {
+			entries = append(entries, simlist.Entry{Iv: interval.Point(id), Act: g.scores[id]})
+		}
+		table.Rows = append(table.Rows, simlist.Row{
+			Bindings: g.bindings,
+			Ranges:   g.ranges,
+			List:     simlist.Normalize(maxSim, entries),
+		})
+	}
+	return table, nil
+}
+
+// enumerateBindings calls fn with every assignment of vars to the segment's
+// objects (plus the absent wildcard), distinct objects for distinct
+// variables, skipping type-incompatible assignments.
+func (s *System) enumerateBindings(vars []string, node *metadata.Node, cons map[string][]string, fn func(Env) error) error {
+	env := Env{Obj: map[string]simlist.ObjectID{}, Attr: map[string]BoundAttr{}, cons: cons}
+	used := map[simlist.ObjectID]bool{}
+	var assign func(i int) error
+	assign = func(i int) error {
+		if i == len(vars) {
+			return fn(env)
+		}
+		v := vars[i]
+		env.Obj[v] = core.AnyObject
+		if err := assign(i + 1); err != nil {
+			return err
+		}
+		for _, o := range node.Meta.Objects {
+			id := simlist.ObjectID(o.ID)
+			if used[id] || !s.compatible(cons[v], o.Type) {
+				continue
+			}
+			used[id] = true
+			env.Obj[v] = id
+			err := assign(i + 1)
+			used[id] = false
+			if err != nil {
+				return err
+			}
+		}
+		delete(env.Obj, v)
+		return nil
+	}
+	return assign(0)
+}
+
+func groupKey(bindings []simlist.ObjectID, ranges []simlist.Range) string {
+	var b strings.Builder
+	for _, v := range bindings {
+		fmt.Fprintf(&b, "%d,", v)
+	}
+	for _, r := range ranges {
+		b.WriteString(r.String())
+		b.WriteByte(';')
+	}
+	return b.String()
+}

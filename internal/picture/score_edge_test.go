@@ -1,0 +1,233 @@
+package picture
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"htlvideo/internal/core"
+	"htlvideo/internal/htl"
+	"htlvideo/internal/metadata"
+	"htlvideo/internal/simlist"
+)
+
+// Edge-case coverage for the atomic scorer: comparison operators over
+// attribute variables, range merging across terms, evaluation pruning and
+// the exported helpers.
+
+func TestVarAltsAllOperators(t *testing.T) {
+	s := buildSystem(t)
+	// One object with height 20 at segment 2; probe each operator through a
+	// frozen variable so the ranges must be generated and then selected.
+	for q, wantAt2 := range map[string]float64{
+		"[h <- height(x)] (present(x) and height(x) = h)":  4, // 20 = 20
+		"[h <- height(x)] (present(x) and height(x) != h)": 2, // only present
+		"[h <- height(x)] (present(x) and height(x) < h)":  2,
+		"[h <- height(x)] (present(x) and height(x) <= h)": 4,
+		"[h <- height(x)] (present(x) and height(x) > h)":  2,
+		"[h <- height(x)] (present(x) and height(x) >= h)": 4,
+	} {
+		full := "exists x . " + q
+		sim, err := s.ScoreAtomicAt(htl.MustParse(full), 2, Env{})
+		if err != nil {
+			t.Fatalf("%s: %v", q, err)
+		}
+		if math.Abs(sim.Act-wantAt2) > 1e-9 {
+			t.Errorf("%s at 2 = %g, want %g", q, sim.Act, wantAt2)
+		}
+	}
+}
+
+func TestAttrVarRangeTable(t *testing.T) {
+	s := buildSystem(t)
+	// Free variable with != over an integer: two satisfied ranges plus the
+	// zero-score equality row (the coverage marker; the formula has no other
+	// term, so the complement really scores 0).
+	f := htl.MustParse("[h <- hh] exists x . height(x) != h").(htl.Freeze).F
+	tb, err := s.EvalAtomic(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sawMarker := false
+	for _, r := range tb.Rows {
+		if r.List.IsEmpty() {
+			sawMarker = true
+		}
+	}
+	if !sawMarker {
+		t.Fatalf("expected a zero-score coverage row:\n%v", tb)
+	}
+}
+
+func TestStringAttrVarEquality(t *testing.T) {
+	s := buildSystem(t)
+	f := htl.MustParse("[n <- nn] exists x . present(x) and name(x) = n").(htl.Freeze).F
+	tb, err := s.EvalAtomic(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, r := range tb.Rows {
+		if r.Ranges[0].ContainsStr("John") && r.List.At(2).Act == 4 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("missing string-equality row:\n%v", tb)
+	}
+	// Order comparisons on strings are rejected.
+	bad := htl.MustParse("[n <- nn] exists x . present(x) and name(x) < n").(htl.Freeze).F
+	if _, err := s.EvalAtomic(bad); err == nil || !strings.Contains(err.Error(), "only =") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestTwoAttrVarsUnsupported(t *testing.T) {
+	s := buildSystem(t)
+	f := htl.MustParse("[a <- x1] [b <- x2] a = b")
+	// Both operands frozen: fine (ground). Make them free instead:
+	free := htl.Cmp{Op: htl.OpEq, L: htl.Var{Name: "a", Kind: htl.AttrVar}, R: htl.Var{Name: "b", Kind: htl.AttrVar}}
+	if _, err := s.EvalAtomic(free); err == nil {
+		t.Fatal("comparison of two free attribute variables should fail")
+	}
+	if _, err := s.EvalAtomic(f); err != nil {
+		t.Fatalf("frozen pair: %v", err)
+	}
+}
+
+func TestMergeRangesConflict(t *testing.T) {
+	s := buildSystem(t)
+	// Two terms constrain h to disjoint ranges: the satisfied×satisfied
+	// cross product vanishes, partial rows remain.
+	f := htl.MustParse("[h <- hh] (brightness > h and duration < h)")
+	fr := f.(htl.Freeze).F
+	tb, err := s.EvalAtomic(fr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// No segment has brightness or duration; the table may be empty but
+	// must not error. Now with real attrs on a fresh system:
+	v := metadata.NewVideo(1, "r", nil)
+	v.Root.AppendChild(metadata.Seg().
+		Attr("brightness", metadata.Int(10)).
+		Attr("duration", metadata.Int(3)).
+		Build())
+	sys2, err := NewSystem(v, 2, NewTaxonomy(), DefaultWeights())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb2, err := sys2.EvalAtomic(fr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// brightness > h  ⇒ h <= 9 ; duration < h ⇒ h >= 4: both hold for
+	// h in [4, 9] with score 4.
+	best := 0.0
+	for _, r := range tb2.Rows {
+		if r.Ranges[0].ContainsInt(5) {
+			best = math.Max(best, r.List.At(1).Act)
+		}
+	}
+	if best != 4 {
+		t.Fatalf("h=5 best = %g\n%v\n%v", best, tb, tb2)
+	}
+}
+
+func TestDedupVariantsKeepBest(t *testing.T) {
+	s := buildSystem(t)
+	// Bind x and y to the same man; the unit must score as the best
+	// keep-one variant rather than double-counting him.
+	f := htl.MustParse("exists x, y . present(x) and present(y)").(htl.Exists).F
+	env := Env{Obj: map[string]simlist.ObjectID{"x": 1, "y": 1}}
+	sim, err := s.ScoreAtomicAt(f, 2, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sim.Act != 2 { // one present(man#1, cert 1) only
+		t.Fatalf("dedup score = %g", sim.Act)
+	}
+	// Distinct objects score both.
+	env2 := Env{Obj: map[string]simlist.ObjectID{"x": 1, "y": 3}}
+	sim2, err := s.ScoreAtomicAt(f, 2, env2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sim2.Act != 3 { // 2*1.0 + 2*0.5
+		t.Fatalf("distinct score = %g", sim2.Act)
+	}
+}
+
+func TestPruneEnvRemapsIncompatible(t *testing.T) {
+	s := buildSystem(t)
+	f := htl.MustParse("exists x . present(x) and type(x) = 'train'").(htl.Exists).F
+	// Binding x to a man: type-incompatible with 'train', scores as absent.
+	env := Env{Obj: map[string]simlist.ObjectID{"x": 1}}
+	sim, err := s.ScoreAtomicAt(f, 1, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sim.Act != 0 {
+		t.Fatalf("incompatible binding = %g", sim.Act)
+	}
+	// Binding it to the train at segment 3 scores fully.
+	env2 := Env{Obj: map[string]simlist.ObjectID{"x": 4}}
+	sim2, err := s.ScoreAtomicAt(f, 3, env2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sim2.Act != 4 {
+		t.Fatalf("train binding = %g", sim2.Act)
+	}
+}
+
+func TestExportedHelpers(t *testing.T) {
+	s := buildSystem(t)
+	ids := s.ObjectIDs()
+	if len(ids) != 4 || ids[0] != 1 || ids[3] != 4 {
+		t.Fatalf("ObjectIDs = %v", ids)
+	}
+	b := s.AttrValueAt(htl.AttrFn{Attr: "height", Of: "z"}, 2,
+		Env{Obj: map[string]simlist.ObjectID{"z": 1}})
+	if !b.Defined || b.Val.Int != 20 {
+		t.Fatalf("AttrValueAt = %+v", b)
+	}
+	if s.AttrValueAt(htl.AttrFn{Attr: "height", Of: "z"}, 99, Env{}).Defined {
+		t.Fatal("out-of-range segment should be undefined")
+	}
+	if s.Taxonomy() == nil || s.Video() == nil {
+		t.Fatal("accessors")
+	}
+	if s.Weights().Present != 2 {
+		t.Fatal("weights accessor")
+	}
+	if s.Node(1) == nil {
+		t.Fatal("node accessor")
+	}
+	edges := s.Taxonomy().Edges()
+	if len(edges) == 0 || edges[0][0] > edges[len(edges)-1][0] {
+		t.Fatalf("edges = %v", edges)
+	}
+	env := Env{}.WithObj("x", 5).WithAttr("h", BoundAttr{Defined: true, Val: core.AttrValue{IsInt: true, Int: 1}})
+	if env.Obj["x"] != 5 || !env.Attr["h"].Defined {
+		t.Fatal("env builders")
+	}
+}
+
+func TestTypeNeAndCrossKind(t *testing.T) {
+	s := buildSystem(t)
+	// type(x) != 'man': boolean, not graded.
+	l := evalList(t, s, "exists x . present(x) and type(x) != 'man'")
+	if got := l.At(1).Act; math.Abs(got-3.2) > 1e-9 { // woman 0.8: 1.6+1.6
+		t.Fatalf("ne at 1 = %g", got)
+	}
+	// Cross-kind comparison: int attr vs string literal is just unsatisfied
+	// (Ne is satisfied).
+	l2 := evalList(t, s, "exists x . present(x) and height(x) = 'tall'")
+	if got := l2.At(2).Act; got != 2 { // present only
+		t.Fatalf("cross-kind eq at 2 = %g", got)
+	}
+	l3 := evalList(t, s, "exists x . present(x) and height(x) != 'tall'")
+	if got := l3.At(2).Act; got != 4 {
+		t.Fatalf("cross-kind ne at 2 = %g", got)
+	}
+}

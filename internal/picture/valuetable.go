@@ -1,0 +1,93 @@
+package picture
+
+import (
+	"sort"
+
+	"htlvideo/internal/core"
+	"htlvideo/internal/htl"
+	"htlvideo/internal/interval"
+	"htlvideo/internal/metadata"
+	"htlvideo/internal/simlist"
+)
+
+// ValueTable implements core.Source: the §3.3 value table of an attribute
+// function q over this sequence. For q(x) there is one row per (object,
+// value) pair with the id intervals where the object is present carrying
+// that value; for a segment attribute, one row per value. The attribute's
+// type (`type(x)`) is exposed like any other attribute.
+func (s *System) ValueTable(q htl.AttrFn) (*core.ValueTable, error) {
+	vt := &core.ValueTable{Var: q.Of}
+	if q.Of == "" {
+		type key struct{ v core.AttrValue }
+		runs := map[key][]interval.I{}
+		var order []key
+		for i, n := range s.seq {
+			v, ok := n.Meta.Attrs[q.Attr]
+			if !ok {
+				continue
+			}
+			k := key{toAttrValue(v)}
+			if _, seen := runs[k]; !seen {
+				order = append(order, k)
+			}
+			runs[k] = appendIv(runs[k], i+1)
+		}
+		for _, k := range order {
+			vt.Rows = append(vt.Rows, core.ValueRow{Value: k.v, Ivs: runs[k]})
+		}
+		return vt, nil
+	}
+
+	type key struct {
+		obj simlist.ObjectID
+		v   core.AttrValue
+	}
+	runs := map[key][]interval.I{}
+	var order []key
+	for i, n := range s.seq {
+		for _, o := range n.Meta.Objects {
+			var v core.AttrValue
+			if q.Attr == typeAttr {
+				v = core.AttrValue{Str: o.Type}
+			} else {
+				mv, ok := o.Attrs[q.Attr]
+				if !ok {
+					continue
+				}
+				v = toAttrValue(mv)
+			}
+			k := key{simlist.ObjectID(o.ID), v}
+			if _, seen := runs[k]; !seen {
+				order = append(order, k)
+			}
+			runs[k] = appendIv(runs[k], i+1)
+		}
+	}
+	sort.SliceStable(order, func(a, b int) bool { return order[a].obj < order[b].obj })
+	for _, k := range order {
+		vt.Rows = append(vt.Rows, core.ValueRow{Binding: k.obj, Value: k.v, Ivs: runs[k]})
+	}
+	return vt, nil
+}
+
+// appendIv extends the last interval when id is adjacent to it, otherwise
+// starts a new run.
+func appendIv(ivs []interval.I, id int) []interval.I {
+	if n := len(ivs); n > 0 && ivs[n-1].End+1 == id {
+		ivs[n-1].End = id
+		return ivs
+	}
+	return append(ivs, interval.Point(id))
+}
+
+// Ensure System satisfies the evaluator's Source contract.
+var _ core.Source = (*System)(nil)
+
+// Taxonomy returns the system's type taxonomy (shared with child sources).
+func (s *System) Taxonomy() *Taxonomy { return s.tax }
+
+// Weights returns the system's scoring weights.
+func (s *System) Weights() Weights { return s.w }
+
+// Video returns the underlying video.
+func (s *System) Video() *metadata.Video { return s.video }

@@ -1,0 +1,249 @@
+package refeval
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"htlvideo/internal/core"
+	"htlvideo/internal/htl"
+	"htlvideo/internal/interval"
+	"htlvideo/internal/metadata"
+	"htlvideo/internal/picture"
+	"htlvideo/internal/simlist"
+)
+
+// The oracle suite: the efficient similarity-list generator (internal/core,
+// the paper's §3 algorithms) must agree with this package's brute-force
+// implementation of the §2.5 semantics on randomly generated videos and
+// formulas of every class.
+
+func oracleTaxonomy() *picture.Taxonomy {
+	tax := picture.NewTaxonomy()
+	tax.MustAdd("person", "entity")
+	tax.MustAdd("man", "person")
+	tax.MustAdd("woman", "person")
+	tax.MustAdd("vehicle", "entity")
+	tax.MustAdd("train", "vehicle")
+	return tax
+}
+
+var (
+	objTypes    = []string{"man", "woman", "train", "person"}
+	certainties = []float64{0.25, 0.5, 0.75, 1}
+	genres      = []string{"western", "news"}
+)
+
+// randomSegment fills one segment with random objects, properties,
+// relationships and attributes.
+func randomSegment(rng *rand.Rand) metadata.SegmentMeta {
+	b := metadata.Seg()
+	nObj := rng.Intn(4)
+	ids := rng.Perm(6)
+	var added []metadata.ObjectID
+	for i := 0; i < nObj; i++ {
+		id := metadata.ObjectID(ids[i] + 1)
+		b.ObjC(id, objTypes[rng.Intn(len(objTypes))], certainties[rng.Intn(len(certainties))])
+		added = append(added, id)
+		if rng.Intn(3) == 0 {
+			b.Prop("moving")
+		}
+		if rng.Intn(3) == 0 {
+			b.Prop("holds_gun")
+		}
+		if rng.Intn(2) == 0 {
+			b.OAttr("height", metadata.Int(int64(rng.Intn(6))))
+		}
+	}
+	if len(added) >= 2 && rng.Intn(2) == 0 {
+		b.Rel("fires_at", added[0], added[1])
+	}
+	if rng.Intn(2) == 0 {
+		b.Attr("genre", metadata.Str(genres[rng.Intn(len(genres))]))
+	}
+	if rng.Intn(3) == 0 {
+		b.Attr("M1", metadata.Int(1))
+	}
+	if rng.Intn(2) == 0 {
+		b.Attr("brightness", metadata.Int(int64(rng.Intn(5))))
+	}
+	return b.Build()
+}
+
+// randomVideo builds a flat video (root + n segments), optionally giving
+// each segment children for level-modal tests.
+func randomVideo(rng *rand.Rand, n int, deep bool) *metadata.Video {
+	v := metadata.NewVideo(1, "random", map[string]int{"scene": 2, "shot": 3})
+	for i := 0; i < n; i++ {
+		seg := v.Root.AppendChild(randomSegment(rng))
+		if deep {
+			for j := 0; j < 1+rng.Intn(3); j++ {
+				seg.AppendChild(randomSegment(rng))
+			}
+		}
+	}
+	return v
+}
+
+// atomPool returns random non-temporal units over the free variables.
+func atom(rng *rand.Rand, vars []string) string {
+	// Atoms are parenthesized so that an internal `exists` cannot capture a
+	// following temporal operator at composition time.
+	pick := func(opts ...string) string { return "(" + opts[rng.Intn(len(opts))] + ")" }
+	if len(vars) > 0 && rng.Intn(2) == 0 {
+		x := vars[rng.Intn(len(vars))]
+		return pick(
+			fmt.Sprintf("present(%s)", x),
+			fmt.Sprintf("present(%s) and type(%s) = 'man'", x, x),
+			fmt.Sprintf("holds_gun(%s)", x),
+			fmt.Sprintf("present(%s) and height(%s) > 2", x, x),
+			fmt.Sprintf("type(%s) = 'woman'", x),
+		)
+	}
+	return pick(
+		"M1",
+		"genre = 'western'",
+		"not genre = 'western'",
+		"brightness >= 2",
+		"exists z . present(z) and type(z) = 'train' and moving(z)",
+		"exists z, w . fires_at(z, w)",
+		"exists z . present(z) and type(z) = 'person'",
+	)
+}
+
+// randomMatrix builds a conjunctive matrix (temporal combination of units)
+// over the given free variables.
+func randomMatrix(rng *rand.Rand, depth int, vars []string) string {
+	if depth <= 0 || rng.Intn(3) == 0 {
+		return atom(rng, vars)
+	}
+	switch rng.Intn(5) {
+	case 0:
+		return "(" + randomMatrix(rng, depth-1, vars) + " and " + randomMatrix(rng, depth-1, vars) + ")"
+	case 1:
+		return "(" + randomMatrix(rng, depth-1, vars) + " until " + randomMatrix(rng, depth-1, vars) + ")"
+	case 2:
+		return "next " + randomMatrix(rng, depth-1, vars)
+	case 3:
+		return "eventually " + randomMatrix(rng, depth-1, vars)
+	default:
+		return "(" + randomMatrix(rng, depth-1, vars) + ")"
+	}
+}
+
+// randomFormula builds a closed formula of the requested flavour.
+func randomFormula(rng *rand.Rand, flavour string) string {
+	switch flavour {
+	case "type1":
+		return randomMatrix(rng, 3, nil)
+	case "type2":
+		nv := 1 + rng.Intn(2)
+		vars := []string{"x", "y"}[:nv]
+		m := randomMatrix(rng, 2, vars)
+		if nv == 1 {
+			return "exists x . " + m
+		}
+		return "exists x, y . " + m
+	case "freeze":
+		if rng.Intn(2) == 0 {
+			return "[h <- brightness] " + "(" + randomMatrix(rng, 1, nil) + " and eventually brightness > h)"
+		}
+		return "exists x . present(x) and [h <- height(x)] eventually (present(x) and height(x) > h)"
+	default: // level
+		inner := randomMatrix(rng, 1, nil)
+		switch rng.Intn(3) {
+		case 0:
+			return "at-next-level(" + inner + ")"
+		case 1:
+			return "at-shot-level(" + inner + ") and " + atom(rng, nil)
+		default:
+			return "eventually at-level(3, " + inner + ")"
+		}
+	}
+}
+
+func checkOracle(t *testing.T, seed int64, flavour string, deep bool) {
+	checkOracleOpts(t, seed, flavour, deep, core.DefaultOptions())
+}
+
+func checkOracleOpts(t *testing.T, seed int64, flavour string, deep bool, opts core.Options) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	v := randomVideo(rng, 4+rng.Intn(8), deep)
+	if err := v.Validate(); err != nil {
+		t.Fatalf("seed %d: %v", seed, err)
+	}
+	sys, err := picture.NewSystem(v, 2, oracleTaxonomy(), picture.DefaultWeights())
+	if err != nil {
+		t.Fatalf("seed %d: %v", seed, err)
+	}
+	src := randomFormula(rng, flavour)
+	f, err := htl.Parse(src)
+	if err != nil {
+		t.Fatalf("seed %d: generated unparsable %q: %v", seed, src, err)
+	}
+	if htl.Classify(f) == htl.ClassGeneral {
+		t.Fatalf("seed %d: generator produced a general formula %q", seed, src)
+	}
+	fast, err := core.Eval(sys, f, opts)
+	if err != nil {
+		t.Fatalf("seed %d: core.Eval(%q): %v", seed, src, err)
+	}
+	slow, err := New(sys, opts).List(f)
+	if err != nil {
+		t.Fatalf("seed %d: refeval(%q): %v", seed, src, err)
+	}
+	// The efficient path may carry entries past the sequence end (e.g.
+	// `eventually` closes down to id 1 but never up); clip for comparison.
+	clipped := core.ListRestrict(fast, []interval.I{{Beg: 1, End: sys.Len()}})
+	clipped.MaxSim = fast.MaxSim
+	if !simlist.EqualApprox(clipped, slow, 1e-9) {
+		t.Errorf("seed %d: mismatch on %q\n video: %s\n fast: %v\n slow: %v",
+			seed, src, describeVideo(v), clipped, slow)
+	}
+}
+
+func describeVideo(v *metadata.Video) string {
+	out := ""
+	for i, n := range v.Sequence(2) {
+		out += fmt.Sprintf("\n  seg %d: %+v", i+1, n.Meta)
+	}
+	return out
+}
+
+func TestOracleType1(t *testing.T) {
+	for seed := int64(0); seed < 150; seed++ {
+		checkOracle(t, seed, "type1", false)
+	}
+}
+
+func TestOracleType2(t *testing.T) {
+	for seed := int64(0); seed < 150; seed++ {
+		checkOracle(t, 1000+seed, "type2", false)
+	}
+}
+
+func TestOracleFreeze(t *testing.T) {
+	for seed := int64(0); seed < 100; seed++ {
+		checkOracle(t, 2000+seed, "freeze", false)
+	}
+}
+
+func TestOracleLevel(t *testing.T) {
+	for seed := int64(0); seed < 100; seed++ {
+		checkOracle(t, 3000+seed, "level", true)
+	}
+}
+
+// TestOracleAndMin re-runs the type (1)/(2) oracle under the weakest-link
+// conjunction semantics (§5's "other similarity functions").
+func TestOracleAndMin(t *testing.T) {
+	opts := core.DefaultOptions()
+	opts.And = core.AndMin
+	for seed := int64(0); seed < 80; seed++ {
+		checkOracleOpts(t, 4000+seed, "type1", false, opts)
+	}
+	for seed := int64(0); seed < 80; seed++ {
+		checkOracleOpts(t, 5000+seed, "type2", false, opts)
+	}
+}

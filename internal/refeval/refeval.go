@@ -1,0 +1,202 @@
+// Package refeval is the reference evaluator: a direct, brute-force
+// implementation of the similarity semantics of paper §2.5 by structural
+// recursion over the formula and the video hierarchy.
+//
+// It serves two purposes. First, it is the oracle the efficient
+// similarity-list algorithms of internal/core are property-tested against —
+// the two implementations share only the atomic scorer (picture.System), so
+// any disagreement exposes a bug in the interval algebra or the table joins.
+// Second, it covers the *full* HTL language (arbitrary negation and
+// quantifier placement), which the paper leaves to future work: formulas
+// outside the extended conjunctive class fall back to this evaluator, at
+// O(n²)-and-worse cost.
+//
+// Extension semantics beyond the paper: the similarity of ¬f is
+// maxsim(f) − sim(f), consistent with the picture layer's treatment of
+// negated terms inside atomic formulas.
+package refeval
+
+import (
+	"errors"
+	"fmt"
+
+	"htlvideo/internal/core"
+	"htlvideo/internal/htl"
+	"htlvideo/internal/picture"
+	"htlvideo/internal/simlist"
+)
+
+// errorsAs wraps errors.As for readability at the call site.
+func errorsAs(err error, target **picture.UnsupportedError) bool {
+	return errors.As(err, target)
+}
+
+// Evaluator evaluates formulas over one proper sequence of segments.
+type Evaluator struct {
+	sys  *picture.System
+	opts core.Options
+}
+
+// New builds an evaluator over the picture system's sequence.
+func New(sys *picture.System, opts core.Options) *Evaluator {
+	return &Evaluator{sys: sys, opts: opts}
+}
+
+// List computes the similarity list of a closed formula over the sequence,
+// id by id.
+func (e *Evaluator) List(f htl.Formula) (simlist.List, error) {
+	maxSim := core.MaxSimOf(e.sys, f)
+	dense := make([]float64, e.sys.Len())
+	for u := 1; u <= e.sys.Len(); u++ {
+		a, err := e.simAt(f, u, picture.Env{})
+		if err != nil {
+			return simlist.List{}, err
+		}
+		dense[u-1] = a
+	}
+	return simlist.FromDense(maxSim, dense), nil
+}
+
+// SimAt returns the actual similarity of f at segment u under env.
+func (e *Evaluator) SimAt(f htl.Formula, u int, env picture.Env) (float64, error) {
+	return e.simAt(f, u, env)
+}
+
+func (e *Evaluator) simAt(f htl.Formula, u int, env picture.Env) (float64, error) {
+	if htl.NonTemporal(f) {
+		sim, err := e.sys.ScoreAtomicAt(f, u, env)
+		var unsup *picture.UnsupportedError
+		switch {
+		case err == nil:
+			return sim.Act, nil
+		case errorsAs(err, &unsup):
+			// Outside the picture system's atomic fragment (e.g. negation
+			// over object variables): decompose structurally instead. The
+			// distinct-objects rule then applies per atom rather than per
+			// unit — the documented extension semantics for full HTL.
+		default:
+			return 0, err
+		}
+	}
+	switch n := f.(type) {
+	case htl.True, htl.Present, htl.Cmp, htl.Pred:
+		sim, err := e.sys.ScoreAtomicAt(f, u, env)
+		if err != nil {
+			return 0, err
+		}
+		return sim.Act, nil
+	case htl.And:
+		a, err := e.simAt(n.L, u, env)
+		if err != nil {
+			return 0, err
+		}
+		b, err := e.simAt(n.R, u, env)
+		if err != nil {
+			return 0, err
+		}
+		if e.opts.And == core.AndMin {
+			ma, mb := core.MaxSimOf(e.sys, n.L), core.MaxSimOf(e.sys, n.R)
+			if ma <= 0 || mb <= 0 {
+				return 0, nil
+			}
+			return min(a/ma, b/mb) * (ma + mb), nil
+		}
+		return a + b, nil
+	case htl.Not:
+		a, err := e.simAt(n.F, u, env)
+		if err != nil {
+			return 0, err
+		}
+		return core.MaxSimOf(e.sys, n.F) - a, nil
+	case htl.Next:
+		if u+1 > e.sys.Len() {
+			return 0, nil
+		}
+		return e.simAt(n.F, u+1, env)
+	case htl.Eventually:
+		best := 0.0
+		for j := u; j <= e.sys.Len(); j++ {
+			a, err := e.simAt(n.F, j, env)
+			if err != nil {
+				return 0, err
+			}
+			best = max(best, a)
+		}
+		return best, nil
+	case htl.Until:
+		gMax := core.MaxSimOf(e.sys, n.L)
+		best := 0.0
+		for j := u; j <= e.sys.Len(); j++ {
+			a, err := e.simAt(n.R, j, env)
+			if err != nil {
+				return 0, err
+			}
+			best = max(best, a)
+			g, err := e.simAt(n.L, j, env)
+			if err != nil {
+				return 0, err
+			}
+			if gMax <= 0 || g/gMax < e.opts.UntilThreshold {
+				break
+			}
+		}
+		return best, nil
+	case htl.Exists:
+		return e.evalExists(n, u, env)
+	case htl.Freeze:
+		val := e.sys.AttrValueAt(n.Attr, u, env)
+		if !val.Defined {
+			// The §3.3 value-table join has no row where the attribute is
+			// undefined, so the freeze yields similarity 0 there.
+			return 0, nil
+		}
+		return e.simAt(n.F, u, env.WithAttr(n.Var, val))
+	case htl.AtLevel:
+		src, err := e.sys.ChildSource(u, n.Level)
+		if err != nil {
+			return 0, err
+		}
+		if src == nil {
+			return 0, nil
+		}
+		child, ok := src.(*picture.System)
+		if !ok {
+			return 0, fmt.Errorf("refeval: child source is %T, not a picture system", src)
+		}
+		return New(child, e.opts).simAt(n.F, 1, env)
+	default:
+		return 0, fmt.Errorf("refeval: unsupported formula node %T", f)
+	}
+}
+
+// evalExists maximizes over assignments of the quantified variables to the
+// sequence's object ids (plus the absent wildcard; objects outside the
+// sequence are indistinguishable from absent ones).
+func (e *Evaluator) evalExists(n htl.Exists, u int, env picture.Env) (float64, error) {
+	domain := e.sys.ObjectIDs()
+	best := 0.0
+	var assign func(i int, cur picture.Env) error
+	assign = func(i int, cur picture.Env) error {
+		if i == len(n.Vars) {
+			a, err := e.simAt(n.F, u, cur)
+			if err != nil {
+				return err
+			}
+			best = max(best, a)
+			return nil
+		}
+		if err := assign(i+1, cur.WithObj(n.Vars[i], core.AnyObject)); err != nil {
+			return err
+		}
+		for _, id := range domain {
+			if err := assign(i+1, cur.WithObj(n.Vars[i], id)); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := assign(0, env); err != nil {
+		return 0, err
+	}
+	return best, nil
+}

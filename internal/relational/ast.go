@@ -1,0 +1,164 @@
+package relational
+
+// SQL abstract syntax.
+
+// Stmt is a SQL statement.
+type Stmt interface{ isStmt() }
+
+// CreateTable is CREATE TABLE name (col type, ...).
+type CreateTable struct {
+	Name string
+	Cols []Column
+}
+
+// DropTable is DROP TABLE [IF EXISTS] name.
+type DropTable struct {
+	Name     string
+	IfExists bool
+}
+
+// Insert is INSERT INTO name VALUES (...), (...) or INSERT INTO name SELECT.
+type Insert struct {
+	Table string
+	Rows  [][]Expr
+	Query *Select
+}
+
+// Delete is DELETE FROM name [WHERE expr].
+type Delete struct {
+	Table string
+	Where Expr
+}
+
+func (*CreateTable) isStmt() {}
+func (*DropTable) isStmt()   {}
+func (*Insert) isStmt()      {}
+func (*Delete) isStmt()      {}
+func (*Select) isStmt()      {}
+
+// Column declares one table column.
+type Column struct {
+	Name string
+	Type Kind
+}
+
+// Select is one SELECT block, possibly chained with UNION ALL.
+type Select struct {
+	List    []SelItem
+	From    []FromItem
+	Where   Expr
+	GroupBy []Expr
+	Having  Expr
+	OrderBy []OrderItem
+	Limit   int // -1 when absent
+	Union   *Select
+}
+
+// SelItem is one projection: expression with optional alias, or a star.
+type SelItem struct {
+	Star  bool   // SELECT *  or  SELECT t.*
+	Table string // qualifier of a qualified star
+	Expr  Expr
+	Alias string
+}
+
+// FromItem is a base table or a subquery, with an optional alias.
+type FromItem struct {
+	Table string
+	Sub   *Select
+	Alias string
+}
+
+// Name returns the binding name of the item in scope.
+func (f FromItem) Name() string {
+	if f.Alias != "" {
+		return f.Alias
+	}
+	return f.Table
+}
+
+// OrderItem is one ORDER BY key.
+type OrderItem struct {
+	Expr Expr
+	Desc bool
+}
+
+// Expr is a SQL expression.
+type Expr interface{ isExpr() }
+
+// ColRef references a column, optionally table-qualified.
+type ColRef struct {
+	Table string
+	Col   string
+}
+
+// Lit is a literal value.
+type Lit struct{ V Value }
+
+// BinOp enumerates binary operators.
+type BinOp uint8
+
+const (
+	OpAdd BinOp = iota
+	OpSub
+	OpMul
+	OpDiv
+	OpEq
+	OpNe
+	OpLt
+	OpLe
+	OpGt
+	OpGe
+	OpAnd
+	OpOr
+)
+
+// Bin is a binary expression.
+type Bin struct {
+	Op   BinOp
+	L, R Expr
+}
+
+// Not is logical negation.
+type Not struct{ E Expr }
+
+// Neg is arithmetic negation.
+type Neg struct{ E Expr }
+
+// Between is  E BETWEEN Lo AND Hi  (inclusive).
+type Between struct {
+	E, Lo, Hi Expr
+}
+
+// AggFn enumerates aggregate functions.
+type AggFn uint8
+
+const (
+	AggCount AggFn = iota
+	AggSum
+	AggMax
+	AggMin
+	AggAvg
+)
+
+// Agg is an aggregate call; Star marks COUNT(*).
+type Agg struct {
+	Fn   AggFn
+	Arg  Expr
+	Star bool
+}
+
+// Subquery is a scalar subquery or EXISTS predicate.
+type Subquery struct {
+	Sel    *Select
+	Exists bool
+}
+
+func (ColRef) isExpr()    {}
+func (Lit) isExpr()       {}
+func (Bin) isExpr()       {}
+func (Not) isExpr()       {}
+func (Neg) isExpr()       {}
+func (Between) isExpr()   {}
+func (Agg) isExpr()       {}
+func (*Subquery) isExpr() {}

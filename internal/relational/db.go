@@ -1,0 +1,275 @@
+package relational
+
+import (
+	"sort"
+)
+
+// TableData is a stored relation.
+type TableData struct {
+	Cols []Column
+	Rows [][]Value
+
+	version int
+	indexes map[string]*sortedIndex
+}
+
+// colIndex returns the position of a column, or -1.
+func (t *TableData) colIndex(name string) int {
+	for i, c := range t.Cols {
+		if c.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// sortedIndex orders row indices by one column's value.
+type sortedIndex struct {
+	version int
+	col     int
+	order   []int
+}
+
+// sorted returns (building if needed) the sorted index on col.
+func (t *TableData) sorted(col int) *sortedIndex {
+	key := t.Cols[col].Name
+	if t.indexes == nil {
+		t.indexes = map[string]*sortedIndex{}
+	}
+	idx := t.indexes[key]
+	if idx != nil && idx.version == t.version {
+		return idx
+	}
+	order := make([]int, len(t.Rows))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		c, _ := compareValues(t.Rows[order[a]][col], t.Rows[order[b]][col])
+		return c < 0
+	})
+	idx = &sortedIndex{version: t.version, col: col, order: order}
+	t.indexes[key] = idx
+	return idx
+}
+
+// bound is one end of a column range; nil *bound means unbounded.
+type bound struct {
+	v    Value
+	excl bool
+}
+
+// rangeSpan returns the [start, end) positions in the sorted index covering
+// the requested range; O(log n) per call.
+func (t *TableData) rangeSpan(col int, lo, hi *bound) (*sortedIndex, int, int) {
+	idx := t.sorted(col)
+	n := len(idx.order)
+	start := 0
+	if lo != nil {
+		start = sort.Search(n, func(i int) bool {
+			c, _ := compareValues(t.Rows[idx.order[i]][col], lo.v)
+			if lo.excl {
+				return c > 0
+			}
+			return c >= 0
+		})
+	}
+	end := n
+	if hi != nil {
+		end = sort.Search(n, func(i int) bool {
+			c, _ := compareValues(t.Rows[idx.order[i]][col], hi.v)
+			if hi.excl {
+				return c >= 0
+			}
+			return c > 0
+		})
+	}
+	if end < start {
+		end = start
+	}
+	return idx, start, end
+}
+
+// rangeRows returns the row indices whose col value lies in the range.
+func (t *TableData) rangeRows(col int, lo, hi *bound) []int {
+	idx, start, end := t.rangeSpan(col, lo, hi)
+	return idx.order[start:end]
+}
+
+// rangeCount counts rows whose col value lies in the range.
+func (t *TableData) rangeCount(col int, lo, hi *bound) int {
+	_, start, end := t.rangeSpan(col, lo, hi)
+	return end - start
+}
+
+// DB is an in-memory SQL database.
+type DB struct {
+	tables map[string]*TableData
+}
+
+// NewDB returns an empty database.
+func NewDB() *DB { return &DB{tables: map[string]*TableData{}} }
+
+// Result is the output of a SELECT.
+type Result struct {
+	Cols []string
+	Rows [][]Value
+}
+
+// Exec parses and executes a script of semicolon-separated statements,
+// returning the result of the last SELECT (nil if the script has none).
+func (db *DB) Exec(src string) (*Result, error) {
+	stmts, err := ParseScript(src)
+	if err != nil {
+		return nil, err
+	}
+	var last *Result
+	for _, st := range stmts {
+		r, err := db.ExecStmt(st)
+		if err != nil {
+			return nil, err
+		}
+		if r != nil {
+			last = r
+		}
+	}
+	return last, nil
+}
+
+// ExecStmt executes one parsed statement.
+func (db *DB) ExecStmt(st Stmt) (*Result, error) {
+	switch s := st.(type) {
+	case *CreateTable:
+		return nil, db.CreateTableData(s.Name, s.Cols)
+	case *DropTable:
+		if _, ok := db.tables[s.Name]; !ok {
+			if s.IfExists {
+				return nil, nil
+			}
+			return nil, errf(-1, "table %q does not exist", s.Name)
+		}
+		delete(db.tables, s.Name)
+		return nil, nil
+	case *Insert:
+		return nil, db.execInsert(s)
+	case *Delete:
+		return nil, db.execDelete(s)
+	case *Select:
+		ex := &executor{db: db}
+		return ex.execSelect(s, nil)
+	default:
+		return nil, errf(-1, "unsupported statement %T", st)
+	}
+}
+
+// CreateTableData creates an empty table.
+func (db *DB) CreateTableData(name string, cols []Column) error {
+	if _, dup := db.tables[name]; dup {
+		return errf(-1, "table %q already exists", name)
+	}
+	if len(cols) == 0 {
+		return errf(-1, "table %q needs at least one column", name)
+	}
+	seen := map[string]bool{}
+	for _, c := range cols {
+		if seen[c.Name] {
+			return errf(-1, "duplicate column %q in table %q", c.Name, name)
+		}
+		seen[c.Name] = true
+	}
+	db.tables[name] = &TableData{Cols: append([]Column(nil), cols...)}
+	return nil
+}
+
+// Table returns a stored table by name, or nil.
+func (db *DB) Table(name string) *TableData { return db.tables[name] }
+
+// InsertRows bulk-loads rows into a table, coercing values to the column
+// types; the fast path for benchmark harnesses.
+func (db *DB) InsertRows(name string, rows [][]Value) error {
+	t := db.tables[name]
+	if t == nil {
+		return errf(-1, "table %q does not exist", name)
+	}
+	for _, r := range rows {
+		if len(r) != len(t.Cols) {
+			return errf(-1, "row has %d values, table %q has %d columns", len(r), name, len(t.Cols))
+		}
+		stored := make([]Value, len(r))
+		for i, v := range r {
+			cv, err := coerceTo(v, t.Cols[i].Type)
+			if err != nil {
+				return err
+			}
+			stored[i] = cv
+		}
+		t.Rows = append(t.Rows, stored)
+	}
+	t.version++
+	return nil
+}
+
+func (db *DB) execInsert(s *Insert) error {
+	t := db.tables[s.Table]
+	if t == nil {
+		return errf(-1, "table %q does not exist", s.Table)
+	}
+	if s.Query != nil {
+		ex := &executor{db: db}
+		res, err := ex.execSelect(s.Query, nil)
+		if err != nil {
+			return err
+		}
+		return db.InsertRows(s.Table, res.Rows)
+	}
+	ex := &executor{db: db}
+	var rows [][]Value
+	for _, re := range s.Rows {
+		row := make([]Value, len(re))
+		for i, e := range re {
+			v, err := ex.eval(e, nil)
+			if err != nil {
+				return err
+			}
+			row[i] = v
+		}
+		rows = append(rows, row)
+	}
+	return db.InsertRows(s.Table, rows)
+}
+
+func (db *DB) execDelete(s *Delete) error {
+	t := db.tables[s.Table]
+	if t == nil {
+		return errf(-1, "table %q does not exist", s.Table)
+	}
+	if s.Where == nil {
+		t.Rows = nil
+		t.version++
+		return nil
+	}
+	ex := &executor{db: db}
+	kept := t.Rows[:0]
+	for _, row := range t.Rows {
+		sc := &scope{names: []string{s.Table}, cols: [][]Column{t.Cols}, rows: [][]Value{row}}
+		v, err := ex.eval(s.Where, sc)
+		if err != nil {
+			return err
+		}
+		if !v.Truthy() {
+			kept = append(kept, row)
+		}
+	}
+	t.Rows = kept
+	t.version++
+	return nil
+}
+
+// Stats returns row counts per table, for diagnostics.
+func (db *DB) Stats() map[string]int {
+	out := map[string]int{}
+	for name, t := range db.tables {
+		out[name] = len(t.Rows)
+	}
+	return out
+}

@@ -1,0 +1,552 @@
+package relational
+
+import (
+	"math"
+	"sort"
+	"strings"
+)
+
+// execSelect runs one SELECT (with its UNION ALL chain, ORDER BY and LIMIT).
+// parent is the enclosing scope for correlated subqueries, nil at top level.
+// ORDER BY keys referencing output columns sort on those; other keys are
+// evaluated in each arm's source scope during projection (standard SQL
+// resolution order).
+func (ex *executor) execSelect(sel *Select, parent *scope) (*Result, error) {
+	keys := make([]Expr, len(sel.OrderBy))
+	for i, k := range sel.OrderBy {
+		keys[i] = k.Expr
+	}
+	res, keyVals, err := ex.execCore(sel, parent, keys)
+	if err != nil {
+		return nil, err
+	}
+	for u := sel.Union; u != nil; u = u.Union {
+		r2, kv2, err := ex.execCore(u, parent, keys)
+		if err != nil {
+			return nil, err
+		}
+		if len(r2.Cols) != len(res.Cols) {
+			return nil, errf(-1, "UNION ALL arms have %d and %d columns", len(res.Cols), len(r2.Cols))
+		}
+		res.Rows = append(res.Rows, r2.Rows...)
+		keyVals = append(keyVals, kv2...)
+	}
+	if len(sel.OrderBy) > 0 {
+		sortByKeys(res, keyVals, sel.OrderBy)
+	}
+	if sel.Limit >= 0 && len(res.Rows) > sel.Limit {
+		res.Rows = res.Rows[:sel.Limit]
+	}
+	return res, nil
+}
+
+// sortByKeys orders res.Rows by the precomputed key vectors.
+func sortByKeys(res *Result, keyVals [][]Value, items []OrderItem) {
+	idx := make([]int, len(res.Rows))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		for j, it := range items {
+			c, err := compareValues(keyVals[idx[a]][j], keyVals[idx[b]][j])
+			if err != nil {
+				return false
+			}
+			if c != 0 {
+				if it.Desc {
+					return c > 0
+				}
+				return c < 0
+			}
+		}
+		return false
+	})
+	rows := make([][]Value, len(idx))
+	for i, r := range idx {
+		rows[i] = res.Rows[r]
+	}
+	res.Rows = rows
+}
+
+// binding is one FROM item materialized for joining.
+type binding struct {
+	name string
+	data *TableData
+}
+
+// tuple is one composite row: the current row of each joined binding.
+type tuple [][]Value
+
+// equiCond is one hash-join condition  outerExpr = innerExpr.
+type equiCond struct{ outer, inner Expr }
+
+// rangeCond is one range condition  innerCol OP outerExpr  (OP normalized to
+// the inner side on the left).
+type rangeCond struct {
+	col   int
+	op    BinOp
+	outer Expr
+}
+
+// execCore runs a single SELECT block (no union/order/limit handling).
+// orderKeys are evaluated per output row in the source scope (or resolved
+// against output columns when they name one); the computed key vectors are
+// returned alongside the result.
+func (ex *executor) execCore(sel *Select, parent *scope, orderKeys []Expr) (*Result, [][]Value, error) {
+	binds := make([]binding, len(sel.From))
+	for i, fi := range sel.From {
+		if fi.Sub != nil {
+			sub, err := ex.execSelect(fi.Sub, parent)
+			if err != nil {
+				return nil, nil, err
+			}
+			binds[i] = binding{name: fi.Name(), data: resultToTable(sub)}
+			continue
+		}
+		t := ex.db.tables[fi.Table]
+		if t == nil {
+			return nil, nil, errf(-1, "table %q does not exist", fi.Table)
+		}
+		binds[i] = binding{name: fi.Name(), data: t}
+	}
+
+	conjs := splitAnd(sel.Where)
+	tuples, residual, err := ex.joinAll(binds, conjs, parent)
+	if err != nil {
+		return nil, nil, err
+	}
+	if len(residual) > 0 {
+		kept := tuples[:0]
+		for _, tp := range tuples {
+			sc := tupleScope(binds, tp, parent)
+			ok, err := ex.evalAll(residual, sc)
+			if err != nil {
+				return nil, nil, err
+			}
+			if ok {
+				kept = append(kept, tp)
+			}
+		}
+		tuples = kept
+	}
+
+	if len(sel.GroupBy) > 0 || sel.Having != nil || selListHasAgg(sel.List) {
+		return ex.projectGrouped(sel, binds, tuples, parent, orderKeys)
+	}
+	return ex.projectPlain(sel, binds, tuples, parent, orderKeys)
+}
+
+// evalOrderKeys computes the order-key vector for one output row: a key that
+// is a bare column reference naming exactly one output column uses the
+// output value; anything else evaluates in the source scope.
+func (ex *executor) evalOrderKeys(orderKeys []Expr, cols []string, out []Value, sc *scope) ([]Value, error) {
+	if len(orderKeys) == 0 {
+		return nil, nil
+	}
+	keys := make([]Value, len(orderKeys))
+	for i, k := range orderKeys {
+		if cr, ok := k.(ColRef); ok && cr.Table == "" {
+			hit := -1
+			dup := false
+			for ci, name := range cols {
+				if name == cr.Col {
+					if hit >= 0 {
+						dup = true
+					}
+					hit = ci
+				}
+			}
+			if hit >= 0 && !dup {
+				keys[i] = out[hit]
+				continue
+			}
+		}
+		v, err := ex.eval(k, sc)
+		if err != nil {
+			return nil, err
+		}
+		keys[i] = v
+	}
+	return keys, nil
+}
+
+// evalAll evaluates predicates, reporting whether all hold.
+func (ex *executor) evalAll(preds []Expr, sc *scope) (bool, error) {
+	for _, c := range preds {
+		v, err := ex.eval(c, sc)
+		if err != nil {
+			return false, err
+		}
+		if !v.Truthy() {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+func tupleScope(binds []binding, tp tuple, parent *scope) *scope {
+	sc := &scope{parent: parent}
+	for i := range tp {
+		sc.names = append(sc.names, binds[i].name)
+		sc.cols = append(sc.cols, binds[i].data.Cols)
+		sc.rows = append(sc.rows, tp[i])
+	}
+	return sc
+}
+
+// joinAll joins the FROM bindings left to right, consuming WHERE conjuncts
+// as hash-join keys, range-scan bounds or early filters where possible, and
+// returns the surviving composite rows plus the unconsumed conjuncts.
+func (ex *executor) joinAll(binds []binding, conjs []Expr, parent *scope) ([]tuple, []Expr, error) {
+	colsOf := func(name string) []Column {
+		for _, b := range binds {
+			if b.name == name {
+				return b.data.Cols
+			}
+		}
+		return nil
+	}
+	names := []string{binds[0].name}
+	consumed := make([]bool, len(conjs))
+
+	// Seed with the first binding, applying its single-table predicates.
+	var first []Expr
+	for i, c := range conjs {
+		if boundBy(c, names, colsOf) {
+			consumed[i] = true
+			first = append(first, c)
+		}
+	}
+	var tuples []tuple
+	for _, row := range binds[0].data.Rows {
+		sc := tupleScope(binds, tuple{row}, parent)
+		ok, err := ex.evalAll(first, sc)
+		if err != nil {
+			return nil, nil, err
+		}
+		if ok {
+			tuples = append(tuples, tuple{row})
+		}
+	}
+
+	for k := 1; k < len(binds); k++ {
+		inner := binds[k]
+		prevNames := append([]string(nil), names...)
+		names = append(names, inner.name)
+
+		equis, ranges, filters := ex.classifyJoinConds(conjs, consumed, inner, prevNames, names, colsOf)
+
+		var out []tuple
+		var err error
+		switch {
+		case len(equis) > 0:
+			out, err = ex.hashJoin(binds[:k+1], tuples, inner, equis, append(rangesToFilters(ranges, inner), filters...), parent)
+		case len(ranges) > 0:
+			out, err = ex.rangeJoin(binds[:k+1], tuples, inner, ranges, filters, parent)
+		default:
+			out, err = ex.nestedJoin(binds[:k+1], tuples, inner, filters, parent)
+		}
+		if err != nil {
+			return nil, nil, err
+		}
+		tuples = out
+	}
+
+	var residual []Expr
+	for i, c := range conjs {
+		if !consumed[i] {
+			residual = append(residual, c)
+		}
+	}
+	return tuples, residual, nil
+}
+
+// classifyJoinConds partitions the newly-bound conjuncts into equi-join
+// keys, range bounds on inner columns, and plain join filters.
+func (ex *executor) classifyJoinConds(conjs []Expr, consumed []bool, inner binding, prevNames, names []string, colsOf func(string) []Column) ([]equiCond, []rangeCond, []Expr) {
+	innerOnly := func(e Expr) bool { return boundBy(e, []string{inner.name}, colsOf) }
+	outerOnly := func(e Expr) bool { return boundBy(e, prevNames, colsOf) }
+	innerCol := func(e Expr) int {
+		cr, ok := e.(ColRef)
+		if !ok {
+			return -1
+		}
+		if cr.Table != "" && cr.Table != inner.name {
+			return -1
+		}
+		if cr.Table == "" {
+			// Unqualified references must be unambiguous: resolvable by the
+			// inner table and by nothing earlier.
+			if !innerOnly(cr) || resolvable("", cr.Col, prevNames, colsOf) {
+				return -1
+			}
+		}
+		return inner.data.colIndex(cr.Col)
+	}
+
+	var equis []equiCond
+	var ranges []rangeCond
+	var filters []Expr
+	for i, c := range conjs {
+		if consumed[i] || !boundBy(c, names, colsOf) {
+			continue
+		}
+		consumed[i] = true
+		switch n := c.(type) {
+		case Bin:
+			if n.Op == OpEq {
+				if innerOnly(n.L) && outerOnly(n.R) {
+					equis = append(equis, equiCond{outer: n.R, inner: n.L})
+					continue
+				}
+				if innerOnly(n.R) && outerOnly(n.L) {
+					equis = append(equis, equiCond{outer: n.L, inner: n.R})
+					continue
+				}
+			}
+			if n.Op == OpLt || n.Op == OpLe || n.Op == OpGt || n.Op == OpGe {
+				if ci := innerCol(n.L); ci >= 0 && outerOnly(n.R) {
+					ranges = append(ranges, rangeCond{col: ci, op: n.Op, outer: n.R})
+					continue
+				}
+				if ci := innerCol(n.R); ci >= 0 && outerOnly(n.L) {
+					ranges = append(ranges, rangeCond{col: ci, op: flipBin(n.Op), outer: n.L})
+					continue
+				}
+			}
+		case Between:
+			if ci := innerCol(n.E); ci >= 0 && outerOnly(n.Lo) && outerOnly(n.Hi) {
+				ranges = append(ranges,
+					rangeCond{col: ci, op: OpGe, outer: n.Lo},
+					rangeCond{col: ci, op: OpLe, outer: n.Hi})
+				continue
+			}
+		}
+		filters = append(filters, c)
+	}
+	return equis, ranges, filters
+}
+
+// rangesToFilters turns unused range conditions back into ordinary
+// predicates (when a hash join is chosen instead).
+func rangesToFilters(ranges []rangeCond, inner binding) []Expr {
+	out := make([]Expr, 0, len(ranges))
+	for _, rc := range ranges {
+		out = append(out, Bin{
+			Op: rc.op,
+			L:  ColRef{Table: inner.name, Col: inner.data.Cols[rc.col].Name},
+			R:  rc.outer,
+		})
+	}
+	return out
+}
+
+func (ex *executor) hashJoin(binds []binding, tuples []tuple, inner binding, equis []equiCond, filters []Expr, parent *scope) ([]tuple, error) {
+	hash := make(map[string][]int, len(inner.data.Rows))
+	for ri, row := range inner.data.Rows {
+		sc := &scope{parent: parent, names: []string{inner.name}, cols: [][]Column{inner.data.Cols}, rows: [][]Value{row}}
+		key, err := ex.joinKey(sc, equis, false)
+		if err != nil {
+			return nil, err
+		}
+		hash[key] = append(hash[key], ri)
+	}
+	var out []tuple
+	for _, tp := range tuples {
+		outerSc := tupleScope(binds[:len(binds)-1], tp, parent)
+		key, err := ex.joinKey(outerSc, equis, true)
+		if err != nil {
+			return nil, err
+		}
+		for _, ri := range hash[key] {
+			ntp, ok, err := ex.extendTuple(binds, tp, inner.data.Rows[ri], filters, parent)
+			if err != nil {
+				return nil, err
+			}
+			if ok {
+				out = append(out, ntp)
+			}
+		}
+	}
+	return out, nil
+}
+
+// joinKey renders the composite equi key; numeric values hash by their
+// float64 image so INT 5 meets FLOAT 5.0.
+func (ex *executor) joinKey(sc *scope, equis []equiCond, outer bool) (string, error) {
+	var b strings.Builder
+	for _, e := range equis {
+		expr := e.inner
+		if outer {
+			expr = e.outer
+		}
+		v, err := ex.eval(expr, sc)
+		if err != nil {
+			return "", err
+		}
+		if v.IsNumeric() {
+			b.WriteByte('n')
+			f := v.AsFloat()
+			for i := 0; i < 8; i++ {
+				b.WriteByte(byte(floatBits(f) >> (8 * i)))
+			}
+		} else {
+			b.WriteByte('s')
+			b.WriteString(v.String())
+		}
+		b.WriteByte(0)
+	}
+	return b.String(), nil
+}
+
+func floatBits(f float64) uint64 {
+	if f == 0 {
+		f = 0 // normalize -0 to +0 so they hash identically
+	}
+	return math.Float64bits(f)
+}
+
+func (ex *executor) rangeJoin(binds []binding, tuples []tuple, inner binding, ranges []rangeCond, filters []Expr, parent *scope) ([]tuple, error) {
+	col := ranges[0].col
+	var out []tuple
+	for _, tp := range tuples {
+		outerSc := tupleScope(binds[:len(binds)-1], tp, parent)
+		var lo, hi *bound
+		var extra []Expr
+		for _, rc := range ranges {
+			if rc.col != col {
+				extra = append(extra, Bin{
+					Op: rc.op,
+					L:  ColRef{Table: inner.name, Col: inner.data.Cols[rc.col].Name},
+					R:  rc.outer,
+				})
+				continue
+			}
+			v, err := ex.eval(rc.outer, outerSc)
+			if err != nil {
+				return nil, err
+			}
+			switch rc.op {
+			case OpGe:
+				lo = tighterLo(lo, bound{v: v})
+			case OpGt:
+				lo = tighterLo(lo, bound{v: v, excl: true})
+			case OpLe:
+				hi = tighterHi(hi, bound{v: v})
+			case OpLt:
+				hi = tighterHi(hi, bound{v: v, excl: true})
+			}
+		}
+		allFilters := append(extra, filters...)
+		for _, ri := range inner.data.rangeRows(col, lo, hi) {
+			ntp, ok, err := ex.extendTuple(binds, tp, inner.data.Rows[ri], allFilters, parent)
+			if err != nil {
+				return nil, err
+			}
+			if ok {
+				out = append(out, ntp)
+			}
+		}
+	}
+	return out, nil
+}
+
+func (ex *executor) nestedJoin(binds []binding, tuples []tuple, inner binding, filters []Expr, parent *scope) ([]tuple, error) {
+	var out []tuple
+	for _, tp := range tuples {
+		for _, row := range inner.data.Rows {
+			ntp, ok, err := ex.extendTuple(binds, tp, row, filters, parent)
+			if err != nil {
+				return nil, err
+			}
+			if ok {
+				out = append(out, ntp)
+			}
+		}
+	}
+	return out, nil
+}
+
+// extendTuple appends row to tp and applies the filter conditions.
+func (ex *executor) extendTuple(binds []binding, tp tuple, row []Value, filters []Expr, parent *scope) (tuple, bool, error) {
+	ntp := make(tuple, len(tp)+1)
+	copy(ntp, tp)
+	ntp[len(tp)] = row
+	if len(filters) == 0 {
+		return ntp, true, nil
+	}
+	sc := tupleScope(binds, ntp, parent)
+	ok, err := ex.evalAll(filters, sc)
+	if err != nil {
+		return nil, false, err
+	}
+	return ntp, ok, nil
+}
+
+func flipBin(op BinOp) BinOp {
+	switch op {
+	case OpLt:
+		return OpGt
+	case OpLe:
+		return OpGe
+	case OpGt:
+		return OpLt
+	default:
+		return OpLe
+	}
+}
+
+func tighterLo(cur *bound, b bound) *bound {
+	if cur == nil {
+		return &b
+	}
+	c, _ := compareValues(b.v, cur.v)
+	if c > 0 || (c == 0 && b.excl && !cur.excl) {
+		return &b
+	}
+	return cur
+}
+
+func tighterHi(cur *bound, b bound) *bound {
+	if cur == nil {
+		return &b
+	}
+	c, _ := compareValues(b.v, cur.v)
+	if c < 0 || (c == 0 && b.excl && !cur.excl) {
+		return &b
+	}
+	return cur
+}
+
+// splitAnd flattens a conjunction into its conjuncts.
+func splitAnd(e Expr) []Expr {
+	if e == nil {
+		return nil
+	}
+	if b, ok := e.(Bin); ok && b.Op == OpAnd {
+		return append(splitAnd(b.L), splitAnd(b.R)...)
+	}
+	return []Expr{e}
+}
+
+func selListHasAgg(list []SelItem) bool {
+	for _, it := range list {
+		if !it.Star && hasAgg(it.Expr) {
+			return true
+		}
+	}
+	return false
+}
+
+// resultToTable materializes a subquery result as a transient table.
+func resultToTable(r *Result) *TableData {
+	cols := make([]Column, len(r.Cols))
+	for i, name := range r.Cols {
+		k := KText
+		if len(r.Rows) > 0 {
+			k = r.Rows[0][i].K
+		}
+		cols[i] = Column{Name: name, Type: k}
+	}
+	return &TableData{Cols: cols, Rows: r.Rows}
+}

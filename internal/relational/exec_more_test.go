@@ -1,0 +1,142 @@
+package relational
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// Additional executor coverage: join orderings, grouped ordering, nested
+// subqueries, and a differential check of the join planner against a
+// formulation that forces nested loops.
+
+func TestThreeWayJoin(t *testing.T) {
+	db := NewDB()
+	mustExec(t, db, `
+		CREATE TABLE a (id INT, x INT);
+		CREATE TABLE b (id INT, y INT);
+		CREATE TABLE c (y INT, label TEXT);
+		INSERT INTO a VALUES (1, 10), (2, 20), (3, 30);
+		INSERT INTO b VALUES (1, 7), (2, 8), (4, 9);
+		INSERT INTO c VALUES (7, 'seven'), (8, 'eight');
+	`)
+	res := mustExec(t, db, `
+		SELECT a.x, c.label FROM a, b, c
+		WHERE a.id = b.id AND b.y = c.y ORDER BY a.x`)
+	if len(res.Rows) != 2 || res.Rows[0][1].S != "seven" || res.Rows[1][1].S != "eight" {
+		t.Fatalf("rows: %v", res.Rows)
+	}
+}
+
+func TestGroupedOrderByAggregate(t *testing.T) {
+	db := seedDB(t)
+	res := mustExec(t, db, `
+		SELECT age, SUM(score) AS s FROM people GROUP BY age ORDER BY s DESC`)
+	if len(res.Rows) != 3 || res.Rows[0][0].I != 40 {
+		t.Fatalf("rows: %v", res.Rows)
+	}
+}
+
+func TestNestedFromSubqueries(t *testing.T) {
+	db := seedDB(t)
+	res := mustExec(t, db, `
+		SELECT COUNT(*) FROM (
+			SELECT u.age FROM (SELECT age FROM people WHERE score > 1) u WHERE u.age > 26
+		) v`)
+	if res.Rows[0][0].I != 2 { // ann(30,1.5), dan(40,4.0)
+		t.Fatalf("count: %v", res.Rows[0][0])
+	}
+}
+
+func TestHavingWithGroupKey(t *testing.T) {
+	db := seedDB(t)
+	res := mustExec(t, db, `
+		SELECT age FROM people GROUP BY age HAVING age >= 30 AND COUNT(*) >= 1 ORDER BY age`)
+	if len(res.Rows) != 2 || res.Rows[0][0].I != 30 || res.Rows[1][0].I != 40 {
+		t.Fatalf("rows: %v", res.Rows)
+	}
+}
+
+func TestSelectExpressionColumnNames(t *testing.T) {
+	db := seedDB(t)
+	res := mustExec(t, db, "SELECT age + 1, COUNT(*) FROM people GROUP BY age + 1 ORDER BY age + 1 LIMIT 1")
+	if res.Cols[0] != "(age + 1)" || res.Rows[0][0].I != 26 {
+		t.Fatalf("res: %+v", res)
+	}
+}
+
+func TestBetweenAsFilter(t *testing.T) {
+	db := seedDB(t)
+	res := mustExec(t, db, "SELECT name FROM people WHERE age BETWEEN 26 AND 39 ORDER BY name")
+	if len(res.Rows) != 2 || res.Rows[0][0].S != "ann" {
+		t.Fatalf("rows: %v", res.Rows)
+	}
+}
+
+// TestJoinPlannerDifferential compares the optimized planner against a
+// nested-loop-only formulation on randomized relations.
+func TestJoinPlannerDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 10; trial++ {
+		db := NewDB()
+		mustExec(t, db, "CREATE TABLE l (k INT, v INT); CREATE TABLE r (k INT, w INT)")
+		var lrows, rrows [][]Value
+		for i := 0; i < 40; i++ {
+			lrows = append(lrows, []Value{IntV(int64(rng.Intn(12))), IntV(int64(rng.Intn(50)))})
+			rrows = append(rrows, []Value{IntV(int64(rng.Intn(12))), IntV(int64(rng.Intn(50)))})
+		}
+		if err := db.InsertRows("l", lrows); err != nil {
+			t.Fatal(err)
+		}
+		if err := db.InsertRows("r", rrows); err != nil {
+			t.Fatal(err)
+		}
+		// Hash join vs +0-defeated nested loop.
+		hashed := mustExec(t, db, "SELECT COUNT(*), SUM(l.v + r.w) FROM l, r WHERE l.k = r.k")
+		nested := mustExec(t, db, "SELECT COUNT(*), SUM(l.v + r.w) FROM l, r WHERE l.k + 0 = r.k")
+		if hashed.Rows[0][0].I != nested.Rows[0][0].I || hashed.Rows[0][1].I != nested.Rows[0][1].I {
+			t.Fatalf("trial %d: hash %v nested %v", trial, hashed.Rows[0], nested.Rows[0])
+		}
+		// Range join vs defeated range join.
+		fast := mustExec(t, db, "SELECT COUNT(*) FROM l, r WHERE r.k >= l.k AND r.k <= l.v")
+		slow := mustExec(t, db, "SELECT COUNT(*) FROM l, r WHERE r.k + 0 >= l.k AND r.k + 0 <= l.v")
+		if fast.Rows[0][0].I != slow.Rows[0][0].I {
+			t.Fatalf("trial %d: range %v vs %v", trial, fast.Rows[0], slow.Rows[0])
+		}
+	}
+}
+
+func TestOrderByMultipleMixedKeys(t *testing.T) {
+	db := NewDB()
+	mustExec(t, db, "CREATE TABLE t (a INT, b TEXT)")
+	for i, s := range []string{"z", "y", "x", "w"} {
+		mustExec(t, db, fmt.Sprintf("INSERT INTO t VALUES (%d, '%s')", i%2, s))
+	}
+	res := mustExec(t, db, "SELECT a, b FROM t ORDER BY a DESC, b ASC")
+	want := [][2]string{{"1", "w"}, {"1", "y"}, {"0", "x"}, {"0", "z"}}
+	for i, w := range want {
+		if res.Rows[i][0].String() != w[0] || res.Rows[i][1].S != w[1] {
+			t.Fatalf("row %d: %v, want %v", i, res.Rows[i], w)
+		}
+	}
+}
+
+func TestUnionAllThreeArms(t *testing.T) {
+	db := seedDB(t)
+	res := mustExec(t, db, `
+		SELECT id FROM people WHERE id = 1
+		UNION ALL SELECT id FROM people WHERE id = 2
+		UNION ALL SELECT id FROM people WHERE id = 3
+		ORDER BY id DESC`)
+	if len(res.Rows) != 3 || res.Rows[0][0].I != 3 {
+		t.Fatalf("rows: %v", res.Rows)
+	}
+}
+
+func TestQualifiedStar(t *testing.T) {
+	db := seedDB(t)
+	res := mustExec(t, db, "SELECT q.* FROM people p, pets q WHERE p.id = q.owner AND p.name = 'cat'")
+	if len(res.Cols) != 2 || len(res.Rows) != 1 || res.Rows[0][1].S != "fish" {
+		t.Fatalf("res: %+v", res)
+	}
+}

@@ -1,0 +1,333 @@
+package relational
+
+import (
+	"fmt"
+)
+
+// scope is the row context expressions evaluate in: one current row per
+// FROM binding, chained to the enclosing query's scope for correlated
+// subqueries.
+type scope struct {
+	parent *scope
+	names  []string
+	cols   [][]Column
+	rows   [][]Value
+}
+
+// lookup resolves a (possibly qualified) column reference.
+func (s *scope) lookup(tab, col string) (Value, error) {
+	for sc := s; sc != nil; sc = sc.parent {
+		matches := 0
+		var found Value
+		for b, name := range sc.names {
+			if tab != "" && tab != name {
+				continue
+			}
+			t := sc.cols[b]
+			for ci, c := range t {
+				if c.Name == col {
+					matches++
+					found = sc.rows[b][ci]
+				}
+			}
+		}
+		if matches == 1 {
+			return found, nil
+		}
+		if matches > 1 {
+			return Value{}, errf(-1, "ambiguous column reference %s", refName(tab, col))
+		}
+	}
+	return Value{}, errf(-1, "unknown column %s", refName(tab, col))
+}
+
+func refName(tab, col string) string {
+	if tab == "" {
+		return col
+	}
+	return tab + "." + col
+}
+
+// executor carries the database and the per-group aggregate environment.
+type executor struct {
+	db *DB
+	// aggs maps exprKey(Agg) to the aggregate's value for the current group
+	// (set only while projecting grouped results).
+	aggs map[string]Value
+}
+
+// eval evaluates an expression in the given scope.
+func (ex *executor) eval(e Expr, sc *scope) (Value, error) {
+	switch n := e.(type) {
+	case Lit:
+		return n.V, nil
+	case ColRef:
+		if sc == nil {
+			return Value{}, errf(-1, "column reference %s outside a row context", refName(n.Table, n.Col))
+		}
+		return sc.lookup(n.Table, n.Col)
+	case Neg:
+		v, err := ex.eval(n.E, sc)
+		if err != nil {
+			return Value{}, err
+		}
+		switch v.K {
+		case KInt:
+			return IntV(-v.I), nil
+		case KFloat:
+			return FloatV(-v.F), nil
+		default:
+			return Value{}, errf(-1, "cannot negate %s value", v.K)
+		}
+	case Not:
+		v, err := ex.eval(n.E, sc)
+		if err != nil {
+			return Value{}, err
+		}
+		return BoolV(!v.Truthy()), nil
+	case Between:
+		v, err := ex.eval(n.E, sc)
+		if err != nil {
+			return Value{}, err
+		}
+		lo, err := ex.eval(n.Lo, sc)
+		if err != nil {
+			return Value{}, err
+		}
+		hi, err := ex.eval(n.Hi, sc)
+		if err != nil {
+			return Value{}, err
+		}
+		c1, err := compareValues(v, lo)
+		if err != nil {
+			return Value{}, err
+		}
+		c2, err := compareValues(v, hi)
+		if err != nil {
+			return Value{}, err
+		}
+		return BoolV(c1 >= 0 && c2 <= 0), nil
+	case Bin:
+		return ex.evalBin(n, sc)
+	case Agg:
+		if ex.aggs == nil {
+			return Value{}, errf(-1, "aggregate outside GROUP BY context")
+		}
+		v, ok := ex.aggs[exprKey(n)]
+		if !ok {
+			return Value{}, errf(-1, "aggregate not computed for this group")
+		}
+		return v, nil
+	case *Subquery:
+		return ex.evalSubquery(n, sc)
+	default:
+		return Value{}, errf(-1, "unsupported expression %T", e)
+	}
+}
+
+func (ex *executor) evalBin(n Bin, sc *scope) (Value, error) {
+	// Short-circuit logical operators.
+	if n.Op == OpAnd || n.Op == OpOr {
+		l, err := ex.eval(n.L, sc)
+		if err != nil {
+			return Value{}, err
+		}
+		if n.Op == OpAnd && !l.Truthy() {
+			return BoolV(false), nil
+		}
+		if n.Op == OpOr && l.Truthy() {
+			return BoolV(true), nil
+		}
+		r, err := ex.eval(n.R, sc)
+		if err != nil {
+			return Value{}, err
+		}
+		return BoolV(r.Truthy()), nil
+	}
+	l, err := ex.eval(n.L, sc)
+	if err != nil {
+		return Value{}, err
+	}
+	r, err := ex.eval(n.R, sc)
+	if err != nil {
+		return Value{}, err
+	}
+	switch n.Op {
+	case OpEq, OpNe, OpLt, OpLe, OpGt, OpGe:
+		c, err := compareValues(l, r)
+		if err != nil {
+			return Value{}, err
+		}
+		switch n.Op {
+		case OpEq:
+			return BoolV(c == 0), nil
+		case OpNe:
+			return BoolV(c != 0), nil
+		case OpLt:
+			return BoolV(c < 0), nil
+		case OpLe:
+			return BoolV(c <= 0), nil
+		case OpGt:
+			return BoolV(c > 0), nil
+		default:
+			return BoolV(c >= 0), nil
+		}
+	case OpAdd, OpSub, OpMul, OpDiv:
+		if !l.IsNumeric() || !r.IsNumeric() {
+			return Value{}, errf(-1, "arithmetic on non-numeric values")
+		}
+		if l.K == KInt && r.K == KInt {
+			switch n.Op {
+			case OpAdd:
+				return IntV(l.I + r.I), nil
+			case OpSub:
+				return IntV(l.I - r.I), nil
+			case OpMul:
+				return IntV(l.I * r.I), nil
+			default:
+				if r.I == 0 {
+					return Value{}, errf(-1, "integer division by zero")
+				}
+				return IntV(l.I / r.I), nil
+			}
+		}
+		lf, rf := l.AsFloat(), r.AsFloat()
+		switch n.Op {
+		case OpAdd:
+			return FloatV(lf + rf), nil
+		case OpSub:
+			return FloatV(lf - rf), nil
+		case OpMul:
+			return FloatV(lf * rf), nil
+		default:
+			return FloatV(lf / rf), nil
+		}
+	default:
+		return Value{}, errf(-1, "unsupported binary operator")
+	}
+}
+
+// exprKey renders an expression to a canonical string, used to key computed
+// aggregates and to name projection columns.
+func exprKey(e Expr) string {
+	switch n := e.(type) {
+	case Lit:
+		return n.V.String()
+	case ColRef:
+		return refName(n.Table, n.Col)
+	case Neg:
+		return "-" + exprKey(n.E)
+	case Not:
+		return "NOT " + exprKey(n.E)
+	case Between:
+		return fmt.Sprintf("%s BETWEEN %s AND %s", exprKey(n.E), exprKey(n.Lo), exprKey(n.Hi))
+	case Bin:
+		ops := map[BinOp]string{
+			OpAdd: "+", OpSub: "-", OpMul: "*", OpDiv: "/",
+			OpEq: "=", OpNe: "<>", OpLt: "<", OpLe: "<=", OpGt: ">", OpGe: ">=",
+			OpAnd: "AND", OpOr: "OR",
+		}
+		return fmt.Sprintf("(%s %s %s)", exprKey(n.L), ops[n.Op], exprKey(n.R))
+	case Agg:
+		names := map[AggFn]string{AggCount: "COUNT", AggSum: "SUM", AggMax: "MAX", AggMin: "MIN", AggAvg: "AVG"}
+		if n.Star {
+			return names[n.Fn] + "(*)"
+		}
+		return names[n.Fn] + "(" + exprKey(n.Arg) + ")"
+	case *Subquery:
+		if n.Exists {
+			return "EXISTS(...)"
+		}
+		return "(SELECT ...)"
+	default:
+		return fmt.Sprintf("%T", e)
+	}
+}
+
+// collectAggs gathers the aggregate calls of an expression tree.
+func collectAggs(e Expr, out *[]Agg) {
+	switch n := e.(type) {
+	case Agg:
+		*out = append(*out, n)
+	case Bin:
+		collectAggs(n.L, out)
+		collectAggs(n.R, out)
+	case Not:
+		collectAggs(n.E, out)
+	case Neg:
+		collectAggs(n.E, out)
+	case Between:
+		collectAggs(n.E, out)
+		collectAggs(n.Lo, out)
+		collectAggs(n.Hi, out)
+	}
+}
+
+// hasAgg reports whether the expression contains an aggregate call.
+func hasAgg(e Expr) bool {
+	var aggs []Agg
+	collectAggs(e, &aggs)
+	return len(aggs) > 0
+}
+
+// refs collects the binding names (or "" for unqualified columns) referenced
+// by an expression, ignoring subqueries (their correlation is resolved at
+// evaluation time).
+func refs(e Expr, out map[string][]string) {
+	switch n := e.(type) {
+	case ColRef:
+		out[n.Table] = append(out[n.Table], n.Col)
+	case Bin:
+		refs(n.L, out)
+		refs(n.R, out)
+	case Not:
+		refs(n.E, out)
+	case Neg:
+		refs(n.E, out)
+	case Between:
+		refs(n.E, out)
+		refs(n.Lo, out)
+		refs(n.Hi, out)
+	case Agg:
+		if !n.Star {
+			refs(n.Arg, out)
+		}
+	case *Subquery:
+		// Conservatively mark as referencing everything.
+		out["\x00subquery"] = append(out["\x00subquery"], "")
+	}
+}
+
+// boundBy reports whether every column reference of e can be resolved using
+// only the given binding names (unqualified refs must match exactly one
+// column among them).
+func boundBy(e Expr, names []string, colsOf func(string) []Column) bool {
+	rm := map[string][]string{}
+	refs(e, rm)
+	if _, sub := rm["\x00subquery"]; sub {
+		return false
+	}
+	for tab, cols := range rm {
+		for _, col := range cols {
+			if !resolvable(tab, col, names, colsOf) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func resolvable(tab, col string, names []string, colsOf func(string) []Column) bool {
+	count := 0
+	for _, name := range names {
+		if tab != "" && tab != name {
+			continue
+		}
+		for _, c := range colsOf(name) {
+			if c.Name == col {
+				count++
+			}
+		}
+	}
+	return count >= 1
+}

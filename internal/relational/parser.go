@@ -1,0 +1,663 @@
+package relational
+
+import "strconv"
+
+// ParseScript parses a semicolon-separated sequence of SQL statements.
+func ParseScript(src string) ([]Stmt, error) {
+	toks, err := sqlLex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &sqlParser{toks: toks}
+	var stmts []Stmt
+	for {
+		for p.peek().kind == sSymbol && p.peek().text == ";" {
+			p.next()
+		}
+		if p.peek().kind == sEOF {
+			break
+		}
+		st, err := p.stmt()
+		if err != nil {
+			return nil, err
+		}
+		stmts = append(stmts, st)
+		if t := p.peek(); t.kind != sEOF && !(t.kind == sSymbol && t.text == ";") {
+			return nil, errf(t.pos, "expected ';' or end of script, found %q", t.text)
+		}
+	}
+	return stmts, nil
+}
+
+type sqlParser struct {
+	toks []sqlTok
+	i    int
+}
+
+func (p *sqlParser) peek() sqlTok  { return p.toks[p.i] }
+func (p *sqlParser) peek2() sqlTok { return p.toks[min(p.i+1, len(p.toks)-1)] }
+func (p *sqlParser) next() sqlTok  { t := p.toks[p.i]; p.i++; return t }
+
+func (p *sqlParser) kw(word string) bool {
+	if t := p.peek(); t.kind == sKeyword && t.text == word {
+		p.next()
+		return true
+	}
+	return false
+}
+
+func (p *sqlParser) sym(s string) bool {
+	if t := p.peek(); t.kind == sSymbol && t.text == s {
+		p.next()
+		return true
+	}
+	return false
+}
+
+func (p *sqlParser) expectKw(word string) error {
+	if !p.kw(word) {
+		t := p.peek()
+		return errf(t.pos, "expected %s, found %q", word, t.text)
+	}
+	return nil
+}
+
+func (p *sqlParser) expectSym(s string) error {
+	if !p.sym(s) {
+		t := p.peek()
+		return errf(t.pos, "expected %q, found %q", s, t.text)
+	}
+	return nil
+}
+
+func (p *sqlParser) ident() (string, error) {
+	t := p.peek()
+	if t.kind != sIdent {
+		return "", errf(t.pos, "expected identifier, found %q", t.text)
+	}
+	p.next()
+	return t.text, nil
+}
+
+func (p *sqlParser) stmt() (Stmt, error) {
+	t := p.peek()
+	if t.kind != sKeyword {
+		return nil, errf(t.pos, "expected a statement, found %q", t.text)
+	}
+	switch t.text {
+	case "CREATE":
+		return p.createTable()
+	case "DROP":
+		return p.dropTable()
+	case "INSERT":
+		return p.insert()
+	case "DELETE":
+		return p.delete()
+	case "SELECT":
+		return p.selectStmt()
+	default:
+		return nil, errf(t.pos, "unsupported statement %q", t.text)
+	}
+}
+
+func (p *sqlParser) createTable() (Stmt, error) {
+	p.next() // CREATE
+	if err := p.expectKw("TABLE"); err != nil {
+		return nil, err
+	}
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectSym("("); err != nil {
+		return nil, err
+	}
+	var cols []Column
+	for {
+		cn, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		t := p.peek()
+		var k Kind
+		switch {
+		case t.kind == sKeyword && t.text == "INT":
+			k = KInt
+		case t.kind == sKeyword && t.text == "FLOAT":
+			k = KFloat
+		case t.kind == sKeyword && t.text == "TEXT":
+			k = KText
+		default:
+			return nil, errf(t.pos, "expected a column type, found %q", t.text)
+		}
+		p.next()
+		cols = append(cols, Column{Name: cn, Type: k})
+		if p.sym(",") {
+			continue
+		}
+		break
+	}
+	if err := p.expectSym(")"); err != nil {
+		return nil, err
+	}
+	return &CreateTable{Name: name, Cols: cols}, nil
+}
+
+func (p *sqlParser) dropTable() (Stmt, error) {
+	p.next() // DROP
+	if err := p.expectKw("TABLE"); err != nil {
+		return nil, err
+	}
+	d := &DropTable{}
+	if p.kw("IF") {
+		if err := p.expectKw("EXISTS"); err != nil {
+			return nil, err
+		}
+		d.IfExists = true
+	}
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	d.Name = name
+	return d, nil
+}
+
+func (p *sqlParser) insert() (Stmt, error) {
+	p.next() // INSERT
+	if err := p.expectKw("INTO"); err != nil {
+		return nil, err
+	}
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	ins := &Insert{Table: name}
+	if p.kw("VALUES") {
+		for {
+			if err := p.expectSym("("); err != nil {
+				return nil, err
+			}
+			var row []Expr
+			for {
+				e, err := p.expr()
+				if err != nil {
+					return nil, err
+				}
+				row = append(row, e)
+				if p.sym(",") {
+					continue
+				}
+				break
+			}
+			if err := p.expectSym(")"); err != nil {
+				return nil, err
+			}
+			ins.Rows = append(ins.Rows, row)
+			if p.sym(",") {
+				continue
+			}
+			break
+		}
+		return ins, nil
+	}
+	sel, err := p.selectStmt()
+	if err != nil {
+		return nil, err
+	}
+	ins.Query = sel.(*Select)
+	return ins, nil
+}
+
+func (p *sqlParser) delete() (Stmt, error) {
+	p.next() // DELETE
+	if err := p.expectKw("FROM"); err != nil {
+		return nil, err
+	}
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	d := &Delete{Table: name}
+	if p.kw("WHERE") {
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		d.Where = e
+	}
+	return d, nil
+}
+
+func (p *sqlParser) selectStmt() (Stmt, error) {
+	sel, err := p.selectCore()
+	if err != nil {
+		return nil, err
+	}
+	cur := sel
+	for p.kw("UNION") {
+		if err := p.expectKw("ALL"); err != nil {
+			return nil, errf(p.peek().pos, "only UNION ALL is supported")
+		}
+		next, err := p.selectCore()
+		if err != nil {
+			return nil, err
+		}
+		cur.Union = next
+		cur = next
+	}
+	if p.kw("ORDER") {
+		if err := p.expectKw("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			item := OrderItem{Expr: e}
+			if p.kw("DESC") {
+				item.Desc = true
+			} else {
+				p.kw("ASC")
+			}
+			sel.OrderBy = append(sel.OrderBy, item)
+			if p.sym(",") {
+				continue
+			}
+			break
+		}
+	}
+	if p.kw("LIMIT") {
+		t := p.peek()
+		if t.kind != sInt {
+			return nil, errf(t.pos, "expected an integer after LIMIT")
+		}
+		p.next()
+		n, _ := strconv.Atoi(t.text)
+		sel.Limit = n
+	}
+	return sel, nil
+}
+
+func (p *sqlParser) selectCore() (*Select, error) {
+	if err := p.expectKw("SELECT"); err != nil {
+		return nil, err
+	}
+	sel := &Select{Limit: -1}
+	for {
+		item, err := p.selItem()
+		if err != nil {
+			return nil, err
+		}
+		sel.List = append(sel.List, item)
+		if p.sym(",") {
+			continue
+		}
+		break
+	}
+	if err := p.expectKw("FROM"); err != nil {
+		return nil, err
+	}
+	for {
+		fi, err := p.fromItem()
+		if err != nil {
+			return nil, err
+		}
+		sel.From = append(sel.From, fi)
+		if p.sym(",") {
+			continue
+		}
+		break
+	}
+	if p.kw("WHERE") {
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		sel.Where = e
+	}
+	if p.kw("GROUP") {
+		if err := p.expectKw("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			sel.GroupBy = append(sel.GroupBy, e)
+			if p.sym(",") {
+				continue
+			}
+			break
+		}
+	}
+	if p.kw("HAVING") {
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		sel.Having = e
+	}
+	return sel, nil
+}
+
+func (p *sqlParser) selItem() (SelItem, error) {
+	if p.sym("*") {
+		return SelItem{Star: true}, nil
+	}
+	// Qualified star: ident . *
+	if p.peek().kind == sIdent && p.peek2().kind == sSymbol && p.peek2().text == "." {
+		save := p.i
+		tab, _ := p.ident()
+		p.next() // .
+		if p.sym("*") {
+			return SelItem{Star: true, Table: tab}, nil
+		}
+		p.i = save
+	}
+	e, err := p.expr()
+	if err != nil {
+		return SelItem{}, err
+	}
+	item := SelItem{Expr: e}
+	if p.kw("AS") {
+		a, err := p.ident()
+		if err != nil {
+			return SelItem{}, err
+		}
+		item.Alias = a
+	} else if p.peek().kind == sIdent {
+		item.Alias = p.next().text
+	}
+	return item, nil
+}
+
+func (p *sqlParser) fromItem() (FromItem, error) {
+	if p.sym("(") {
+		sel, err := p.selectStmt()
+		if err != nil {
+			return FromItem{}, err
+		}
+		if err := p.expectSym(")"); err != nil {
+			return FromItem{}, err
+		}
+		fi := FromItem{Sub: sel.(*Select)}
+		p.kw("AS")
+		a, err := p.ident()
+		if err != nil {
+			return FromItem{}, errf(p.peek().pos, "a subquery in FROM requires an alias")
+		}
+		fi.Alias = a
+		return fi, nil
+	}
+	name, err := p.ident()
+	if err != nil {
+		return FromItem{}, err
+	}
+	fi := FromItem{Table: name}
+	if p.kw("AS") {
+		a, err := p.ident()
+		if err != nil {
+			return FromItem{}, err
+		}
+		fi.Alias = a
+	} else if p.peek().kind == sIdent {
+		fi.Alias = p.next().text
+	}
+	return fi, nil
+}
+
+// --- expressions -----------------------------------------------------------
+
+func (p *sqlParser) expr() (Expr, error) { return p.orExpr() }
+
+func (p *sqlParser) orExpr() (Expr, error) {
+	l, err := p.andExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.kw("OR") {
+		r, err := p.andExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = Bin{Op: OpOr, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *sqlParser) andExpr() (Expr, error) {
+	l, err := p.notExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.kw("AND") {
+		r, err := p.notExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = Bin{Op: OpAnd, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *sqlParser) notExpr() (Expr, error) {
+	if p.kw("NOT") {
+		e, err := p.notExpr()
+		if err != nil {
+			return nil, err
+		}
+		return Not{E: e}, nil
+	}
+	return p.cmpExpr()
+}
+
+func (p *sqlParser) cmpExpr() (Expr, error) {
+	l, err := p.addExpr()
+	if err != nil {
+		return nil, err
+	}
+	if p.kw("BETWEEN") {
+		lo, err := p.addExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKw("AND"); err != nil {
+			return nil, err
+		}
+		hi, err := p.addExpr()
+		if err != nil {
+			return nil, err
+		}
+		return Between{E: l, Lo: lo, Hi: hi}, nil
+	}
+	t := p.peek()
+	if t.kind == sSymbol {
+		var op BinOp
+		ok := true
+		switch t.text {
+		case "=":
+			op = OpEq
+		case "<>", "!=":
+			op = OpNe
+		case "<":
+			op = OpLt
+		case "<=":
+			op = OpLe
+		case ">":
+			op = OpGt
+		case ">=":
+			op = OpGe
+		default:
+			ok = false
+		}
+		if ok {
+			p.next()
+			r, err := p.addExpr()
+			if err != nil {
+				return nil, err
+			}
+			return Bin{Op: op, L: l, R: r}, nil
+		}
+	}
+	return l, nil
+}
+
+func (p *sqlParser) addExpr() (Expr, error) {
+	l, err := p.mulExpr()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.peek()
+		if t.kind == sSymbol && (t.text == "+" || t.text == "-") {
+			p.next()
+			r, err := p.mulExpr()
+			if err != nil {
+				return nil, err
+			}
+			op := OpAdd
+			if t.text == "-" {
+				op = OpSub
+			}
+			l = Bin{Op: op, L: l, R: r}
+			continue
+		}
+		return l, nil
+	}
+}
+
+func (p *sqlParser) mulExpr() (Expr, error) {
+	l, err := p.unaryExpr()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.peek()
+		if t.kind == sSymbol && (t.text == "*" || t.text == "/") {
+			p.next()
+			r, err := p.unaryExpr()
+			if err != nil {
+				return nil, err
+			}
+			op := OpMul
+			if t.text == "/" {
+				op = OpDiv
+			}
+			l = Bin{Op: op, L: l, R: r}
+			continue
+		}
+		return l, nil
+	}
+}
+
+func (p *sqlParser) unaryExpr() (Expr, error) {
+	if p.sym("-") {
+		e, err := p.unaryExpr()
+		if err != nil {
+			return nil, err
+		}
+		return Neg{E: e}, nil
+	}
+	return p.primaryExpr()
+}
+
+var aggNames = map[string]AggFn{
+	"COUNT": AggCount, "SUM": AggSum, "MAX": AggMax, "MIN": AggMin, "AVG": AggAvg,
+}
+
+func (p *sqlParser) primaryExpr() (Expr, error) {
+	t := p.peek()
+	if t.kind == sKeyword {
+		if fn, ok := aggNames[t.text]; ok {
+			p.next()
+			if err := p.expectSym("("); err != nil {
+				return nil, err
+			}
+			if p.sym("*") {
+				if fn != AggCount {
+					return nil, errf(t.pos, "%s(*) is not supported", t.text)
+				}
+				if err := p.expectSym(")"); err != nil {
+					return nil, err
+				}
+				return Agg{Fn: AggCount, Star: true}, nil
+			}
+			arg, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectSym(")"); err != nil {
+				return nil, err
+			}
+			return Agg{Fn: fn, Arg: arg}, nil
+		}
+	}
+	switch {
+	case t.kind == sInt:
+		p.next()
+		v, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil {
+			return nil, errf(t.pos, "bad integer literal %q", t.text)
+		}
+		return Lit{V: IntV(v)}, nil
+	case t.kind == sFloat:
+		p.next()
+		v, err := strconv.ParseFloat(t.text, 64)
+		if err != nil {
+			return nil, errf(t.pos, "bad float literal %q", t.text)
+		}
+		return Lit{V: FloatV(v)}, nil
+	case t.kind == sString:
+		p.next()
+		return Lit{V: TextV(t.text)}, nil
+	case t.kind == sKeyword && t.text == "EXISTS":
+		p.next()
+		if err := p.expectSym("("); err != nil {
+			return nil, err
+		}
+		sel, err := p.selectStmt()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectSym(")"); err != nil {
+			return nil, err
+		}
+		return &Subquery{Sel: sel.(*Select), Exists: true}, nil
+	case t.kind == sSymbol && t.text == "(":
+		p.next()
+		if p.peek().kind == sKeyword && p.peek().text == "SELECT" {
+			sel, err := p.selectStmt()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectSym(")"); err != nil {
+				return nil, err
+			}
+			return &Subquery{Sel: sel.(*Select)}, nil
+		}
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectSym(")"); err != nil {
+			return nil, err
+		}
+		return e, nil
+	case t.kind == sIdent:
+		p.next()
+		if p.peek().kind == sSymbol && p.peek().text == "." {
+			p.next()
+			col, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			return ColRef{Table: t.text, Col: col}, nil
+		}
+		return ColRef{Col: t.text}, nil
+	default:
+		return nil, errf(t.pos, "expected an expression, found %q", t.text)
+	}
+}

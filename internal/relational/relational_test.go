@@ -1,0 +1,399 @@
+package relational
+
+import (
+	"math"
+
+	"testing"
+)
+
+// mustExec runs a script and fails the test on error.
+func mustExec(t *testing.T, db *DB, src string) *Result {
+	t.Helper()
+	res, err := db.Exec(src)
+	if err != nil {
+		t.Fatalf("Exec(%q): %v", src, err)
+	}
+	return res
+}
+
+func seedDB(t *testing.T) *DB {
+	t.Helper()
+	db := NewDB()
+	mustExec(t, db, `
+		CREATE TABLE people (id INT, name TEXT, age INT, score FLOAT);
+		INSERT INTO people VALUES
+			(1, 'ann', 30, 1.5),
+			(2, 'bob', 25, 2.5),
+			(3, 'cat', 30, 0.5),
+			(4, 'dan', 40, 4.0);
+		CREATE TABLE pets (owner INT, pet TEXT);
+		INSERT INTO pets VALUES (1, 'dog'), (1, 'cat'), (3, 'fish');
+	`)
+	return db
+}
+
+func TestSelectWhere(t *testing.T) {
+	db := seedDB(t)
+	res := mustExec(t, db, "SELECT name FROM people WHERE age = 30 ORDER BY name")
+	if len(res.Rows) != 2 || res.Rows[0][0].S != "ann" || res.Rows[1][0].S != "cat" {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+}
+
+func TestSelectStar(t *testing.T) {
+	db := seedDB(t)
+	res := mustExec(t, db, "SELECT * FROM people WHERE id = 2")
+	if len(res.Cols) != 4 || len(res.Rows) != 1 || res.Rows[0][1].S != "bob" {
+		t.Fatalf("res = %+v", res)
+	}
+}
+
+func TestArithmeticAndAliases(t *testing.T) {
+	db := seedDB(t)
+	res := mustExec(t, db, "SELECT id * 2 + 1 AS k, score / 2 FROM people WHERE id = 4")
+	if res.Cols[0] != "k" {
+		t.Fatalf("cols = %v", res.Cols)
+	}
+	if res.Rows[0][0].I != 9 || res.Rows[0][1].F != 2.0 {
+		t.Fatalf("row = %v", res.Rows[0])
+	}
+}
+
+func TestIntegerDivisionAndNegation(t *testing.T) {
+	db := seedDB(t)
+	res := mustExec(t, db, "SELECT 7 / 2, -age FROM people WHERE id = 1")
+	if res.Rows[0][0].I != 3 || res.Rows[0][1].I != -30 {
+		t.Fatalf("row = %v", res.Rows[0])
+	}
+	if _, err := db.Exec("SELECT 1 / 0 FROM people"); err == nil {
+		t.Fatal("integer division by zero should fail")
+	}
+}
+
+func TestHashJoin(t *testing.T) {
+	db := seedDB(t)
+	res := mustExec(t, db, `
+		SELECT p.name, q.pet FROM people p, pets q
+		WHERE p.id = q.owner ORDER BY p.name, q.pet`)
+	want := [][2]string{{"ann", "cat"}, {"ann", "dog"}, {"cat", "fish"}}
+	if len(res.Rows) != len(want) {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+	for i, w := range want {
+		if res.Rows[i][0].S != w[0] || res.Rows[i][1].S != w[1] {
+			t.Fatalf("row %d = %v, want %v", i, res.Rows[i], w)
+		}
+	}
+}
+
+func TestCrossJoinCount(t *testing.T) {
+	db := seedDB(t)
+	res := mustExec(t, db, "SELECT COUNT(*) FROM people a, pets b")
+	if res.Rows[0][0].I != 12 {
+		t.Fatalf("count = %v", res.Rows[0][0])
+	}
+}
+
+func TestBetweenRangeJoin(t *testing.T) {
+	db := NewDB()
+	mustExec(t, db, `
+		CREATE TABLE series (id INT);
+		CREATE TABLE ivs (beg INT, fin INT, act FLOAT);
+		INSERT INTO ivs VALUES (2, 4, 1.5), (8, 9, 2.5);
+	`)
+	for i := 1; i <= 10; i++ {
+		mustExec(t, db, "INSERT INTO series VALUES ("+itoa(i)+")")
+	}
+	res := mustExec(t, db, `
+		SELECT s.id, l.act FROM series s, ivs l
+		WHERE s.id BETWEEN l.beg AND l.fin ORDER BY s.id`)
+	wantIDs := []int64{2, 3, 4, 8, 9}
+	if len(res.Rows) != len(wantIDs) {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+	for i, id := range wantIDs {
+		if res.Rows[i][0].I != id {
+			t.Fatalf("row %d = %v", i, res.Rows[i])
+		}
+	}
+}
+
+func itoa(i int) string {
+	if i == 0 {
+		return "0"
+	}
+	digits := ""
+	for i > 0 {
+		digits = string(rune('0'+i%10)) + digits
+		i /= 10
+	}
+	return digits
+}
+
+func TestGroupByAggregates(t *testing.T) {
+	db := seedDB(t)
+	res := mustExec(t, db, `
+		SELECT age, COUNT(*) AS n, SUM(score) AS s, MAX(score), MIN(score), AVG(score)
+		FROM people GROUP BY age ORDER BY age`)
+	// age 25: 1 row; age 30: 2 rows; age 40: 1 row.
+	if len(res.Rows) != 3 {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+	r30 := res.Rows[1]
+	if r30[0].I != 30 || r30[1].I != 2 || r30[2].F != 2.0 || r30[3].F != 1.5 || r30[4].F != 0.5 || r30[5].F != 1.0 {
+		t.Fatalf("age-30 row = %v", r30)
+	}
+}
+
+func TestGroupByHaving(t *testing.T) {
+	db := seedDB(t)
+	res := mustExec(t, db, "SELECT age FROM people GROUP BY age HAVING COUNT(*) > 1")
+	if len(res.Rows) != 1 || res.Rows[0][0].I != 30 {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+}
+
+func TestAggregateWithoutGroupBy(t *testing.T) {
+	db := seedDB(t)
+	res := mustExec(t, db, "SELECT COUNT(*), SUM(age) FROM people WHERE age > 100")
+	if res.Rows[0][0].I != 0 || res.Rows[0][1].I != 0 {
+		t.Fatalf("empty-group row = %v", res.Rows[0])
+	}
+	if _, err := db.Exec("SELECT MAX(age) FROM people WHERE age > 100"); err == nil {
+		t.Fatal("MAX over empty group should fail (engine has no NULL)")
+	}
+}
+
+func TestUnionAll(t *testing.T) {
+	db := seedDB(t)
+	res := mustExec(t, db, `
+		SELECT id FROM people WHERE age = 25
+		UNION ALL SELECT id FROM people WHERE age = 40
+		ORDER BY id`)
+	if len(res.Rows) != 2 || res.Rows[0][0].I != 2 || res.Rows[1][0].I != 4 {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+	if _, err := db.Exec("SELECT id FROM people UNION ALL SELECT id, age FROM people"); err == nil {
+		t.Fatal("mismatched UNION arity should fail")
+	}
+}
+
+func TestSubqueryInFrom(t *testing.T) {
+	db := seedDB(t)
+	res := mustExec(t, db, `
+		SELECT u.age, COUNT(*) FROM (SELECT age FROM people WHERE score > 1) u
+		GROUP BY u.age ORDER BY u.age`)
+	if len(res.Rows) != 3 {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+}
+
+func TestScalarSubqueryCorrelated(t *testing.T) {
+	db := seedDB(t)
+	res := mustExec(t, db, `
+		SELECT p.name, (SELECT COUNT(*) FROM pets q WHERE q.owner = p.id) AS n
+		FROM people p ORDER BY p.id`)
+	wantN := []int64{2, 0, 1, 0}
+	for i, w := range wantN {
+		if res.Rows[i][1].I != w {
+			t.Fatalf("row %d = %v, want n=%d", i, res.Rows[i], w)
+		}
+	}
+}
+
+func TestFastCountRange(t *testing.T) {
+	db := NewDB()
+	mustExec(t, db, "CREATE TABLE g (id INT)")
+	for i := 1; i <= 100; i++ {
+		if i%7 != 0 {
+			mustExec(t, db, "INSERT INTO g VALUES ("+itoa(i)+")")
+		}
+	}
+	// Fast path: COUNT over range predicates on one column.
+	res := mustExec(t, db, "SELECT (SELECT COUNT(*) FROM g WHERE g.id >= 10 AND g.id < 20) FROM g WHERE g.id = 1")
+	if res.Rows[0][0].I != 9 { // ids 10..19 minus 14
+		t.Fatalf("count = %v", res.Rows[0][0])
+	}
+	// Fast path must agree with the generic path for equality.
+	res2 := mustExec(t, db, "SELECT (SELECT COUNT(*) FROM g WHERE g.id = 14) FROM g WHERE g.id = 1")
+	if res2.Rows[0][0].I != 0 {
+		t.Fatalf("count = %v", res2.Rows[0][0])
+	}
+}
+
+func TestExists(t *testing.T) {
+	db := seedDB(t)
+	res := mustExec(t, db, `
+		SELECT name FROM people p
+		WHERE EXISTS (SELECT * FROM pets q WHERE q.owner = p.id)
+		ORDER BY name`)
+	if len(res.Rows) != 2 || res.Rows[0][0].S != "ann" || res.Rows[1][0].S != "cat" {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+	res2 := mustExec(t, db, `
+		SELECT name FROM people p
+		WHERE NOT EXISTS (SELECT * FROM pets q WHERE q.owner = p.id)
+		ORDER BY name`)
+	if len(res2.Rows) != 2 || res2.Rows[0][0].S != "bob" {
+		t.Fatalf("rows = %v", res2.Rows)
+	}
+}
+
+func TestInsertSelect(t *testing.T) {
+	db := seedDB(t)
+	mustExec(t, db, `
+		CREATE TABLE olds (name TEXT);
+		INSERT INTO olds SELECT name FROM people WHERE age >= 30;
+	`)
+	res := mustExec(t, db, "SELECT COUNT(*) FROM olds")
+	if res.Rows[0][0].I != 3 {
+		t.Fatalf("count = %v", res.Rows[0][0])
+	}
+}
+
+func TestDeleteAndDrop(t *testing.T) {
+	db := seedDB(t)
+	mustExec(t, db, "DELETE FROM pets WHERE owner = 1")
+	res := mustExec(t, db, "SELECT COUNT(*) FROM pets")
+	if res.Rows[0][0].I != 1 {
+		t.Fatalf("count = %v", res.Rows[0][0])
+	}
+	mustExec(t, db, "DELETE FROM pets")
+	res = mustExec(t, db, "SELECT COUNT(*) FROM pets")
+	if res.Rows[0][0].I != 0 {
+		t.Fatalf("count = %v", res.Rows[0][0])
+	}
+	mustExec(t, db, "DROP TABLE pets")
+	if _, err := db.Exec("SELECT * FROM pets"); err == nil {
+		t.Fatal("dropped table should be gone")
+	}
+	mustExec(t, db, "DROP TABLE IF EXISTS pets")
+	if _, err := db.Exec("DROP TABLE pets"); err == nil {
+		t.Fatal("dropping a missing table without IF EXISTS should fail")
+	}
+}
+
+func TestOrderByDescAndLimit(t *testing.T) {
+	db := seedDB(t)
+	res := mustExec(t, db, "SELECT name FROM people ORDER BY age DESC, name LIMIT 2")
+	if len(res.Rows) != 2 || res.Rows[0][0].S != "dan" || res.Rows[1][0].S != "ann" {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+}
+
+func TestTypeCoercionOnInsert(t *testing.T) {
+	db := NewDB()
+	mustExec(t, db, "CREATE TABLE t (x FLOAT); INSERT INTO t VALUES (3)")
+	res := mustExec(t, db, "SELECT x FROM t")
+	if res.Rows[0][0].K != KFloat || res.Rows[0][0].F != 3 {
+		t.Fatalf("coerced value = %+v", res.Rows[0][0])
+	}
+	if _, err := db.Exec("INSERT INTO t VALUES ('nope')"); err == nil {
+		t.Fatal("TEXT into FLOAT should fail")
+	}
+}
+
+func TestStringLiteralsAndEscapes(t *testing.T) {
+	db := NewDB()
+	mustExec(t, db, "CREATE TABLE t (s TEXT); INSERT INTO t VALUES ('it''s')")
+	res := mustExec(t, db, "SELECT s FROM t WHERE s = 'it''s'")
+	if len(res.Rows) != 1 || res.Rows[0][0].S != "it's" {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+}
+
+func TestComments(t *testing.T) {
+	db := seedDB(t)
+	res := mustExec(t, db, "SELECT COUNT(*) FROM people -- trailing comment\n WHERE age = 30")
+	if res.Rows[0][0].I != 2 {
+		t.Fatalf("count = %v", res.Rows[0][0])
+	}
+}
+
+func TestErrors(t *testing.T) {
+	db := seedDB(t)
+	for _, src := range []string{
+		"SELEC 1",
+		"SELECT FROM people",
+		"SELECT nosuch FROM people",
+		"SELECT name FROM nosuch",
+		"CREATE TABLE people (id INT)",      // duplicate table
+		"CREATE TABLE z (a INT, a TEXT)",    // duplicate column
+		"INSERT INTO people VALUES (1)",     // arity mismatch
+		"SELECT * FROM people GROUP BY age", // star with grouping
+		"SELECT 'a' + 1 FROM people",
+		"SELECT name FROM people WHERE name < 30",
+		"SELECT (SELECT age FROM people) FROM people", // scalar subquery multi-row
+		"SELECT 1", // missing FROM
+		"SELECT name FROM people UNION SELECT name FROM people", // bare UNION
+	} {
+		if _, err := db.Exec(src); err == nil {
+			t.Errorf("Exec(%q) should fail", src)
+		}
+	}
+}
+
+func TestAmbiguousColumn(t *testing.T) {
+	db := seedDB(t)
+	if _, err := db.Exec("SELECT id FROM people a, people b WHERE a.id = b.id"); err == nil {
+		t.Fatal("ambiguous unqualified column should fail")
+	}
+}
+
+func TestFloatFormatting(t *testing.T) {
+	v := FloatV(2.5)
+	if v.String() != "2.5" {
+		t.Fatalf("String = %q", v.String())
+	}
+	if got := IntV(-3).String(); got != "-3" {
+		t.Fatalf("String = %q", got)
+	}
+	if got := BoolV(true).String(); got != "true" {
+		t.Fatalf("String = %q", got)
+	}
+	if TextV("x").String() != "x" {
+		t.Fatal("text string")
+	}
+}
+
+func TestValueHelpers(t *testing.T) {
+	if !IntV(1).Truthy() || IntV(0).Truthy() || !FloatV(0.1).Truthy() || FloatV(0).Truthy() {
+		t.Fatal("numeric truthiness")
+	}
+	if !TextV("a").Truthy() || TextV("").Truthy() {
+		t.Fatal("text truthiness")
+	}
+	if math.Abs(IntV(3).AsFloat()-3) > 0 {
+		t.Fatal("AsFloat")
+	}
+	if _, err := compareValues(IntV(1), TextV("1")); err == nil {
+		t.Fatal("int/text comparison should fail")
+	}
+}
+
+func TestStats(t *testing.T) {
+	db := seedDB(t)
+	st := db.Stats()
+	if st["people"] != 4 || st["pets"] != 3 {
+		t.Fatalf("stats = %v", st)
+	}
+}
+
+// TestRangeJoinMatchesNestedLoop cross-checks the optimized range join
+// against a formulation the planner cannot optimize.
+func TestRangeJoinMatchesNestedLoop(t *testing.T) {
+	db := NewDB()
+	mustExec(t, db, "CREATE TABLE a (x INT); CREATE TABLE b (lo INT, hi INT)")
+	for i := 0; i < 30; i++ {
+		mustExec(t, db, "INSERT INTO a VALUES ("+itoa(i)+")")
+	}
+	mustExec(t, db, "INSERT INTO b VALUES (3, 7), (5, 6), (20, 25), (28, 40)")
+	fast := mustExec(t, db, "SELECT COUNT(*) FROM b, a WHERE a.x >= b.lo AND a.x <= b.hi")
+	slow := mustExec(t, db, "SELECT COUNT(*) FROM b, a WHERE a.x + 0 >= b.lo AND a.x + 0 <= b.hi")
+	if fast.Rows[0][0].I != slow.Rows[0][0].I {
+		t.Fatalf("range join %v != nested loop %v", fast.Rows[0][0], slow.Rows[0][0])
+	}
+	if fast.Rows[0][0].I != 5+2+6+2 {
+		t.Fatalf("count = %v", fast.Rows[0][0])
+	}
+}

@@ -1,0 +1,147 @@
+package relational
+
+// Subquery evaluation with a fast path for the correlated single-table
+// range-count pattern the HTL translation leans on:
+//
+//	(SELECT COUNT(*) FROM g WHERE g.id >= i.id AND g.id < h.id)
+//
+// which the sorted index answers in O(log n) instead of a full scan per
+// outer row.
+
+func (ex *executor) evalSubquery(sq *Subquery, sc *scope) (Value, error) {
+	if v, ok, err := ex.fastSubquery(sq, sc); err != nil {
+		return Value{}, err
+	} else if ok {
+		return v, nil
+	}
+	res, err := ex.execSelect(sq.Sel, sc)
+	if err != nil {
+		return Value{}, err
+	}
+	if sq.Exists {
+		return BoolV(len(res.Rows) > 0), nil
+	}
+	if len(res.Cols) != 1 {
+		return Value{}, errf(-1, "scalar subquery returns %d columns", len(res.Cols))
+	}
+	if len(res.Rows) != 1 {
+		return Value{}, errf(-1, "scalar subquery returned %d rows", len(res.Rows))
+	}
+	return res.Rows[0][0], nil
+}
+
+// fastSubquery answers COUNT(*)/EXISTS over one base table whose WHERE is a
+// conjunction of range predicates on a single column (the other sides being
+// outer expressions) via the sorted index.
+func (ex *executor) fastSubquery(sq *Subquery, sc *scope) (Value, bool, error) {
+	sel := sq.Sel
+	if sel.Union != nil || len(sel.GroupBy) > 0 || sel.Having != nil ||
+		len(sel.OrderBy) > 0 || sel.Limit >= 0 || len(sel.From) != 1 || sel.From[0].Sub != nil {
+		return Value{}, false, nil
+	}
+	if !sq.Exists {
+		if len(sel.List) != 1 || sel.List[0].Star {
+			return Value{}, false, nil
+		}
+		a, ok := sel.List[0].Expr.(Agg)
+		if !ok || a.Fn != AggCount || !a.Star {
+			return Value{}, false, nil
+		}
+	}
+	t := ex.db.tables[sel.From[0].Table]
+	if t == nil {
+		return Value{}, false, nil
+	}
+	name := sel.From[0].Name()
+
+	// All conjuncts must be  col CMP outerExpr  on one shared column.
+	col := -1
+	var lo, hi *bound
+	eq := false
+	var eqV Value
+	localCol := func(e Expr) int {
+		cr, ok := e.(ColRef)
+		if !ok || (cr.Table != "" && cr.Table != name) {
+			return -1
+		}
+		return t.colIndex(cr.Col)
+	}
+	isOuter := func(e Expr) bool {
+		// The expression must not reference the subquery table.
+		rm := map[string][]string{}
+		refs(e, rm)
+		if _, sub := rm["\x00subquery"]; sub {
+			return false
+		}
+		for tab, cols := range rm {
+			if tab == name {
+				return false
+			}
+			if tab == "" {
+				for _, c := range cols {
+					if t.colIndex(c) >= 0 {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	for _, c := range splitAnd(sel.Where) {
+		b, ok := c.(Bin)
+		if !ok {
+			return Value{}, false, nil
+		}
+		ci, op, outer := -1, b.Op, Expr(nil)
+		if i := localCol(b.L); i >= 0 && isOuter(b.R) {
+			ci, outer = i, b.R
+		} else if i := localCol(b.R); i >= 0 && isOuter(b.L) {
+			ci, op, outer = i, flipBin(b.Op), b.L
+		} else {
+			return Value{}, false, nil
+		}
+		if col == -1 {
+			col = ci
+		} else if col != ci {
+			return Value{}, false, nil
+		}
+		v, err := ex.eval(outer, sc)
+		if err != nil {
+			return Value{}, false, err
+		}
+		switch op {
+		case OpEq:
+			eq, eqV = true, v
+		case OpGe:
+			lo = tighterLo(lo, bound{v: v})
+		case OpGt:
+			lo = tighterLo(lo, bound{v: v, excl: true})
+		case OpLe:
+			hi = tighterHi(hi, bound{v: v})
+		case OpLt:
+			hi = tighterHi(hi, bound{v: v, excl: true})
+		default:
+			return Value{}, false, nil
+		}
+	}
+	if col == -1 && sel.Where != nil {
+		return Value{}, false, nil
+	}
+	var count int
+	switch {
+	case sel.Where == nil:
+		count = len(t.Rows)
+	case eq:
+		b := bound{v: eqV}
+		// Combine equality with any other bounds by intersecting.
+		lo2 := tighterLo(lo, b)
+		hi2 := tighterHi(hi, b)
+		count = t.rangeCount(col, lo2, hi2)
+	default:
+		count = t.rangeCount(col, lo, hi)
+	}
+	if sq.Exists {
+		return BoolV(count > 0), true, nil
+	}
+	return IntV(int64(count)), true, nil
+}

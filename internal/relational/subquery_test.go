@@ -1,0 +1,114 @@
+package relational
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// TestFastSubqueryMatchesGeneric cross-checks the indexed COUNT/EXISTS fast
+// path against the generic executor on random data and random range shapes.
+func TestFastSubqueryMatchesGeneric(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	db := NewDB()
+	mustExec(t, db, "CREATE TABLE g (id INT); CREATE TABLE probe (lo INT, hi INT)")
+	var rows [][]Value
+	for i := 0; i < 400; i++ {
+		if rng.Intn(3) != 0 {
+			rows = append(rows, []Value{IntV(int64(i))})
+		}
+	}
+	if err := db.InsertRows("g", rows); err != nil {
+		t.Fatal(err)
+	}
+	var probes [][]Value
+	for i := 0; i < 60; i++ {
+		lo := rng.Intn(400)
+		probes = append(probes, []Value{IntV(int64(lo)), IntV(int64(lo + rng.Intn(50)))})
+	}
+	if err := db.InsertRows("probe", probes); err != nil {
+		t.Fatal(err)
+	}
+
+	type form struct{ fast, slow string }
+	forms := []form{
+		{
+			// >= / <  on one column: fast path.
+			"SELECT p.lo, (SELECT COUNT(*) FROM g WHERE g.id >= p.lo AND g.id < p.hi) FROM probe p ORDER BY p.lo, p.hi",
+			// +0 defeats the column-shape detection: generic path.
+			"SELECT p.lo, (SELECT COUNT(*) FROM g WHERE g.id + 0 >= p.lo AND g.id + 0 < p.hi) FROM probe p ORDER BY p.lo, p.hi",
+		},
+		{
+			"SELECT p.lo, (SELECT COUNT(*) FROM g WHERE g.id = p.lo) FROM probe p ORDER BY p.lo, p.hi",
+			"SELECT p.lo, (SELECT COUNT(*) FROM g WHERE g.id + 0 = p.lo) FROM probe p ORDER BY p.lo, p.hi",
+		},
+		{
+			"SELECT p.lo, (SELECT COUNT(*) FROM g WHERE g.id <= p.hi AND g.id > p.lo) FROM probe p ORDER BY p.lo, p.hi",
+			"SELECT p.lo, (SELECT COUNT(*) FROM g WHERE g.id + 0 <= p.hi AND g.id + 0 > p.lo) FROM probe p ORDER BY p.lo, p.hi",
+		},
+	}
+	for i, f := range forms {
+		fast := mustExec(t, db, f.fast)
+		slow := mustExec(t, db, f.slow)
+		if len(fast.Rows) != len(slow.Rows) {
+			t.Fatalf("form %d: row counts differ", i)
+		}
+		for r := range fast.Rows {
+			if fast.Rows[r][1].I != slow.Rows[r][1].I {
+				t.Fatalf("form %d row %d: fast %v slow %v", i, r, fast.Rows[r], slow.Rows[r])
+			}
+		}
+	}
+}
+
+func TestFastExistsMatchesGeneric(t *testing.T) {
+	db := seedDB(t)
+	fast := mustExec(t, db, "SELECT name FROM people p WHERE EXISTS (SELECT * FROM pets WHERE owner = p.id) ORDER BY name")
+	slow := mustExec(t, db, "SELECT name FROM people p WHERE EXISTS (SELECT * FROM pets WHERE owner + 0 = p.id) ORDER BY name")
+	if len(fast.Rows) != len(slow.Rows) {
+		t.Fatalf("fast %v slow %v", fast.Rows, slow.Rows)
+	}
+	for i := range fast.Rows {
+		if fast.Rows[i][0].S != slow.Rows[i][0].S {
+			t.Fatalf("row %d differs", i)
+		}
+	}
+}
+
+func TestScalarSubqueryNoWhere(t *testing.T) {
+	db := seedDB(t)
+	res := mustExec(t, db, "SELECT (SELECT COUNT(*) FROM pets) FROM people WHERE id = 1")
+	if res.Rows[0][0].I != 3 {
+		t.Fatalf("count: %v", res.Rows[0][0])
+	}
+}
+
+func TestSubqueryErrorsPropagate(t *testing.T) {
+	db := seedDB(t)
+	if _, err := db.Exec("SELECT (SELECT COUNT(*) FROM nosuch) FROM people"); err == nil {
+		t.Fatal("missing table in subquery should fail")
+	}
+	if _, err := db.Exec("SELECT (SELECT id, age FROM people WHERE id = 1) FROM people"); err == nil {
+		t.Fatal("multi-column scalar subquery should fail")
+	}
+}
+
+// TestRunDecompositionPattern exercises the exact rank-trick statement the
+// HTL until translation generates.
+func TestRunDecompositionPattern(t *testing.T) {
+	db := NewDB()
+	mustExec(t, db, "CREATE TABLE gok (id INT)")
+	for _, id := range []int{3, 4, 5, 9, 10, 20} {
+		mustExec(t, db, fmt.Sprintf("INSERT INTO gok VALUES (%d)", id))
+	}
+	res := mustExec(t, db, `
+		SELECT g.id - (SELECT COUNT(*) FROM gok g2 WHERE g2.id <= g.id) AS grp, g.id
+		FROM gok g ORDER BY g.id`)
+	// Runs: {3,4,5} -> grp 2,2,2; {9,10} -> 5,5; {20} -> 14.
+	wantGrp := []int64{2, 2, 2, 5, 5, 14}
+	for i, w := range wantGrp {
+		if res.Rows[i][0].I != w {
+			t.Fatalf("row %d grp = %v, want %d", i, res.Rows[i][0], w)
+		}
+	}
+}

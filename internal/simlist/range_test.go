@@ -1,0 +1,160 @@
+package simlist
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRangeConstructors(t *testing.T) {
+	for _, tc := range []struct {
+		r        Range
+		in, out  int64
+		contains bool
+	}{
+		{IntAbove(5), 6, 5, true},
+		{IntAtLeast(5), 5, 4, true},
+		{IntBelow(5), 4, 5, true},
+		{IntAtMost(5), 5, 6, true},
+		{IntEq(5), 5, 4, true},
+	} {
+		if !tc.r.ContainsInt(tc.in) {
+			t.Errorf("%v should contain %d", tc.r, tc.in)
+		}
+		if tc.r.ContainsInt(tc.out) {
+			t.Errorf("%v should not contain %d", tc.r, tc.out)
+		}
+	}
+}
+
+func TestRangeEdges(t *testing.T) {
+	if !IntAbove(math.MaxInt64).IsEmpty() {
+		t.Fatal("y > MaxInt64 should be empty")
+	}
+	if !IntBelow(math.MinInt64).IsEmpty() {
+		t.Fatal("y < MinInt64 should be empty")
+	}
+	if !IntRange(5, 4).IsEmpty() {
+		t.Fatal("inverted range should be empty")
+	}
+}
+
+func TestRangeIntersect(t *testing.T) {
+	for _, tc := range []struct {
+		a, b, want Range
+	}{
+		{AnyRange(), IntEq(3), IntEq(3)},
+		{IntEq(3), AnyRange(), IntEq(3)},
+		{IntRange(1, 10), IntRange(5, 20), IntRange(5, 10)},
+		{IntRange(1, 4), IntRange(5, 20), EmptyRange()},
+		{StrEq("a"), StrEq("a"), StrEq("a")},
+		{StrEq("a"), StrEq("b"), EmptyRange()},
+		{StrEq("a"), IntEq(1), EmptyRange()},
+		{EmptyRange(), AnyRange(), EmptyRange()},
+	} {
+		if got := tc.a.Intersect(tc.b); !got.Equal(tc.want) {
+			t.Errorf("%v ∩ %v = %v, want %v", tc.a, tc.b, got, tc.want)
+		}
+	}
+}
+
+func TestRangeContainsStr(t *testing.T) {
+	if !StrEq("western").ContainsStr("western") || StrEq("western").ContainsStr("news") {
+		t.Fatal("StrEq membership wrong")
+	}
+	if !AnyRange().ContainsStr("x") {
+		t.Fatal("AnyRange should contain all strings")
+	}
+	if IntEq(3).ContainsStr("3") {
+		t.Fatal("int range should not contain strings")
+	}
+}
+
+func TestRangeString(t *testing.T) {
+	for _, tc := range []struct {
+		r    Range
+		want string
+	}{
+		{AnyRange(), "any"},
+		{EmptyRange(), "empty"},
+		{StrEq("x"), `= "x"`},
+		{IntRange(1, 5), "[1, 5]"},
+		{IntAtLeast(1), "[1, +inf]"},
+		{IntAtMost(5), "[-inf, 5]"},
+	} {
+		if got := tc.r.String(); got != tc.want {
+			t.Errorf("String(%#v) = %q, want %q", tc.r, got, tc.want)
+		}
+	}
+}
+
+// Property: intersection agrees with pointwise membership on ints.
+func TestRangeIntersectProperty(t *testing.T) {
+	f := func(a, b, c, d int8, v int8) bool {
+		r1 := IntRange(int64(min(a, b)), int64(max(a, b)))
+		r2 := IntRange(int64(min(c, d)), int64(max(c, d)))
+		got := r1.Intersect(r2)
+		val := int64(v)
+		return got.ContainsInt(val) == (r1.ContainsInt(val) && r2.ContainsInt(val))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTableSchema(t *testing.T) {
+	tb := NewTable([]string{"x", "y"}, []string{"h"}, 20)
+	if tb.ObjIndex("y") != 1 || tb.ObjIndex("z") != -1 {
+		t.Fatal("ObjIndex wrong")
+	}
+	if tb.AttrIndex("h") != 0 || tb.AttrIndex("x") != -1 {
+		t.Fatal("AttrIndex wrong")
+	}
+	if err := tb.AddRow([]ObjectID{1}, []Range{AnyRange()}, Empty(20)); err == nil {
+		t.Fatal("short bindings should be rejected")
+	}
+	if err := tb.AddRow([]ObjectID{1, 2}, nil, Empty(20)); err == nil {
+		t.Fatal("missing ranges should be rejected")
+	}
+	if err := tb.AddRow([]ObjectID{1, 2}, []Range{EmptyRange()}, Empty(20)); err == nil {
+		t.Fatal("empty range row should be rejected")
+	}
+	if err := tb.AddRow([]ObjectID{1, 2}, []Range{IntAtLeast(3)}, NewList(20, entry(1, 4, 7))); err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTableValidateCatchesBadList(t *testing.T) {
+	tb := NewTable([]string{"x"}, nil, 20)
+	tb.Rows = append(tb.Rows, Row{Bindings: []ObjectID{1}, List: List{MaxSim: 5, Entries: []Entry{entry(1, 2, 3)}}})
+	if err := tb.Validate(); err == nil {
+		t.Fatal("row list max mismatch should fail validation")
+	}
+}
+
+func TestTableSortRows(t *testing.T) {
+	tb := NewTable([]string{"x"}, nil, 20)
+	tb.MustAddRow([]ObjectID{9}, nil, Empty(20))
+	tb.MustAddRow([]ObjectID{2}, nil, Empty(20))
+	tb.MustAddRow([]ObjectID{5}, nil, Empty(20))
+	tb.SortRows()
+	var got []ObjectID
+	for _, r := range tb.Rows {
+		got = append(got, r.Bindings[0])
+	}
+	if got[0] != 2 || got[1] != 5 || got[2] != 9 {
+		t.Fatalf("SortRows order = %v", got)
+	}
+}
+
+func TestMustAddRowPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustAddRow should panic on shape mismatch")
+		}
+	}()
+	NewTable([]string{"x"}, nil, 20).MustAddRow(nil, nil, Empty(20))
+}

@@ -1,0 +1,135 @@
+package simlist
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// ObjectID identifies an object across the frames of a video (paper §2.2:
+// "each object in a picture is assigned an object id such that the same
+// object in different pictures is given the same id").
+type ObjectID int64
+
+// Row is one row of a similarity table: an evaluation of the formula's free
+// variables together with the similarity list that holds under it.
+//
+// Bindings are aligned with the owning table's ObjVars, Ranges with its
+// AttrVars.
+type Row struct {
+	Bindings []ObjectID
+	Ranges   []Range
+	List     List
+}
+
+// Table is a similarity table (paper §3.2–3.3): the first columns name the
+// free object variables, the next the free attribute variables (constrained
+// to ranges), and the last column is a similarity list per row.
+type Table struct {
+	ObjVars  []string
+	AttrVars []string
+	MaxSim   float64
+	Rows     []Row
+}
+
+// NewTable returns an empty table with the given schema and maximum
+// similarity.
+func NewTable(objVars, attrVars []string, maxSim float64) *Table {
+	return &Table{ObjVars: objVars, AttrVars: attrVars, MaxSim: maxSim}
+}
+
+// AddRow appends a row after checking that its shape matches the schema.
+func (t *Table) AddRow(bindings []ObjectID, ranges []Range, list List) error {
+	if len(bindings) != len(t.ObjVars) {
+		return fmt.Errorf("simlist: row has %d bindings, table has %d object variables", len(bindings), len(t.ObjVars))
+	}
+	if len(ranges) != len(t.AttrVars) {
+		return fmt.Errorf("simlist: row has %d ranges, table has %d attribute variables", len(ranges), len(t.AttrVars))
+	}
+	for _, r := range ranges {
+		if r.IsEmpty() {
+			return fmt.Errorf("simlist: row carries an unsatisfiable attribute range")
+		}
+	}
+	t.Rows = append(t.Rows, Row{Bindings: bindings, Ranges: ranges, List: list})
+	return nil
+}
+
+// MustAddRow is AddRow that panics on schema mismatch; for construction of
+// tables with statically known shape.
+func (t *Table) MustAddRow(bindings []ObjectID, ranges []Range, list List) {
+	if err := t.AddRow(bindings, ranges, list); err != nil {
+		panic(err)
+	}
+}
+
+// ObjIndex returns the column index of object variable name, or -1.
+func (t *Table) ObjIndex(name string) int {
+	for i, v := range t.ObjVars {
+		if v == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// AttrIndex returns the column index of attribute variable name, or -1.
+func (t *Table) AttrIndex(name string) int {
+	for i, v := range t.AttrVars {
+		if v == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Validate checks every row against the schema and every list's invariants.
+func (t *Table) Validate() error {
+	for i, r := range t.Rows {
+		if len(r.Bindings) != len(t.ObjVars) || len(r.Ranges) != len(t.AttrVars) {
+			return fmt.Errorf("simlist: row %d shape mismatch", i)
+		}
+		if err := r.List.Validate(); err != nil {
+			return fmt.Errorf("simlist: row %d: %w", i, err)
+		}
+		if r.List.MaxSim != t.MaxSim {
+			return fmt.Errorf("simlist: row %d list max %g differs from table max %g", i, r.List.MaxSim, t.MaxSim)
+		}
+		for _, rg := range r.Ranges {
+			if rg.IsEmpty() {
+				return fmt.Errorf("simlist: row %d carries empty attribute range", i)
+			}
+		}
+	}
+	return nil
+}
+
+// SortRows orders rows deterministically (by bindings, then ranges) so that
+// tables computed along different paths compare reproducibly.
+func (t *Table) SortRows() {
+	sort.SliceStable(t.Rows, func(i, j int) bool {
+		a, b := t.Rows[i], t.Rows[j]
+		for k := range a.Bindings {
+			if a.Bindings[k] != b.Bindings[k] {
+				return a.Bindings[k] < b.Bindings[k]
+			}
+		}
+		for k := range a.Ranges {
+			as, bs := a.Ranges[k].String(), b.Ranges[k].String()
+			if as != bs {
+				return as < bs
+			}
+		}
+		return false
+	})
+}
+
+// String renders the table for diagnostics.
+func (t *Table) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "table obj=%v attr=%v max=%g\n", t.ObjVars, t.AttrVars, t.MaxSim)
+	for _, r := range t.Rows {
+		fmt.Fprintf(&b, "  %v %v -> %v\n", r.Bindings, r.Ranges, r.List)
+	}
+	return b.String()
+}

@@ -1,0 +1,158 @@
+package track_test
+
+import (
+	"testing"
+
+	"htlvideo/internal/metadata"
+	"htlvideo/internal/track"
+	"htlvideo/internal/videogen"
+)
+
+func feat(vals ...float64) []float64 { return vals }
+
+func det(f []float64, typ string) track.Detection {
+	return track.Detection{Feature: f, Type: typ, Certainty: 1}
+}
+
+func TestStableIDsAcrossFrames(t *testing.T) {
+	frames := [][]track.Detection{
+		{det(feat(0, 0), "man"), det(feat(1, 1), "woman")},
+		{det(feat(0.05, 0.02), "man"), det(feat(0.98, 1.01), "woman")},
+		{det(feat(0.01, 0.03), "man")},
+	}
+	objs, err := track.Assign(frames, track.Config{MaxDistance: 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if objs[0][0].ID != objs[1][0].ID || objs[0][0].ID != objs[2][0].ID {
+		t.Fatalf("man id drifted: %v %v %v", objs[0][0].ID, objs[1][0].ID, objs[2][0].ID)
+	}
+	if objs[0][1].ID != objs[1][1].ID {
+		t.Fatalf("woman id drifted: %v %v", objs[0][1].ID, objs[1][1].ID)
+	}
+	if objs[0][0].ID == objs[0][1].ID {
+		t.Fatal("distinct objects share an id")
+	}
+}
+
+func TestTypeGateBlocksCrossTypeLinks(t *testing.T) {
+	frames := [][]track.Detection{
+		{det(feat(0, 0), "man")},
+		{det(feat(0, 0), "train")}, // identical appearance, different class
+	}
+	objs, err := track.Assign(frames, track.Config{MaxDistance: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if objs[0][0].ID == objs[1][0].ID {
+		t.Fatal("tracker linked across types")
+	}
+}
+
+func TestTrackExpiryAfterGap(t *testing.T) {
+	frames := [][]track.Detection{
+		{det(feat(0, 0), "man")},
+		{},                       // disappears
+		{},                       // still gone
+		{det(feat(0, 0), "man")}, // far later: a new id
+	}
+	objs, err := track.Assign(frames, track.Config{MaxDistance: 0.3, MaxGap: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if objs[0][0].ID == objs[3][0].ID {
+		t.Fatal("track should have expired during the gap")
+	}
+	// With a generous gap the id survives.
+	objs2, err := track.Assign(frames, track.Config{MaxDistance: 0.3, MaxGap: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if objs2[0][0].ID != objs2[3][0].ID {
+		t.Fatal("track should survive within MaxGap")
+	}
+}
+
+func TestGreedyPrefersClosestPair(t *testing.T) {
+	frames := [][]track.Detection{
+		{det(feat(0), "man"), det(feat(1), "man")},
+		// Both detections are nearer to track B (1) than A (0); greedy
+		// global matching must pair 0.9->B and 0.2->A, not first-come.
+		{det(feat(0.9), "man"), det(feat(0.2), "man")},
+	}
+	objs, err := track.Assign(frames, track.Config{MaxDistance: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if objs[1][0].ID != objs[0][1].ID {
+		t.Fatalf("0.9 should link to the track at 1: %v vs %v", objs[1][0].ID, objs[0][1].ID)
+	}
+	if objs[1][1].ID != objs[0][0].ID {
+		t.Fatalf("0.2 should link to the track at 0: %v vs %v", objs[1][1].ID, objs[0][0].ID)
+	}
+}
+
+func TestNoDoubleAssignmentWithinFrame(t *testing.T) {
+	frames := [][]track.Detection{
+		{det(feat(0), "man")},
+		{det(feat(0.01), "man"), det(feat(0.02), "man")},
+	}
+	objs, err := track.Assign(frames, track.Config{MaxDistance: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if objs[1][0].ID == objs[1][1].ID {
+		t.Fatal("one track claimed two detections in a frame")
+	}
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := track.Assign([][]track.Detection{{{Type: "man", Certainty: 1}}}, track.Config{}); err == nil {
+		t.Fatal("empty feature should fail")
+	}
+	if _, err := track.Assign([][]track.Detection{{det(feat(1), "man")}, {{Feature: feat(1, 2), Type: "man", Certainty: 1}}}, track.Config{MaxDistance: 10}); err == nil {
+		t.Fatal("dimension mismatch should fail")
+	}
+	if _, err := track.Assign([][]track.Detection{{{Feature: feat(1), Type: "man", Certainty: 0}}}, track.Config{}); err == nil {
+		t.Fatal("zero certainty should fail")
+	}
+}
+
+// TestAnonymizedPipelineRecoversIdentity: render → anonymize → track → the
+// assigned ids are consistent wherever the ground truth was.
+func TestAnonymizedPipelineRecoversIdentity(t *testing.T) {
+	specs := []videogen.ShotSpec{
+		{Frames: 6, Palette: 1, Objects: []metadata.Object{
+			{ID: 1, Type: "man", Certainty: 0.9},
+			{ID: 2, Type: "woman", Certainty: 0.8},
+		}},
+		{Frames: 6, Palette: 2, Objects: []metadata.Object{
+			{ID: 1, Type: "man", Certainty: 0.9},
+		}},
+	}
+	frames := videogen.Render(specs, 0.01, 3)
+	dets := videogen.Anonymize(frames, 0.05, 4)
+	objs, err := track.Assign(dets, track.Config{MaxDistance: 0.4, MaxGap: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Within every frame pair, ground-truth-equal objects must share the
+	// assigned id and distinct ones must differ.
+	assignedOf := func(fi int, truth metadata.ObjectID) (metadata.ObjectID, bool) {
+		for i, o := range frames[fi].Objects {
+			if o.ID == truth {
+				return objs[fi][i].ID, true
+			}
+		}
+		return 0, false
+	}
+	man0, _ := assignedOf(0, 1)
+	for fi := range frames {
+		if man, ok := assignedOf(fi, 1); ok && man != man0 {
+			t.Fatalf("man id drifted at frame %d: %v vs %v", fi, man, man0)
+		}
+		if woman, ok := assignedOf(fi, 2); ok && woman == man0 {
+			t.Fatalf("woman shares the man's id at frame %d", fi)
+		}
+	}
+}

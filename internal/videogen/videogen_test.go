@@ -1,0 +1,70 @@
+package videogen
+
+import (
+	"math"
+	"testing"
+
+	"htlvideo/internal/metadata"
+	"htlvideo/internal/segment"
+)
+
+func TestRenderDeterministicAndNormalized(t *testing.T) {
+	specs := []ShotSpec{
+		{Frames: 5, Palette: 1},
+		{Frames: 3, Palette: 2, Objects: []metadata.Object{{ID: 1, Type: "man", Certainty: 1}}},
+	}
+	a := Render(specs, 0.02, 9)
+	b := Render(specs, 0.02, 9)
+	if len(a) != 8 || len(b) != 8 {
+		t.Fatalf("frames: %d", len(a))
+	}
+	for i := range a {
+		if a[i].Hist != b[i].Hist {
+			t.Fatal("same seed should reproduce")
+		}
+		sum := 0.0
+		for _, v := range a[i].Hist {
+			sum += v
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("frame %d histogram sums to %g", i, sum)
+		}
+	}
+	if a[5].Objects == nil || a[5].Objects[0].ID != 1 {
+		t.Fatal("shot content not copied onto frames")
+	}
+	if a[0].Objects != nil {
+		t.Fatal("first shot should be empty")
+	}
+}
+
+func TestRenderZeroFramesClampsToOne(t *testing.T) {
+	frames := Render([]ShotSpec{{Frames: 0, Palette: 1}}, 0, 1)
+	if len(frames) != 1 {
+		t.Fatalf("frames: %d", len(frames))
+	}
+}
+
+func TestCutPoints(t *testing.T) {
+	specs := []ShotSpec{{Frames: 4}, {Frames: 2}, {Frames: 3}}
+	got := CutPoints(specs)
+	if len(got) != 2 || got[0] != 4 || got[1] != 6 {
+		t.Fatalf("cuts: %v", got)
+	}
+	if CutPoints(specs[:1]) != nil {
+		t.Fatal("single shot has no cuts")
+	}
+}
+
+func TestPalettesSeparateUnderDetector(t *testing.T) {
+	// Adjacent different palettes must exceed the same-palette noise floor
+	// by a comfortable margin for every pair the examples use.
+	for a := 1; a <= 6; a++ {
+		for b := a + 1; b <= 6; b++ {
+			ha, hb := paletteHist(a), paletteHist(b)
+			if d := segment.HistDiff(ha[:], hb[:]); d < 0.4 {
+				t.Errorf("palettes %d and %d are only %g apart", a, b, d)
+			}
+		}
+	}
+}

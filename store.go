@@ -1,0 +1,327 @@
+package htlvideo
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"htlvideo/internal/core"
+	"htlvideo/internal/htl"
+	"htlvideo/internal/metadata"
+	"htlvideo/internal/picture"
+	"htlvideo/internal/refeval"
+	"htlvideo/internal/sqlgen"
+)
+
+// Store is a video database: the meta-data store plus the picture-retrieval
+// indices built over it, ready to answer HTL queries. Queries may run
+// concurrently with each other; adding videos must not race with queries.
+type Store struct {
+	meta    *metadata.Store
+	tax     *Taxonomy
+	weights Weights
+
+	// mu guards the system cache; queries across many videos build and read
+	// it concurrently.
+	mu sync.Mutex
+	// systems caches one picture system per (video, level).
+	systems map[[2]int]*picture.System
+}
+
+// NewStore creates an empty store. tax may be nil (types then only match
+// exactly).
+func NewStore(tax *Taxonomy, w Weights) *Store {
+	if tax == nil {
+		tax = picture.NewTaxonomy()
+	}
+	return &Store{
+		meta:    metadata.NewStore(),
+		tax:     tax,
+		weights: w,
+		systems: map[[2]int]*picture.System{},
+	}
+}
+
+// Add validates and inserts a video.
+func (s *Store) Add(v *Video) error { return s.meta.Add(v) }
+
+// Video returns a stored video by id, or nil.
+func (s *Store) Video(id int) *Video { return s.meta.Video(id) }
+
+// Videos returns all stored videos ordered by id.
+func (s *Store) Videos() []*Video { return s.meta.Videos() }
+
+// system returns (building and caching if needed) the picture system over
+// one video's sequence at a level.
+func (s *Store) system(v *Video, level int) (*picture.System, error) {
+	key := [2]int{v.ID, level}
+	s.mu.Lock()
+	sys, ok := s.systems[key]
+	s.mu.Unlock()
+	if ok {
+		return sys, nil
+	}
+	sys, err := picture.NewSystem(v, level, s.tax, s.weights)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	s.systems[key] = sys
+	s.mu.Unlock()
+	return sys, nil
+}
+
+// Engine selects the evaluation machinery.
+type Engine uint8
+
+const (
+	// EngineAuto uses the §3 similarity-list algorithms for extended
+	// conjunctive formulas and falls back to the reference evaluator for
+	// full HTL.
+	EngineAuto Engine = iota
+	// EngineDirect forces the §3 algorithms (errors outside the extended
+	// conjunctive class).
+	EngineDirect
+	// EngineSQL forces the SQL-translation baseline of §4 (type (1) only).
+	EngineSQL
+	// EngineReference forces the brute-force reference evaluator.
+	EngineReference
+)
+
+// QueryOption tweaks query evaluation.
+type QueryOption func(*queryConfig)
+
+type queryConfig struct {
+	level          int
+	atRoot         bool
+	untilThreshold float64
+	engine         Engine
+	videoID        *int
+	andMode        core.AndMode
+}
+
+// AtLevel asserts the formula on each video's proper sequence at the given
+// level (default 2 — the children of the root, matching §3's two-level
+// arrangement).
+func AtLevel(level int) QueryOption { return func(c *queryConfig) { c.level = level } }
+
+// AtRoot asserts the formula at the root, on the one-element sequence of
+// §2.3 — queries then typically begin with level-modal operators.
+func AtRoot() QueryOption { return func(c *queryConfig) { c.atRoot = true } }
+
+// WithUntilThreshold overrides the fractional-similarity threshold of the
+// until operator (default 0.5).
+func WithUntilThreshold(tau float64) QueryOption {
+	return func(c *queryConfig) { c.untilThreshold = tau }
+}
+
+// WithEngine selects the evaluation engine.
+func WithEngine(e Engine) QueryOption { return func(c *queryConfig) { c.engine = e } }
+
+// AndMode selects the conjunction similarity function.
+type AndMode = core.AndMode
+
+// Conjunction similarity functions (§5's "other similarity functions").
+const (
+	// AndSum is the paper's semantics: actual similarities add.
+	AndSum = core.AndSum
+	// AndMin is the weakest-link alternative: the conjunction's fraction is
+	// the minimum of the conjuncts' fractions.
+	AndMin = core.AndMin
+)
+
+// WithAndSemantics selects the conjunction similarity function (default:
+// the paper's additive AndSum). The SQL baseline supports only AndSum.
+func WithAndSemantics(m AndMode) QueryOption { return func(c *queryConfig) { c.andMode = m } }
+
+// OnVideo restricts the query to a single video.
+func OnVideo(id int) QueryOption { return func(c *queryConfig) { c.videoID = &id } }
+
+// Results holds a query's similarity lists per video.
+type Results struct {
+	// Formula is the evaluated query.
+	Formula Formula
+	// Class is the formula's class.
+	Class Class
+	// PerVideo maps video id to its similarity list over segment ids.
+	PerVideo map[int]SimList
+}
+
+// TopK returns the k highest-similarity segment runs across all videos
+// (§1's "top k video segments ... will be retrieved").
+func (r *Results) TopK(k int) []Ranked { return core.TopK(r.PerVideo, k) }
+
+// Ranked returns every non-zero run ordered by descending similarity — the
+// presentation of the paper's Table 4.
+func (r *Results) Ranked() []Ranked {
+	var out []Ranked
+	ids := make([]int, 0, len(r.PerVideo))
+	for id := range r.PerVideo {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		out = append(out, core.RankEntries(id, r.PerVideo[id])...)
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Sim.Act > out[j].Sim.Act })
+	return out
+}
+
+// Query parses and evaluates an HTL query over every stored video (use
+// OnVideo to restrict it). See QueryFormula for evaluating a pre-parsed
+// formula.
+func (s *Store) Query(query string, opts ...QueryOption) (*Results, error) {
+	f, err := htl.Parse(query)
+	if err != nil {
+		return nil, err
+	}
+	return s.QueryFormula(f, opts...)
+}
+
+// QueryFormula evaluates a parsed HTL formula.
+func (s *Store) QueryFormula(f Formula, opts ...QueryOption) (*Results, error) {
+	cfg := queryConfig{level: 2, untilThreshold: core.DefaultUntilThreshold}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if cfg.atRoot {
+		cfg.level = 1
+	}
+	videos := s.meta.Videos()
+	if cfg.videoID != nil {
+		v := s.meta.Video(*cfg.videoID)
+		if v == nil {
+			return nil, fmt.Errorf("htlvideo: no video with id %d", *cfg.videoID)
+		}
+		videos = []*Video{v}
+	}
+	if len(videos) == 0 {
+		return nil, errors.New("htlvideo: the store has no videos")
+	}
+	res := &Results{Formula: f, Class: htl.Classify(f), PerVideo: map[int]SimList{}}
+	// Videos are independent: evaluate them concurrently.
+	var (
+		wg       sync.WaitGroup
+		resMu    sync.Mutex
+		firstErr error
+	)
+	for _, v := range videos {
+		// A heterogeneous store may hold videos without the queried level;
+		// they simply contribute no segments. An explicitly targeted video
+		// still errors, below in queryVideo.
+		if cfg.videoID == nil && len(v.Sequence(cfg.level)) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(v *Video) {
+			defer wg.Done()
+			l, err := s.queryVideo(v, f, cfg)
+			resMu.Lock()
+			defer resMu.Unlock()
+			if err != nil {
+				if firstErr == nil {
+					firstErr = fmt.Errorf("video %d: %w", v.ID, err)
+				}
+				return
+			}
+			res.PerVideo[v.ID] = l
+		}(v)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return res, nil
+}
+
+// queryVideo evaluates the formula over one video.
+func (s *Store) queryVideo(v *Video, f Formula, cfg queryConfig) (SimList, error) {
+	sys, err := s.system(v, cfg.level)
+	if err != nil {
+		return SimList{}, err
+	}
+	return s.evalOne(sys, f, cfg)
+}
+
+// evalOne evaluates the formula over one video's sequence with the selected
+// engine.
+func (s *Store) evalOne(sys *picture.System, f Formula, cfg queryConfig) (SimList, error) {
+	coreOpts := core.Options{UntilThreshold: cfg.untilThreshold, And: cfg.andMode}
+	switch cfg.engine {
+	case EngineDirect:
+		return core.Eval(sys, f, coreOpts)
+	case EngineReference:
+		return refeval.New(sys, coreOpts).List(f)
+	case EngineSQL:
+		if cfg.andMode != core.AndSum {
+			return SimList{}, errors.New("htlvideo: the SQL baseline supports only the additive conjunction semantics")
+		}
+		return s.evalSQL(sys, f, cfg)
+	default:
+		l, err := core.Eval(sys, f, coreOpts)
+		var notConj *core.ErrNotConjunctive
+		if errors.As(err, &notConj) {
+			return refeval.New(sys, coreOpts).List(f)
+		}
+		return l, err
+	}
+}
+
+// evalSQL runs the §4 SQL baseline: atomic units are evaluated by the
+// picture system, loaded as interval relations, and the formula's temporal
+// skeleton is translated into a SQL statement sequence.
+func (s *Store) evalSQL(sys *picture.System, f Formula, cfg queryConfig) (SimList, error) {
+	tr, err := sqlgen.New(sys.Len(), cfg.untilThreshold)
+	if err != nil {
+		return SimList{}, err
+	}
+	atoms := map[string]sqlgen.Atom{}
+	for i, unit := range sqlgen.AtomicUnits(f) {
+		tb, err := sys.EvalAtomic(unit)
+		if err != nil {
+			return SimList{}, err
+		}
+		list := core.ProjectMax(tb)
+		name := fmt.Sprintf("atom_%d", i)
+		if err := tr.LoadAtomic(name, list); err != nil {
+			return SimList{}, err
+		}
+		atoms[unit.String()] = sqlgen.Atom{Table: name, MaxSim: list.MaxSim}
+	}
+	return tr.Eval(f, atoms)
+}
+
+// LeafSpans maps every segment of a video's level to the range of leaf
+// positions (frames) it covers: the bridge from a retrieved segment id to
+// the playable part of the actual video (Fig. 1's "video data base" side).
+func (s *Store) LeafSpans(videoID, level int) ([]LeafSpan, error) {
+	v := s.meta.Video(videoID)
+	if v == nil {
+		return nil, fmt.Errorf("htlvideo: no video with id %d", videoID)
+	}
+	return v.LeafSpans(level), nil
+}
+
+// Atomic evaluates a non-temporal formula over one video's sequence and
+// returns its similarity list — the picture-retrieval layer on its own,
+// useful for inspecting the paper's Tables 1–2 style outputs.
+func (s *Store) Atomic(videoID, level int, query string) (SimList, error) {
+	f, err := htl.Parse(query)
+	if err != nil {
+		return SimList{}, err
+	}
+	v := s.meta.Video(videoID)
+	if v == nil {
+		return SimList{}, fmt.Errorf("htlvideo: no video with id %d", videoID)
+	}
+	sys, err := s.system(v, level)
+	if err != nil {
+		return SimList{}, err
+	}
+	tb, err := sys.EvalAtomic(f)
+	if err != nil {
+		return SimList{}, err
+	}
+	return core.ProjectMax(tb), nil
+}

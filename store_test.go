@@ -1,0 +1,416 @@
+package htlvideo
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"htlvideo/internal/casablanca"
+	"htlvideo/internal/simlist"
+)
+
+// testStore builds a two-video store: the Casablanca case study plus a small
+// western with a deeper hierarchy.
+func testStore(t *testing.T) *Store {
+	t.Helper()
+	s := NewStore(casablanca.Taxonomy(), casablanca.Weights())
+	if err := s.Add(casablanca.Video()); err != nil {
+		t.Fatal(err)
+	}
+
+	western := NewVideo(2, "High Noon Practice", map[string]int{"scene": 2, "shot": 3})
+	western.Root.Meta.Attrs = map[string]Value{"genre": Str("western")}
+	sc1 := western.Root.AppendChild(Seg().Attr("title", Str("duel")).Build())
+	sc1.AppendChild(Seg().
+		ObjC(501, "man", 0.9).Prop("holds_gun").OAttr("name", Str("JohnWayne")).
+		ObjC(502, "man", 0.8).Prop("holds_gun").OAttr("name", Str("Bandit")).
+		Build())
+	sc1.AppendChild(Seg().
+		ObjC(501, "man", 0.9).
+		ObjC(502, "man", 0.8).
+		Rel("fires_at", 501, 502).
+		Build())
+	sc1.AppendChild(Seg().
+		ObjC(502, "man", 0.7).Prop("on_floor").
+		Build())
+	sc2 := western.Root.AppendChild(Seg().Attr("title", Str("aftermath")).Build())
+	sc2.AppendChild(Seg().ObjC(501, "man", 0.9).Build())
+	if err := s.Add(western); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestQueryAcrossVideos(t *testing.T) {
+	s := testStore(t)
+	res, err := s.Query("exists x . present(x) and type(x) = 'man'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.PerVideo) != 2 {
+		t.Fatalf("videos = %d", len(res.PerVideo))
+	}
+	if res.PerVideo[1].IsEmpty() || !res.PerVideo[2].IsEmpty() {
+		// Video 2's level 2 is scenes, which carry no objects.
+		t.Fatalf("unexpected lists: v1=%v v2=%v", res.PerVideo[1], res.PerVideo[2])
+	}
+}
+
+func TestQueryAtDeeperLevel(t *testing.T) {
+	s := testStore(t)
+	res, err := s.Query(
+		"(exists x, y . fires_at(x, y)) and eventually (exists z . on_floor(z))",
+		AtLevel(3), OnVideo(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := res.PerVideo[2]
+	// Shot 2 (global position 2 at level 3) has the shooting with the fall
+	// after it.
+	if l.At(2).Act <= l.At(1).Act {
+		t.Fatalf("list = %v", l)
+	}
+}
+
+func TestEnginesAgree(t *testing.T) {
+	s := testStore(t)
+	q := "(exists x . present(x) and type(x) = 'man') and eventually (exists t . present(t) and type(t) = 'train' and moving(t))"
+	var lists []SimList
+	for _, e := range []Engine{EngineDirect, EngineSQL, EngineReference, EngineAuto} {
+		res, err := s.Query(q, WithEngine(e), OnVideo(1))
+		if err != nil {
+			t.Fatalf("engine %d: %v", e, err)
+		}
+		lists = append(lists, res.PerVideo[1])
+	}
+	for i := 1; i < len(lists); i++ {
+		if !simlist.EqualApprox(lists[0], lists[i], 1e-9) {
+			t.Fatalf("engine %d disagrees:\n %v\n %v", i, lists[0], lists[i])
+		}
+	}
+}
+
+func TestTopKAcrossVideos(t *testing.T) {
+	s := testStore(t)
+	res, err := s.Query("exists x . present(x) and type(x) = 'man'", AtLevel(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	top := res.TopK(3)
+	total := 0
+	for _, r := range top {
+		total += r.Iv.Len()
+	}
+	if total != 3 {
+		t.Fatalf("TopK returned %d segments: %v", total, top)
+	}
+	// Casablanca's strongest man shots (47-49, certainty 0.9*4=3.6) win.
+	if top[0].VideoID != 1 || top[0].Iv.Beg != 47 {
+		t.Fatalf("top = %+v", top)
+	}
+}
+
+func TestRankedPresentation(t *testing.T) {
+	s := testStore(t)
+	res, err := s.Query(casablanca.Query1, OnVideo(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ranked := res.Ranked()
+	if len(ranked) == 0 || ranked[0].Sim.Act < ranked[len(ranked)-1].Sim.Act {
+		t.Fatalf("ranked = %v", ranked)
+	}
+	if diff := ranked[0].Sim.Act - 12.382; diff < -1e-9 || diff > 1e-9 {
+		t.Fatalf("best = %v", ranked[0])
+	}
+}
+
+func TestGeneralFormulaFallsBackToReference(t *testing.T) {
+	s := testStore(t)
+	// Negation over a temporal subformula: general HTL.
+	q := "not eventually (exists t . present(t) and type(t) = 'train' and moving(t))"
+	res, err := s.Query(q, OnVideo(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Class != ClassGeneral {
+		t.Fatalf("class = %v", res.Class)
+	}
+	l := res.PerVideo[1]
+	// Shots after the train (10..50) satisfy the negation fully.
+	if l.At(15).Act != l.MaxSim || l.At(5).Act == l.MaxSim {
+		t.Fatalf("list = %v", l)
+	}
+	// EngineDirect must refuse it.
+	if _, err := s.Query(q, OnVideo(1), WithEngine(EngineDirect)); err == nil {
+		t.Fatal("EngineDirect should reject general formulas")
+	}
+}
+
+func TestAtRootBrowsing(t *testing.T) {
+	s := testStore(t)
+	// Browsing query (§2.1): genre at the root plus a level-modal descent.
+	res, err := s.Query(
+		"genre = 'western' and at-level(3, eventually (exists x, y . fires_at(x, y)))",
+		AtRoot(), OnVideo(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := res.PerVideo[2]
+	if l.At(1).Act <= 0 {
+		t.Fatalf("root similarity = %v", l)
+	}
+}
+
+func TestQueryOptionsAndErrors(t *testing.T) {
+	s := testStore(t)
+	if _, err := s.Query("((("); err == nil {
+		t.Fatal("parse error should surface")
+	}
+	if _, err := s.Query("M1", OnVideo(9)); err == nil {
+		t.Fatal("unknown video should fail")
+	}
+	if _, err := NewStore(nil, DefaultWeights()).Query("M1"); err == nil {
+		t.Fatal("empty store should fail")
+	}
+	if _, err := s.Query("M1", AtLevel(9), OnVideo(1)); err == nil {
+		t.Fatal("level without segments should fail")
+	}
+	// SQL engine is restricted to type (1).
+	if _, err := s.Query("exists x . present(x) until M1", WithEngine(EngineSQL), OnVideo(1)); err == nil ||
+		!strings.Contains(err.Error(), "type (1)") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestUntilThresholdOption(t *testing.T) {
+	s := testStore(t)
+	// With τ = 1.0 only exact matches carry the until; the partial 1.26-run
+	// cannot bridge to the train.
+	q := "(" + casablanca.ManWomanQuery + ") until (" + casablanca.MovingTrainQuery + ")"
+	strict, err := s.Query(q, OnVideo(1), WithUntilThreshold(1.0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	loose, err := s.Query(q, OnVideo(1), WithUntilThreshold(0.1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ls, ll := strict.PerVideo[1], loose.PerVideo[1]
+	// Loosely, shot 8's partial match bridges to the train at 9; strictly,
+	// nothing does and only the train itself remains.
+	if ll.At(8).Act <= 0 || ls.At(8).Act != 0 {
+		t.Fatalf("strict %v vs loose %v", ls, ll)
+	}
+	if ls.At(9).Act <= 0 {
+		t.Fatalf("the train itself must stay: %v", ls)
+	}
+}
+
+func TestAtomicInspection(t *testing.T) {
+	s := testStore(t)
+	l, err := s.Atomic(1, 2, casablanca.MovingTrainQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Len() != 1 || l.Entries[0].Iv.Beg != 9 {
+		t.Fatalf("moving train = %v", l)
+	}
+	if _, err := s.Atomic(1, 2, "next M1"); err == nil {
+		t.Fatal("temporal formula should be rejected by Atomic")
+	}
+	if _, err := s.Atomic(7, 2, "M1"); err == nil {
+		t.Fatal("unknown video should fail")
+	}
+}
+
+func TestAnalyzePipelineThroughFacade(t *testing.T) {
+	specs := []ShotSpec{
+		{Frames: 10, Palette: 1, Objects: []Object{{ID: 1, Type: "man", Certainty: 1}}},
+		{Frames: 10, Palette: 2, Objects: []Object{{ID: 2, Type: "train", Certainty: 1, Props: map[string]bool{"moving": true}}}},
+	}
+	frames := RenderFrames(specs, 0.01, 3)
+	v, cuts, err := AnalyzeFrames(frames, AnalyzeOptions{VideoID: 5, Name: "synthetic"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cuts) != 1 || cuts[0] != CutPoints(specs)[0] {
+		t.Fatalf("cuts = %v", cuts)
+	}
+	s := NewStore(nil, DefaultWeights())
+	if err := s.Add(v); err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Query("exists t . present(t) and type(t) = 'train' and moving(t)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PerVideo[5].At(2).Act != 6 {
+		t.Fatalf("list = %v", res.PerVideo[5])
+	}
+}
+
+func TestAndSemanticsOption(t *testing.T) {
+	s := testStore(t)
+	q := "(" + casablanca.ManWomanQuery + ") and eventually (" + casablanca.MovingTrainQuery + ")"
+	sum, err := s.Query(q, OnVideo(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	minimum, err := s.Query(q, OnVideo(1), WithAndSemantics(AndMin))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ls, lm := sum.PerVideo[1], minimum.PerVideo[1]
+	// Shot 10-44 (1.26 Man-Woman, no train ahead): partial under sum, zero
+	// under weakest-link.
+	if ls.At(20).Act <= 0 || lm.At(20).Act != 0 {
+		t.Fatalf("sum %v vs min %v", ls.At(20), lm.At(20))
+	}
+	// Shot 1 satisfies both conjuncts under either semantics.
+	if lm.At(1).Act <= 0 {
+		t.Fatalf("min at 1: %v", lm.At(1))
+	}
+	// Weakest-link agrees between direct and reference engines (oracle is in
+	// internal/refeval; this exercises the facade wiring).
+	ref, err := s.Query(q, OnVideo(1), WithAndSemantics(AndMin), WithEngine(EngineReference))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !simlist.EqualApprox(lm, ref.PerVideo[1], 1e-9) {
+		t.Fatalf("engines disagree under AndMin:\n %v\n %v", lm, ref.PerVideo[1])
+	}
+	// The SQL baseline only implements the paper's additive semantics.
+	if _, err := s.Query(q, OnVideo(1), WithAndSemantics(AndMin), WithEngine(EngineSQL)); err == nil {
+		t.Fatal("SQL engine should reject AndMin")
+	}
+}
+
+func TestHeterogeneousLevelsSkipped(t *testing.T) {
+	s := testStore(t)
+	// Level 3 exists only in video 2; video 1 (two-level Casablanca) is
+	// skipped rather than failing the query.
+	res, err := s.Query("exists x, y . fires_at(x, y)", AtLevel(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, has := res.PerVideo[1]; has {
+		t.Fatal("video without the level should be absent from the results")
+	}
+	if res.PerVideo[2].IsEmpty() {
+		t.Fatalf("video 2 list: %v", res.PerVideo[2])
+	}
+	// Explicit targeting still surfaces the problem.
+	if _, err := s.Query("M1", AtLevel(3), OnVideo(1)); err == nil {
+		t.Fatal("explicitly targeted missing level should fail")
+	}
+}
+
+func TestLeafSpansThroughStore(t *testing.T) {
+	s := testStore(t)
+	spans, err := s.LeafSpans(2, 2) // video 2, scene level
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(spans) != 2 || spans[0] != (LeafSpan{Beg: 1, End: 3}) || spans[1] != (LeafSpan{Beg: 4, End: 4}) {
+		t.Fatalf("spans: %v", spans)
+	}
+	if _, err := s.LeafSpans(9, 2); err == nil {
+		t.Fatal("unknown video should fail")
+	}
+}
+
+// TestTrackedPipelineMatchesGroundTruth runs the same scripted footage
+// through the ground-truth pipeline and through anonymous detections +
+// tracker, and requires identical answers to an identity-sensitive query
+// (the freeze formula needs the SAME plane across frames, so a tracker that
+// fragmented ids would change the result).
+func TestTrackedPipelineMatchesGroundTruth(t *testing.T) {
+	specs := []ShotSpec{
+		{Frames: 4, Palette: 1, Objects: []Object{
+			{ID: 9, Type: "airplane", Certainty: 1, Attrs: map[string]Value{"height": Int(100)}}}},
+		{Frames: 4, Palette: 2, Objects: []Object{
+			{ID: 9, Type: "airplane", Certainty: 1, Attrs: map[string]Value{"height": Int(300)}}}},
+	}
+	frames := RenderFrames(specs, 0.01, 3)
+
+	truth, _, err := AnalyzeFrames(frames, AnalyzeOptions{VideoID: 1, Name: "truth"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dets := AnonymizeFrames(frames, 0.05, 7)
+	tracked, cuts, err := AnalyzeDetections(frames, dets, TrackConfig{MaxDistance: 0.4, MaxGap: 2}, AnalyzeOptions{VideoID: 1, Name: "tracked"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cuts) != 1 {
+		t.Fatalf("cuts: %v", cuts)
+	}
+
+	const q = "exists z . (present(z) and type(z) = 'airplane') and [h <- height(z)] eventually (present(z) and height(z) > h)"
+	ask := func(v *Video) SimList {
+		s := NewStore(nil, DefaultWeights())
+		if err := s.Add(v); err != nil {
+			t.Fatal(err)
+		}
+		res, err := s.Query(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.PerVideo[1]
+	}
+	lt, lk := ask(truth), ask(tracked)
+	if !simlist.EqualApprox(lt, lk, 1e-9) {
+		t.Fatalf("tracked pipeline diverges:\n truth   %v\n tracked %v", lt, lk)
+	}
+	if lt.At(1).Act != lt.MaxSim {
+		t.Fatalf("shot 1 should fully satisfy the climb query: %v", lt)
+	}
+}
+
+// TestConcurrentQueries hammers one store from many goroutines (run with
+// -race).
+func TestConcurrentQueries(t *testing.T) {
+	s := testStore(t)
+	queries := []string{
+		casablanca.Query1,
+		"exists x . present(x) and type(x) = 'man'",
+		"genre = 'western' and at-level(3, eventually (exists x, y . fires_at(x, y)))",
+		"not eventually M1",
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 32)
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			q := queries[i%len(queries)]
+			opts := []QueryOption{}
+			if q == queries[2] {
+				opts = append(opts, AtRoot(), OnVideo(2))
+			}
+			if _, err := s.Query(q, opts...); err != nil {
+				errs <- fmt.Errorf("%q: %w", q, err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+func TestClassifyExport(t *testing.T) {
+	for q, want := range map[string]Class{
+		"M1 and next M2":                 ClassType1,
+		"exists x . present(x) until M1": ClassType2,
+		"at-shot-level(M1)":              ClassExtendedConjunctive,
+		"not (M1 until M2)":              ClassGeneral,
+	} {
+		if got := Classify(MustParse(q)); got != want {
+			t.Errorf("Classify(%q) = %v, want %v", q, got, want)
+		}
+	}
+}

@@ -1,0 +1,241 @@
+package htlvideo
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"htlvideo/internal/metadata"
+)
+
+// JSON persistence for video stores. The format is deliberately plain so
+// that meta-data produced by external video-analysis tooling can be dropped
+// in:
+//
+//	{
+//	  "taxonomy": [{"child": "man", "parent": "person"}],
+//	  "videos": [{
+//	    "id": 1, "name": "clip", "levels": {"shot": 2},
+//	    "segments": [{
+//	      "attrs": {"genre": "western"},
+//	      "objects": [{"id": 7, "type": "man", "certainty": 0.9,
+//	                   "props": ["holds_gun"], "attrs": {"name": "John"}}],
+//	      "rels": [{"name": "fires_at", "subject": 7, "object": 8}],
+//	      "children": [ ...same shape, one level deeper... ]
+//	    }]
+//	  }]
+//	}
+//
+// Attribute values are JSON strings or integers (floats with a fractional
+// part are rejected: the HTL attribute algebra is over integers and
+// strings, §3.3).
+
+// StoreDoc is the serialized form of a store.
+type StoreDoc struct {
+	Taxonomy []TaxEdgeDoc `json:"taxonomy,omitempty"`
+	Videos   []VideoDoc   `json:"videos"`
+}
+
+// TaxEdgeDoc is one subtype edge.
+type TaxEdgeDoc struct {
+	Child  string `json:"child"`
+	Parent string `json:"parent"`
+}
+
+// VideoDoc is one serialized video.
+type VideoDoc struct {
+	ID       int            `json:"id"`
+	Name     string         `json:"name"`
+	Levels   map[string]int `json:"levels,omitempty"`
+	Attrs    map[string]any `json:"attrs,omitempty"`
+	Segments []SegmentDoc   `json:"segments"`
+}
+
+// SegmentDoc is one serialized segment (children nest recursively).
+type SegmentDoc struct {
+	Attrs    map[string]any `json:"attrs,omitempty"`
+	Objects  []ObjectDoc    `json:"objects,omitempty"`
+	Rels     []RelDoc       `json:"rels,omitempty"`
+	Children []SegmentDoc   `json:"children,omitempty"`
+}
+
+// ObjectDoc is one serialized object occurrence.
+type ObjectDoc struct {
+	ID        int64          `json:"id"`
+	Type      string         `json:"type"`
+	Certainty float64        `json:"certainty,omitempty"`
+	Props     []string       `json:"props,omitempty"`
+	Attrs     map[string]any `json:"attrs,omitempty"`
+}
+
+// RelDoc is one serialized relationship.
+type RelDoc struct {
+	Name    string `json:"name"`
+	Subject int64  `json:"subject"`
+	Object  int64  `json:"object"`
+}
+
+// LoadStore reads a JSON store document.
+func LoadStore(r io.Reader) (*Store, error) {
+	var doc StoreDoc
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&doc); err != nil {
+		return nil, fmt.Errorf("htlvideo: decoding store: %w", err)
+	}
+	return doc.Build()
+}
+
+// Build constructs a store from the document.
+func (d StoreDoc) Build() (*Store, error) {
+	tax := NewTaxonomy()
+	for _, e := range d.Taxonomy {
+		if err := tax.Add(e.Child, e.Parent); err != nil {
+			return nil, err
+		}
+	}
+	store := NewStore(tax, DefaultWeights())
+	for _, vd := range d.Videos {
+		v := NewVideo(vd.ID, vd.Name, vd.Levels)
+		var err error
+		v.Root.Meta.Attrs, err = attrsFromDoc(vd.Attrs)
+		if err != nil {
+			return nil, fmt.Errorf("video %d: %w", vd.ID, err)
+		}
+		for _, sd := range vd.Segments {
+			if err := addSegmentDoc(v.Root, sd); err != nil {
+				return nil, fmt.Errorf("video %d: %w", vd.ID, err)
+			}
+		}
+		if err := store.Add(v); err != nil {
+			return nil, fmt.Errorf("video %d: %w", vd.ID, err)
+		}
+	}
+	return store, nil
+}
+
+// Save serializes the store (its taxonomy edges and videos) as JSON.
+func (s *Store) Save(w io.Writer) error {
+	doc := StoreDoc{}
+	for _, e := range s.tax.Edges() {
+		doc.Taxonomy = append(doc.Taxonomy, TaxEdgeDoc{Child: e[0], Parent: e[1]})
+	}
+	for _, v := range s.Videos() {
+		vd := VideoDoc{
+			ID: v.ID, Name: v.Name, Levels: v.LevelNames,
+			Attrs: attrsToDoc(v.Root.Meta.Attrs),
+		}
+		for _, c := range v.Root.Children {
+			vd.Segments = append(vd.Segments, segmentToDoc(c))
+		}
+		doc.Videos = append(doc.Videos, vd)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}
+
+func segmentToDoc(n *Node) SegmentDoc {
+	sd := SegmentDoc{
+		Attrs: attrsToDoc(n.Meta.Attrs),
+	}
+	for _, o := range n.Meta.Objects {
+		od := ObjectDoc{
+			ID: int64(o.ID), Type: o.Type, Certainty: o.Certainty,
+			Attrs: attrsToDoc(o.Attrs),
+		}
+		for p := range o.Props {
+			od.Props = append(od.Props, p)
+		}
+		sort.Strings(od.Props)
+		sd.Objects = append(sd.Objects, od)
+	}
+	for _, r := range n.Meta.Rels {
+		sd.Rels = append(sd.Rels, RelDoc{Name: r.Name, Subject: int64(r.Subject), Object: int64(r.Object)})
+	}
+	for _, c := range n.Children {
+		sd.Children = append(sd.Children, segmentToDoc(c))
+	}
+	return sd
+}
+
+func addSegmentDoc(parent *Node, sd SegmentDoc) error {
+	meta := SegmentMeta{}
+	var err error
+	meta.Attrs, err = attrsFromDoc(sd.Attrs)
+	if err != nil {
+		return err
+	}
+	for _, od := range sd.Objects {
+		cert := od.Certainty
+		if cert == 0 {
+			cert = 1
+		}
+		obj := Object{ID: ObjectID(od.ID), Type: od.Type, Certainty: cert}
+		if len(od.Props) > 0 {
+			obj.Props = map[string]bool{}
+			for _, p := range od.Props {
+				obj.Props[p] = true
+			}
+		}
+		obj.Attrs, err = attrsFromDoc(od.Attrs)
+		if err != nil {
+			return fmt.Errorf("object %d: %w", od.ID, err)
+		}
+		meta.Objects = append(meta.Objects, obj)
+	}
+	for _, rd := range sd.Rels {
+		meta.Rels = append(meta.Rels, Relationship{
+			Name: rd.Name, Subject: ObjectID(rd.Subject), Object: ObjectID(rd.Object),
+		})
+	}
+	node := parent.AppendChild(meta)
+	for _, cd := range sd.Children {
+		if err := addSegmentDoc(node, cd); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func attrsFromDoc(raw map[string]any) (map[string]Value, error) {
+	if len(raw) == 0 {
+		return nil, nil
+	}
+	out := make(map[string]Value, len(raw))
+	for name, rv := range raw {
+		switch x := rv.(type) {
+		case string:
+			out[name] = Str(x)
+		case float64:
+			if x != float64(int64(x)) {
+				return nil, fmt.Errorf("attribute %q: non-integer numeric value %v", name, x)
+			}
+			out[name] = Int(int64(x))
+		case json.Number:
+			i, err := x.Int64()
+			if err != nil {
+				return nil, fmt.Errorf("attribute %q: %w", name, err)
+			}
+			out[name] = Int(i)
+		default:
+			return nil, fmt.Errorf("attribute %q: unsupported value type %T", name, rv)
+		}
+	}
+	return out, nil
+}
+
+func attrsToDoc(attrs map[string]Value) map[string]any {
+	if len(attrs) == 0 {
+		return nil
+	}
+	out := make(map[string]any, len(attrs))
+	for name, v := range attrs {
+		if v.Kind == metadata.StrValue {
+			out[name] = v.Str
+		} else {
+			out[name] = v.Int
+		}
+	}
+	return out
+}
