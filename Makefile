@@ -1,0 +1,28 @@
+# Development targets. `make check` is the full gate: vet, build, and the
+# whole test suite under the race detector — the store-level concurrency and
+# resilience tests (store_resilience_test.go) are only meaningful with -race.
+
+GO ?= go
+
+.PHONY: check vet build test race fuzz bench
+
+check: vet build race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Short parser fuzz session (FuzzParse: parse → print → re-parse is total).
+fuzz:
+	$(GO) test -fuzz=FuzzParse -fuzztime=30s ./internal/htl/
+
+bench:
+	$(GO) test -bench=. -benchmem -run=^$$ .

@@ -14,6 +14,8 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -30,6 +32,7 @@ func main() {
 	k := flag.Int("k", 10, "number of top segments to print")
 	engine := flag.String("engine", "auto", "evaluation engine: auto, direct, sql, reference")
 	tau := flag.Float64("tau", 0.5, "until threshold on fractional similarity")
+	timeout := flag.Duration("timeout", 0, "overall query deadline, e.g. 200ms or 2s (0 = none)")
 	explain := flag.Bool("explain", false, "print the parsed formula and its class, then exit")
 	flag.Parse()
 
@@ -73,8 +76,17 @@ func main() {
 		fatalf("unknown engine %q", *engine)
 	}
 
-	res, err := store.Query(query, opts...)
+	ctx := context.Background()
+	if *timeout != 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	res, err := store.QueryCtx(ctx, query, opts...)
 	if err != nil {
+		if errors.Is(err, context.DeadlineExceeded) {
+			fatalf("query exceeded the %v deadline: %v", *timeout, err)
+		}
 		fatalf("%v", err)
 	}
 	fmt.Printf("query class: %v\n", res.Class)

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"htlvideo/internal/htl"
@@ -41,6 +42,13 @@ func (e *ErrNotConjunctive) Error() string {
 // algorithms. The resulting list maps segment ids (1-based positions in the
 // sequence) to similarity values.
 func Eval(src Source, f htl.Formula, opts Options) (simlist.List, error) {
+	return EvalCtx(context.Background(), src, f, opts)
+}
+
+// EvalCtx is Eval with cooperative cancellation: the evaluator checks ctx at
+// every subformula and at every segment of a level-modal scan, so deadlines
+// and cancellation stop work mid-evaluation rather than only between calls.
+func EvalCtx(ctx context.Context, src Source, f htl.Formula, opts Options) (simlist.List, error) {
 	if htl.Classify(f) == htl.ClassGeneral {
 		return simlist.List{}, &ErrNotConjunctive{Formula: f, Reason: "negation or quantification over a temporal subformula"}
 	}
@@ -54,7 +62,7 @@ func Eval(src Source, f htl.Formula, opts Options) (simlist.List, error) {
 		}
 		g = e.F
 	}
-	t, err := evalTable(src, g, opts)
+	t, err := evalTable(ctx, src, g, opts)
 	if err != nil {
 		return simlist.List{}, err
 	}
@@ -65,7 +73,12 @@ func Eval(src Source, f htl.Formula, opts Options) (simlist.List, error) {
 // conjunctive formula over src's sequence; exposed for the SQL baseline and
 // for tests.
 func EvalTable(src Source, f htl.Formula, opts Options) (*simlist.Table, error) {
-	return evalTable(src, f, opts)
+	return evalTable(context.Background(), src, f, opts)
+}
+
+// EvalTableCtx is EvalTable with cooperative cancellation.
+func EvalTableCtx(ctx context.Context, src Source, f htl.Formula, opts Options) (*simlist.Table, error) {
+	return evalTable(ctx, src, f, opts)
 }
 
 // MaxSimOf returns the maximum possible similarity of f, which depends only
@@ -96,17 +109,20 @@ func MaxSimOf(src Source, f htl.Formula) float64 {
 	}
 }
 
-func evalTable(src Source, f htl.Formula, opts Options) (*simlist.Table, error) {
+func evalTable(ctx context.Context, src Source, f htl.Formula, opts Options) (*simlist.Table, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if htl.NonTemporal(f) {
 		return src.EvalAtomic(f)
 	}
 	switch n := f.(type) {
 	case htl.And:
-		t1, err := evalTable(src, n.L, opts)
+		t1, err := evalTable(ctx, src, n.L, opts)
 		if err != nil {
 			return nil, err
 		}
-		t2, err := evalTable(src, n.R, opts)
+		t2, err := evalTable(ctx, src, n.R, opts)
 		if err != nil {
 			return nil, err
 		}
@@ -115,11 +131,11 @@ func evalTable(src Source, f htl.Formula, opts Options) (*simlist.Table, error) 
 		}
 		return CombineTables(t1, t2, and, t1.MaxSim+t2.MaxSim), nil
 	case htl.Until:
-		t1, err := evalTable(src, n.L, opts)
+		t1, err := evalTable(ctx, src, n.L, opts)
 		if err != nil {
 			return nil, err
 		}
-		t2, err := evalTable(src, n.R, opts)
+		t2, err := evalTable(ctx, src, n.R, opts)
 		if err != nil {
 			return nil, err
 		}
@@ -128,11 +144,11 @@ func evalTable(src Source, f htl.Formula, opts Options) (*simlist.Table, error) 
 		}
 		return CombineTables(t1, t2, until, t2.MaxSim), nil
 	case htl.Next:
-		return mapRows(src, n.F, opts, NextList)
+		return mapRows(ctx, src, n.F, opts, NextList)
 	case htl.Eventually:
-		return mapRows(src, n.F, opts, EventuallyList)
+		return mapRows(ctx, src, n.F, opts, EventuallyList)
 	case htl.Freeze:
-		t1, err := evalTable(src, n.F, opts)
+		t1, err := evalTable(ctx, src, n.F, opts)
 		if err != nil {
 			return nil, err
 		}
@@ -142,7 +158,7 @@ func evalTable(src Source, f htl.Formula, opts Options) (*simlist.Table, error) 
 		}
 		return FreezeTable(t1, n.Var, vt, n.Attr.Of), nil
 	case htl.AtLevel:
-		return evalAtLevel(src, n, opts)
+		return evalAtLevel(ctx, src, n, opts)
 	case htl.Exists:
 		return nil, &ErrNotConjunctive{Formula: f, Reason: "existential quantifier over a temporal subformula not at the beginning"}
 	case htl.Not:
@@ -154,8 +170,8 @@ func evalTable(src Source, f htl.Formula, opts Options) (*simlist.Table, error) 
 
 // mapRows evaluates the operand table and applies a per-list operator
 // (`next`, `eventually`) to every row, dropping rows that become empty.
-func mapRows(src Source, f htl.Formula, opts Options, op func(simlist.List) simlist.List) (*simlist.Table, error) {
-	t, err := evalTable(src, f, opts)
+func mapRows(ctx context.Context, src Source, f htl.Formula, opts Options, op func(simlist.List) simlist.List) (*simlist.Table, error) {
+	t, err := evalTable(ctx, src, f, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -174,7 +190,7 @@ func mapRows(src Source, f htl.Formula, opts Options, op func(simlist.List) siml
 // descendant sequence at level L, or 0 when there is none. Free variables of
 // g flow through: each distinct evaluation of g becomes a row over the
 // parent sequence.
-func evalAtLevel(src Source, n htl.AtLevel, opts Options) (*simlist.Table, error) {
+func evalAtLevel(ctx context.Context, src Source, n htl.AtLevel, opts Options) (*simlist.Table, error) {
 	objVars, attrVars := htl.FreeVars(n.F)
 	maxSim := MaxSimOf(src, n.F)
 	out := simlist.NewTable(objVars, attrVars, maxSim)
@@ -188,6 +204,9 @@ func evalAtLevel(src Source, n htl.AtLevel, opts Options) (*simlist.Table, error
 	var order []string
 
 	for id := 1; id <= src.Len(); id++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		cs, err := src.ChildSource(id, n.Level)
 		if err != nil {
 			return nil, err
@@ -195,7 +214,7 @@ func evalAtLevel(src Source, n htl.AtLevel, opts Options) (*simlist.Table, error
 		if cs == nil || cs.Len() == 0 {
 			continue
 		}
-		ct, err := evalTable(cs, n.F, opts)
+		ct, err := evalTable(ctx, cs, n.F, opts)
 		if err != nil {
 			return nil, err
 		}

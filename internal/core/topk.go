@@ -27,6 +27,12 @@ func RankEntries(videoID int, l simlist.List) []Ranked {
 	return out
 }
 
+// SortRanked orders runs by descending actual similarity with fully
+// deterministic tie-breaks — equal similarities order by video id, then by
+// beginning segment — so ranked output is stable run to run regardless of
+// the (concurrent, nondeterministic) order results were produced in.
+func SortRanked(rs []Ranked) { sortRanked(rs) }
+
 func sortRanked(rs []Ranked) {
 	sort.SliceStable(rs, func(i, j int) bool {
 		if rs[i].Sim.Act != rs[j].Sim.Act {

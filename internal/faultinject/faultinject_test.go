@@ -1,0 +1,144 @@
+package faultinject
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+const site Site = "test.site"
+
+func arm(t *testing.T, p *Plan) *Plan {
+	t.Helper()
+	Arm(p)
+	t.Cleanup(Disarm)
+	return p
+}
+
+func TestDisarmedFireIsNil(t *testing.T) {
+	Disarm()
+	if Enabled() {
+		t.Fatal("no plan armed, Enabled() = true")
+	}
+	if err := Fire(context.Background(), site, 1); err != nil {
+		t.Fatalf("disarmed Fire = %v", err)
+	}
+}
+
+func TestErrorRuleMatchesKey(t *testing.T) {
+	arm(t, NewPlan(1, Rule{Site: site, Key: 7, Kind: KindError}))
+	if err := Fire(nil, site, 3); err != nil {
+		t.Fatalf("key 3 should not match: %v", err)
+	}
+	err := Fire(nil, site, 7)
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("key 7: err = %v, want ErrInjected", err)
+	}
+	if err := Fire(nil, "other.site", 7); err != nil {
+		t.Fatalf("other site should not match: %v", err)
+	}
+}
+
+func TestCustomError(t *testing.T) {
+	boom := errors.New("boom")
+	arm(t, NewPlan(1, Rule{Site: site, Key: KeyAny, Kind: KindError, Err: boom}))
+	if err := Fire(nil, site, 0); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+}
+
+func TestPanicRule(t *testing.T) {
+	arm(t, NewPlan(1, Rule{Site: site, Key: KeyAny, Kind: KindPanic}))
+	defer func() {
+		r := recover()
+		p, ok := r.(*Panic)
+		if !ok {
+			t.Fatalf("recovered %v (%T), want *Panic", r, r)
+		}
+		if p.Site != site || p.Key != 5 {
+			t.Fatalf("panic = %v", p)
+		}
+	}()
+	_ = Fire(nil, site, 5)
+	t.Fatal("Fire did not panic")
+}
+
+func TestStallRespectsContext(t *testing.T) {
+	arm(t, NewPlan(1, Rule{Site: site, Key: KeyAny, Kind: KindStall})) // stall forever
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	err := Fire(ctx, site, 1)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want DeadlineExceeded", err)
+	}
+	if d := time.Since(start); d > time.Second {
+		t.Fatalf("stall returned after %v", d)
+	}
+}
+
+func TestStallDurationWithoutContext(t *testing.T) {
+	arm(t, NewPlan(1, Rule{Site: site, Key: KeyAny, Kind: KindStall, Stall: 10 * time.Millisecond}))
+	start := time.Now()
+	if err := Fire(nil, site, 1); err != nil {
+		t.Fatalf("timed stall = %v", err)
+	}
+	if d := time.Since(start); d < 10*time.Millisecond {
+		t.Fatalf("stall returned after only %v", d)
+	}
+	// A zero stall with no context must not deadlock.
+	arm(t, NewPlan(1, Rule{Site: site, Key: KeyAny, Kind: KindStall}))
+	if err := Fire(nil, site, 1); err != nil {
+		t.Fatalf("contextless zero stall = %v", err)
+	}
+}
+
+// decisions records which of the first n invocations trigger a Prob rule.
+func decisions(p *Plan, n int) []bool {
+	out := make([]bool, n)
+	for i := range out {
+		out[i] = p.fire(nil, site, int64(i%4)) != nil
+	}
+	return out
+}
+
+func TestProbRollsAreSeedDeterministic(t *testing.T) {
+	mk := func(seed int64) *Plan {
+		return NewPlan(seed, Rule{Site: site, Key: KeyAny, Prob: 0.5, Kind: KindError})
+	}
+	a, b := decisions(mk(42), 256), decisions(mk(42), 256)
+	hits := 0
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at call %d", i)
+		}
+		if a[i] {
+			hits++
+		}
+	}
+	if hits == 0 || hits == len(a) {
+		t.Fatalf("Prob 0.5 triggered %d/%d times; want a mix", hits, len(a))
+	}
+	c := decisions(mk(43), 256)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds made identical decisions")
+	}
+}
+
+func TestCallsCounter(t *testing.T) {
+	p := arm(t, NewPlan(1))
+	for i := 0; i < 3; i++ {
+		_ = Fire(nil, site, int64(i))
+	}
+	if got := p.Calls(site); got != 3 {
+		t.Fatalf("Calls = %d, want 3", got)
+	}
+}

@@ -36,10 +36,28 @@ func MustParse(src string) Formula {
 	return f
 }
 
+// maxParseDepth bounds formula nesting so hostile or malformed inputs
+// produce a parse error instead of overflowing the goroutine stack; it also
+// bounds the recursion of the later bind/print/classify passes, which walk
+// the tree the parser built.
+const maxParseDepth = 1024
+
 type parser struct {
-	toks []token
-	i    int
+	toks  []token
+	i     int
+	depth int
 }
+
+// enter guards every recursive production; callers must pair it with leave.
+func (p *parser) enter() error {
+	p.depth++
+	if p.depth > maxParseDepth {
+		return &SyntaxError{p.peek().pos, fmt.Sprintf("formula nesting exceeds %d levels", maxParseDepth)}
+	}
+	return nil
+}
+
+func (p *parser) leave() { p.depth-- }
 
 func (p *parser) peek() token { return p.toks[p.i] }
 func (p *parser) next() token { t := p.toks[p.i]; p.i++; return t }
@@ -60,6 +78,10 @@ var reserved = map[string]bool{
 
 // formula parses at the loosest precedence: `until` (right-associative).
 func (p *parser) formula() (Formula, error) {
+	if err := p.enter(); err != nil {
+		return nil, err
+	}
+	defer p.leave()
 	l, err := p.andExpr()
 	if err != nil {
 		return nil, err
@@ -94,6 +116,10 @@ func (p *parser) andExpr() (Formula, error) {
 
 // unary parses prefix operators and primaries.
 func (p *parser) unary() (Formula, error) {
+	if err := p.enter(); err != nil {
+		return nil, err
+	}
+	defer p.leave()
 	t := p.peek()
 	switch {
 	case t.kind == tokIdent && t.text == "not":
@@ -328,6 +354,10 @@ func (p *parser) atom() (Formula, error) {
 // identifier as a Var and the argument terms (non-nil, possibly empty);
 // plain terms return args == nil.
 func (p *parser) termOrCall() (Term, []Term, error) {
+	if err := p.enter(); err != nil {
+		return nil, nil, err
+	}
+	defer p.leave()
 	t := p.next()
 	switch t.kind {
 	case tokInt:

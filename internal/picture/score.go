@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"htlvideo/internal/core"
+	"htlvideo/internal/faultinject"
 	"htlvideo/internal/htl"
 	"htlvideo/internal/interval"
 	"htlvideo/internal/metadata"
@@ -619,6 +620,11 @@ func usesObjects(f htl.Formula) bool {
 // entry point the reference evaluator shares with the table builder, so the
 // two paths cannot diverge on atomic scoring.
 func (s *System) ScoreAtomicAt(f htl.Formula, id int, env Env) (simlist.Sim, error) {
+	if faultinject.Enabled() {
+		if err := faultinject.Fire(nil, faultinject.SiteAtomicEval, int64(s.video.ID)); err != nil {
+			return simlist.Sim{}, err
+		}
+	}
 	if !htl.NonTemporal(f) {
 		return simlist.Sim{}, &UnsupportedError{"ScoreAtomicAt requires a non-temporal formula"}
 	}
@@ -736,6 +742,11 @@ func (s *System) ObjectIDs() []simlist.ObjectID {
 // EvalAtomic implements core.Source: the similarity table of a non-temporal
 // formula over the sequence, built through the inverted indices.
 func (s *System) EvalAtomic(f htl.Formula) (*simlist.Table, error) {
+	if faultinject.Enabled() {
+		if err := faultinject.Fire(nil, faultinject.SiteAtomicEval, int64(s.video.ID)); err != nil {
+			return nil, err
+		}
+	}
 	if !htl.NonTemporal(f) {
 		return nil, &UnsupportedError{fmt.Sprintf("EvalAtomic requires a non-temporal formula, got %q", f)}
 	}

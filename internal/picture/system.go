@@ -1,11 +1,13 @@
 package picture
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
 
 	"htlvideo/internal/core"
+	"htlvideo/internal/faultinject"
 	"htlvideo/internal/htl"
 	"htlvideo/internal/metadata"
 )
@@ -70,6 +72,19 @@ type childKey struct {
 // given level (level 2, the children of the root, matches §3's two-level
 // assumption). It fails when the video has no segments at that level.
 func NewSystem(video *metadata.Video, level int, tax *Taxonomy, w Weights) (*System, error) {
+	return NewSystemCtx(context.Background(), video, level, tax, w)
+}
+
+// NewSystemCtx is NewSystem with a context: an injected stall (see
+// internal/faultinject) or any future slow build step aborts when ctx is
+// cancelled.
+func NewSystemCtx(ctx context.Context, video *metadata.Video, level int, tax *Taxonomy, w Weights) (*System, error) {
+	if err := faultinject.Fire(ctx, faultinject.SitePictureNewSystem, int64(video.ID)); err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	seq := video.Sequence(level)
 	if len(seq) == 0 {
 		return nil, fmt.Errorf("picture: video %d has no segments at level %d", video.ID, level)

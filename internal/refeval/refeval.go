@@ -17,6 +17,7 @@
 package refeval
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -35,6 +36,10 @@ func errorsAs(err error, target **picture.UnsupportedError) bool {
 type Evaluator struct {
 	sys  *picture.System
 	opts core.Options
+	// ops throttles cancellation checkpoints: the brute-force recursion
+	// visits a node per (subformula, segment) pair, so checking the context
+	// on every call would dominate small evaluations.
+	ops uint
 }
 
 // New builds an evaluator over the picture system's sequence.
@@ -45,10 +50,20 @@ func New(sys *picture.System, opts core.Options) *Evaluator {
 // List computes the similarity list of a closed formula over the sequence,
 // id by id.
 func (e *Evaluator) List(f htl.Formula) (simlist.List, error) {
+	return e.ListCtx(context.Background(), f)
+}
+
+// ListCtx is List with cooperative cancellation: the recursion checks ctx at
+// every segment of the outer scan and periodically inside the O(n²) temporal
+// scans, so a deadline stops a brute-force evaluation mid-video.
+func (e *Evaluator) ListCtx(ctx context.Context, f htl.Formula) (simlist.List, error) {
 	maxSim := core.MaxSimOf(e.sys, f)
 	dense := make([]float64, e.sys.Len())
 	for u := 1; u <= e.sys.Len(); u++ {
-		a, err := e.simAt(f, u, picture.Env{})
+		if err := ctx.Err(); err != nil {
+			return simlist.List{}, err
+		}
+		a, err := e.simAt(ctx, f, u, picture.Env{})
 		if err != nil {
 			return simlist.List{}, err
 		}
@@ -59,10 +74,15 @@ func (e *Evaluator) List(f htl.Formula) (simlist.List, error) {
 
 // SimAt returns the actual similarity of f at segment u under env.
 func (e *Evaluator) SimAt(f htl.Formula, u int, env picture.Env) (float64, error) {
-	return e.simAt(f, u, env)
+	return e.simAt(context.Background(), f, u, env)
 }
 
-func (e *Evaluator) simAt(f htl.Formula, u int, env picture.Env) (float64, error) {
+func (e *Evaluator) simAt(ctx context.Context, f htl.Formula, u int, env picture.Env) (float64, error) {
+	if e.ops++; e.ops&0xff == 0 {
+		if err := ctx.Err(); err != nil {
+			return 0, err
+		}
+	}
 	if htl.NonTemporal(f) {
 		sim, err := e.sys.ScoreAtomicAt(f, u, env)
 		var unsup *picture.UnsupportedError
@@ -86,11 +106,11 @@ func (e *Evaluator) simAt(f htl.Formula, u int, env picture.Env) (float64, error
 		}
 		return sim.Act, nil
 	case htl.And:
-		a, err := e.simAt(n.L, u, env)
+		a, err := e.simAt(ctx, n.L, u, env)
 		if err != nil {
 			return 0, err
 		}
-		b, err := e.simAt(n.R, u, env)
+		b, err := e.simAt(ctx, n.R, u, env)
 		if err != nil {
 			return 0, err
 		}
@@ -103,7 +123,7 @@ func (e *Evaluator) simAt(f htl.Formula, u int, env picture.Env) (float64, error
 		}
 		return a + b, nil
 	case htl.Not:
-		a, err := e.simAt(n.F, u, env)
+		a, err := e.simAt(ctx, n.F, u, env)
 		if err != nil {
 			return 0, err
 		}
@@ -112,11 +132,11 @@ func (e *Evaluator) simAt(f htl.Formula, u int, env picture.Env) (float64, error
 		if u+1 > e.sys.Len() {
 			return 0, nil
 		}
-		return e.simAt(n.F, u+1, env)
+		return e.simAt(ctx, n.F, u+1, env)
 	case htl.Eventually:
 		best := 0.0
 		for j := u; j <= e.sys.Len(); j++ {
-			a, err := e.simAt(n.F, j, env)
+			a, err := e.simAt(ctx, n.F, j, env)
 			if err != nil {
 				return 0, err
 			}
@@ -127,12 +147,12 @@ func (e *Evaluator) simAt(f htl.Formula, u int, env picture.Env) (float64, error
 		gMax := core.MaxSimOf(e.sys, n.L)
 		best := 0.0
 		for j := u; j <= e.sys.Len(); j++ {
-			a, err := e.simAt(n.R, j, env)
+			a, err := e.simAt(ctx, n.R, j, env)
 			if err != nil {
 				return 0, err
 			}
 			best = max(best, a)
-			g, err := e.simAt(n.L, j, env)
+			g, err := e.simAt(ctx, n.L, j, env)
 			if err != nil {
 				return 0, err
 			}
@@ -142,7 +162,7 @@ func (e *Evaluator) simAt(f htl.Formula, u int, env picture.Env) (float64, error
 		}
 		return best, nil
 	case htl.Exists:
-		return e.evalExists(n, u, env)
+		return e.evalExists(ctx, n, u, env)
 	case htl.Freeze:
 		val := e.sys.AttrValueAt(n.Attr, u, env)
 		if !val.Defined {
@@ -150,7 +170,7 @@ func (e *Evaluator) simAt(f htl.Formula, u int, env picture.Env) (float64, error
 			// undefined, so the freeze yields similarity 0 there.
 			return 0, nil
 		}
-		return e.simAt(n.F, u, env.WithAttr(n.Var, val))
+		return e.simAt(ctx, n.F, u, env.WithAttr(n.Var, val))
 	case htl.AtLevel:
 		src, err := e.sys.ChildSource(u, n.Level)
 		if err != nil {
@@ -163,7 +183,7 @@ func (e *Evaluator) simAt(f htl.Formula, u int, env picture.Env) (float64, error
 		if !ok {
 			return 0, fmt.Errorf("refeval: child source is %T, not a picture system", src)
 		}
-		return New(child, e.opts).simAt(n.F, 1, env)
+		return New(child, e.opts).simAt(ctx, n.F, 1, env)
 	default:
 		return 0, fmt.Errorf("refeval: unsupported formula node %T", f)
 	}
@@ -172,13 +192,13 @@ func (e *Evaluator) simAt(f htl.Formula, u int, env picture.Env) (float64, error
 // evalExists maximizes over assignments of the quantified variables to the
 // sequence's object ids (plus the absent wildcard; objects outside the
 // sequence are indistinguishable from absent ones).
-func (e *Evaluator) evalExists(n htl.Exists, u int, env picture.Env) (float64, error) {
+func (e *Evaluator) evalExists(ctx context.Context, n htl.Exists, u int, env picture.Env) (float64, error) {
 	domain := e.sys.ObjectIDs()
 	best := 0.0
 	var assign func(i int, cur picture.Env) error
 	assign = func(i int, cur picture.Env) error {
 		if i == len(n.Vars) {
-			a, err := e.simAt(n.F, u, cur)
+			a, err := e.simAt(ctx, n.F, u, cur)
 			if err != nil {
 				return err
 			}

@@ -2,6 +2,8 @@ package relational
 
 import (
 	"sort"
+
+	"htlvideo/internal/faultinject"
 )
 
 // TableData is a stored relation.
@@ -105,6 +107,9 @@ func (t *TableData) rangeCount(col int, lo, hi *bound) int {
 // DB is an in-memory SQL database.
 type DB struct {
 	tables map[string]*TableData
+	// stmts counts statements executed over the database's lifetime; it
+	// keys the fault-injection hook so tests can target one statement.
+	stmts int64
 }
 
 // NewDB returns an empty database.
@@ -138,6 +143,13 @@ func (db *DB) Exec(src string) (*Result, error) {
 
 // ExecStmt executes one parsed statement.
 func (db *DB) ExecStmt(st Stmt) (*Result, error) {
+	if faultinject.Enabled() {
+		n := db.stmts
+		db.stmts++
+		if err := faultinject.Fire(nil, faultinject.SiteRelationalExec, n); err != nil {
+			return nil, err
+		}
+	}
 	switch s := st.(type) {
 	case *CreateTable:
 		return nil, db.CreateTableData(s.Name, s.Cols)

@@ -22,6 +22,7 @@
 package sqlgen
 
 import (
+	"context"
 	"fmt"
 	"strconv"
 	"strings"
@@ -90,15 +91,22 @@ func (tr *Translator) LoadAtomic(name string, l simlist.List) error {
 // text (String()) of each maximal non-temporal subformula to the name of a
 // previously loaded interval relation and its maximum similarity.
 func (tr *Translator) Eval(f htl.Formula, atoms map[string]Atom) (simlist.List, error) {
+	return tr.EvalCtx(context.Background(), f, atoms)
+}
+
+// EvalCtx is Eval with cooperative cancellation: the translator checks ctx
+// before every generated statement, so a deadline aborts a statement
+// sequence mid-query instead of running it to completion.
+func (tr *Translator) EvalCtx(ctx context.Context, f htl.Formula, atoms map[string]Atom) (simlist.List, error) {
 	if c := htl.Classify(f); c != htl.ClassType1 {
 		return simlist.List{}, fmt.Errorf("sqlgen: formula %q is %v; the SQL baseline implements type (1)", f, c)
 	}
 	tr.Script.Reset()
-	name, maxSim, err := tr.translate(f, atoms)
+	name, maxSim, err := tr.translate(ctx, f, atoms)
 	if err != nil {
 		return simlist.List{}, err
 	}
-	res, err := tr.run(fmt.Sprintf("SELECT id, act FROM %s ORDER BY id", name))
+	res, err := tr.run(ctx, fmt.Sprintf("SELECT id, act FROM %s ORDER BY id", name))
 	if err != nil {
 		return simlist.List{}, err
 	}
@@ -112,7 +120,10 @@ type Atom struct {
 }
 
 // run executes one generated statement, logging it to the script.
-func (tr *Translator) run(sql string) (*relational.Result, error) {
+func (tr *Translator) run(ctx context.Context, sql string) (*relational.Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	tr.Script.WriteString(sql)
 	tr.Script.WriteString(";\n")
 	res, err := tr.DB.Exec(sql)
@@ -132,13 +143,13 @@ func (tr *Translator) fresh(prefix string) string {
 // as atomic even when a larger enclosing subformula is also non-temporal, so
 // callers control the unit granularity (the paper's §4.2 experiments feed
 // P1 ∧ P2 the tables of P1 and P2).
-func (tr *Translator) translate(f htl.Formula, atoms map[string]Atom) (string, float64, error) {
+func (tr *Translator) translate(ctx context.Context, f htl.Formula, atoms map[string]Atom) (string, float64, error) {
 	if a, ok := atoms[f.String()]; ok {
 		out := tr.fresh("exp")
-		if _, err := tr.run(fmt.Sprintf("CREATE TABLE %s (id INT, act FLOAT)", out)); err != nil {
+		if _, err := tr.run(ctx, fmt.Sprintf("CREATE TABLE %s (id INT, act FLOAT)", out)); err != nil {
 			return "", 0, err
 		}
-		_, err := tr.run(fmt.Sprintf(
+		_, err := tr.run(ctx, fmt.Sprintf(
 			"INSERT INTO %s SELECT s.id, l.act FROM %s l, series s WHERE s.id BETWEEN l.beg AND l.fin",
 			out, a.Table))
 		if err != nil {
@@ -148,19 +159,19 @@ func (tr *Translator) translate(f htl.Formula, atoms map[string]Atom) (string, f
 	}
 	switch n := f.(type) {
 	case htl.And:
-		ln, lm, err := tr.translate(n.L, atoms)
+		ln, lm, err := tr.translate(ctx, n.L, atoms)
 		if err != nil {
 			return "", 0, err
 		}
-		rn, rm, err := tr.translate(n.R, atoms)
+		rn, rm, err := tr.translate(ctx, n.R, atoms)
 		if err != nil {
 			return "", 0, err
 		}
 		out := tr.fresh("conj")
-		if _, err := tr.run(fmt.Sprintf("CREATE TABLE %s (id INT, act FLOAT)", out)); err != nil {
+		if _, err := tr.run(ctx, fmt.Sprintf("CREATE TABLE %s (id INT, act FLOAT)", out)); err != nil {
 			return "", 0, err
 		}
-		_, err = tr.run(fmt.Sprintf(
+		_, err = tr.run(ctx, fmt.Sprintf(
 			"INSERT INTO %s SELECT u.id, SUM(u.act) FROM (SELECT id, act FROM %s UNION ALL SELECT id, act FROM %s) u GROUP BY u.id",
 			out, ln, rn))
 		if err != nil {
@@ -168,30 +179,30 @@ func (tr *Translator) translate(f htl.Formula, atoms map[string]Atom) (string, f
 		}
 		return out, lm + rm, nil
 	case htl.Next:
-		in, m, err := tr.translate(n.F, atoms)
+		in, m, err := tr.translate(ctx, n.F, atoms)
 		if err != nil {
 			return "", 0, err
 		}
 		out := tr.fresh("nxt")
-		if _, err := tr.run(fmt.Sprintf("CREATE TABLE %s (id INT, act FLOAT)", out)); err != nil {
+		if _, err := tr.run(ctx, fmt.Sprintf("CREATE TABLE %s (id INT, act FLOAT)", out)); err != nil {
 			return "", 0, err
 		}
-		_, err = tr.run(fmt.Sprintf(
+		_, err = tr.run(ctx, fmt.Sprintf(
 			"INSERT INTO %s SELECT t.id - 1, t.act FROM %s t WHERE t.id - 1 >= 1", out, in))
 		if err != nil {
 			return "", 0, err
 		}
 		return out, m, nil
 	case htl.Eventually:
-		in, m, err := tr.translate(n.F, atoms)
+		in, m, err := tr.translate(ctx, n.F, atoms)
 		if err != nil {
 			return "", 0, err
 		}
 		out := tr.fresh("evt")
-		if _, err := tr.run(fmt.Sprintf("CREATE TABLE %s (id INT, act FLOAT)", out)); err != nil {
+		if _, err := tr.run(ctx, fmt.Sprintf("CREATE TABLE %s (id INT, act FLOAT)", out)); err != nil {
 			return "", 0, err
 		}
-		_, err = tr.run(fmt.Sprintf(
+		_, err = tr.run(ctx, fmt.Sprintf(
 			"INSERT INTO %s SELECT s.id, MAX(h.act) FROM series s, %s h WHERE h.id >= s.id GROUP BY s.id",
 			out, in))
 		if err != nil {
@@ -199,7 +210,7 @@ func (tr *Translator) translate(f htl.Formula, atoms map[string]Atom) (string, f
 		}
 		return out, m, nil
 	case htl.Until:
-		return tr.translateUntil(n, atoms)
+		return tr.translateUntil(ctx, n, atoms)
 	default:
 		if htl.NonTemporal(f) {
 			return "", 0, fmt.Errorf("sqlgen: no similarity table supplied for atomic subformula %q", f)
@@ -209,12 +220,12 @@ func (tr *Translator) translate(f htl.Formula, atoms map[string]Atom) (string, f
 }
 
 // translateUntil emits the run-decomposition translation of g until h.
-func (tr *Translator) translateUntil(n htl.Until, atoms map[string]Atom) (string, float64, error) {
-	gn, gm, err := tr.translate(n.L, atoms)
+func (tr *Translator) translateUntil(ctx context.Context, n htl.Until, atoms map[string]Atom) (string, float64, error) {
+	gn, gm, err := tr.translate(ctx, n.L, atoms)
 	if err != nil {
 		return "", 0, err
 	}
-	hn, hm, err := tr.translate(n.R, atoms)
+	hn, hm, err := tr.translate(ctx, n.R, atoms)
 	if err != nil {
 		return "", 0, err
 	}
@@ -248,7 +259,7 @@ func (tr *Translator) translateUntil(n htl.Until, atoms map[string]Atom) (string
 			out, within, outside),
 	}
 	for _, s := range stmts {
-		if _, err := tr.run(s); err != nil {
+		if _, err := tr.run(ctx, s); err != nil {
 			return "", 0, err
 		}
 	}

@@ -1,8 +1,11 @@
 package htlvideo
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"runtime"
+	"runtime/debug"
 	"sort"
 	"sync"
 
@@ -25,8 +28,17 @@ type Store struct {
 	// mu guards the system cache; queries across many videos build and read
 	// it concurrently.
 	mu sync.Mutex
-	// systems caches one picture system per (video, level).
-	systems map[[2]int]*picture.System
+	// systems caches one picture-system build slot per (video, level).
+	systems map[[2]int]*sysEntry
+}
+
+// sysEntry is one singleflight-style slot of the picture-system cache:
+// concurrent queries on the same (video, level) share a single build instead
+// of racing to construct duplicates and letting the last writer win.
+type sysEntry struct {
+	once sync.Once
+	sys  *picture.System
+	err  error
 }
 
 // NewStore creates an empty store. tax may be nil (types then only match
@@ -39,7 +51,7 @@ func NewStore(tax *Taxonomy, w Weights) *Store {
 		meta:    metadata.NewStore(),
 		tax:     tax,
 		weights: w,
-		systems: map[[2]int]*picture.System{},
+		systems: map[[2]int]*sysEntry{},
 	}
 }
 
@@ -53,23 +65,43 @@ func (s *Store) Video(id int) *Video { return s.meta.Video(id) }
 func (s *Store) Videos() []*Video { return s.meta.Videos() }
 
 // system returns (building and caching if needed) the picture system over
-// one video's sequence at a level.
-func (s *Store) system(v *Video, level int) (*picture.System, error) {
+// one video's sequence at a level. Concurrent callers for the same key share
+// one build; failed builds are evicted so later queries retry rather than
+// caching the error.
+func (s *Store) system(ctx context.Context, v *Video, level int) (*picture.System, error) {
 	key := [2]int{v.ID, level}
-	s.mu.Lock()
-	sys, ok := s.systems[key]
-	s.mu.Unlock()
-	if ok {
-		return sys, nil
+	for {
+		s.mu.Lock()
+		e, ok := s.systems[key]
+		if !ok {
+			e = &sysEntry{}
+			s.systems[key] = e
+		}
+		s.mu.Unlock()
+		e.once.Do(func() {
+			e.sys, e.err = picture.NewSystemCtx(ctx, v, level, s.tax, s.weights)
+		})
+		if e.err == nil {
+			return e.sys, nil
+		}
+		s.mu.Lock()
+		if s.systems[key] == e {
+			delete(s.systems, key)
+		}
+		s.mu.Unlock()
+		// A waiter can inherit a cancellation error from the context of the
+		// query that initiated the shared build; retry under our own while
+		// it is still live.
+		if ctxErr(e.err) && ctx.Err() == nil {
+			continue
+		}
+		return nil, e.err
 	}
-	sys, err := picture.NewSystem(v, level, s.tax, s.weights)
-	if err != nil {
-		return nil, err
-	}
-	s.mu.Lock()
-	s.systems[key] = sys
-	s.mu.Unlock()
-	return sys, nil
+}
+
+// ctxErr reports whether err is a context cancellation or deadline error.
+func ctxErr(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
 }
 
 // Engine selects the evaluation machinery.
@@ -99,6 +131,8 @@ type queryConfig struct {
 	engine         Engine
 	videoID        *int
 	andMode        core.AndMode
+	parallelism    int
+	partial        bool
 }
 
 // AtLevel asserts the formula on each video's proper sequence at the given
@@ -119,6 +153,18 @@ func WithUntilThreshold(tau float64) QueryOption {
 // WithEngine selects the evaluation engine.
 func WithEngine(e Engine) QueryOption { return func(c *queryConfig) { c.engine = e } }
 
+// WithParallelism bounds the number of videos evaluated concurrently by one
+// query (default runtime.GOMAXPROCS(0)). Values below 1 select the default;
+// 1 evaluates videos sequentially. The bound is per query: two concurrent
+// queries each get their own pool.
+func WithParallelism(n int) QueryOption { return func(c *queryConfig) { c.parallelism = n } }
+
+// WithPartialResults opts into degraded answers: videos that fail to
+// evaluate (including panics contained by the engine) are skipped and their
+// failures reported in Results.Errors, instead of failing the whole query.
+// Cancellation of the query's context still fails the query as a whole.
+func WithPartialResults() QueryOption { return func(c *queryConfig) { c.partial = true } }
+
 // AndMode selects the conjunction similarity function.
 type AndMode = core.AndMode
 
@@ -138,6 +184,22 @@ func WithAndSemantics(m AndMode) QueryOption { return func(c *queryConfig) { c.a
 // OnVideo restricts the query to a single video.
 func OnVideo(id int) QueryOption { return func(c *queryConfig) { c.videoID = &id } }
 
+// VideoError records the failure of one video's evaluation within a
+// multi-video query. Use errors.As to recover the video id from a joined
+// query error or from Results.Errors.
+type VideoError struct {
+	// VideoID is the video whose evaluation failed.
+	VideoID int
+	// Err is the underlying failure; context errors, engine errors, and
+	// contained panics all land here.
+	Err error
+}
+
+func (e *VideoError) Error() string { return fmt.Sprintf("video %d: %v", e.VideoID, e.Err) }
+
+// Unwrap exposes the underlying failure to errors.Is/As.
+func (e *VideoError) Unwrap() error { return e.Err }
+
 // Results holds a query's similarity lists per video.
 type Results struct {
 	// Formula is the evaluated query.
@@ -146,6 +208,11 @@ type Results struct {
 	Class Class
 	// PerVideo maps video id to its similarity list over segment ids.
 	PerVideo map[int]SimList
+	// Errors lists per-video failures when the query ran with
+	// WithPartialResults(): one *VideoError per failed video, ordered by
+	// video id. It is empty on fully successful queries; without
+	// WithPartialResults any failure fails the query instead.
+	Errors []error
 }
 
 // TopK returns the k highest-similarity segment runs across all videos
@@ -153,18 +220,15 @@ type Results struct {
 func (r *Results) TopK(k int) []Ranked { return core.TopK(r.PerVideo, k) }
 
 // Ranked returns every non-zero run ordered by descending similarity — the
-// presentation of the paper's Table 4.
+// presentation of the paper's Table 4. Equal similarities order
+// deterministically by video id, then by beginning segment, so the ranking
+// is identical run to run even though videos evaluate concurrently.
 func (r *Results) Ranked() []Ranked {
 	var out []Ranked
-	ids := make([]int, 0, len(r.PerVideo))
-	for id := range r.PerVideo {
-		ids = append(ids, id)
+	for id, l := range r.PerVideo {
+		out = append(out, core.RankEntries(id, l)...)
 	}
-	sort.Ints(ids)
-	for _, id := range ids {
-		out = append(out, core.RankEntries(id, r.PerVideo[id])...)
-	}
-	sort.SliceStable(out, func(i, j int) bool { return out[i].Sim.Act > out[j].Sim.Act })
+	core.SortRanked(out)
 	return out
 }
 
@@ -172,15 +236,34 @@ func (r *Results) Ranked() []Ranked {
 // OnVideo to restrict it). See QueryFormula for evaluating a pre-parsed
 // formula.
 func (s *Store) Query(query string, opts ...QueryOption) (*Results, error) {
+	return s.QueryCtx(context.Background(), query, opts...)
+}
+
+// QueryCtx is Query with a context: cancellation and deadlines propagate
+// into the evaluation engines and stop work mid-video, not just between
+// videos. On cancellation the query fails with an error wrapping ctx.Err().
+func (s *Store) QueryCtx(ctx context.Context, query string, opts ...QueryOption) (*Results, error) {
 	f, err := htl.Parse(query)
 	if err != nil {
 		return nil, err
 	}
-	return s.QueryFormula(f, opts...)
+	return s.QueryFormulaCtx(ctx, f, opts...)
 }
 
 // QueryFormula evaluates a parsed HTL formula.
 func (s *Store) QueryFormula(f Formula, opts ...QueryOption) (*Results, error) {
+	return s.QueryFormulaCtx(context.Background(), f, opts...)
+}
+
+// QueryFormulaCtx evaluates a parsed HTL formula under a context.
+//
+// Videos are independent and evaluate concurrently on a bounded worker pool
+// (see WithParallelism). A panic while evaluating one video is contained and
+// surfaces as that video's error; per-video failures are aggregated with
+// errors.Join, so every failed video appears in the returned error. With
+// WithPartialResults, failed videos are skipped and reported in
+// Results.Errors instead.
+func (s *Store) QueryFormulaCtx(ctx context.Context, f Formula, opts ...QueryOption) (*Results, error) {
 	cfg := queryConfig{level: 2, untilThreshold: core.DefaultUntilThreshold}
 	for _, o := range opts {
 		o(&cfg)
@@ -199,70 +282,116 @@ func (s *Store) QueryFormula(f Formula, opts ...QueryOption) (*Results, error) {
 	if len(videos) == 0 {
 		return nil, errors.New("htlvideo: the store has no videos")
 	}
-	res := &Results{Formula: f, Class: htl.Classify(f), PerVideo: map[int]SimList{}}
-	// Videos are independent: evaluate them concurrently.
-	var (
-		wg       sync.WaitGroup
-		resMu    sync.Mutex
-		firstErr error
-	)
+	// A heterogeneous store may hold videos without the queried level; they
+	// simply contribute no segments. An explicitly targeted video still
+	// errors, below in queryVideo.
+	var work []*Video
 	for _, v := range videos {
-		// A heterogeneous store may hold videos without the queried level;
-		// they simply contribute no segments. An explicitly targeted video
-		// still errors, below in queryVideo.
 		if cfg.videoID == nil && len(v.Sequence(cfg.level)) == 0 {
 			continue
 		}
-		wg.Add(1)
-		go func(v *Video) {
+		work = append(work, v)
+	}
+	res := &Results{Formula: f, Class: htl.Classify(f), PerVideo: map[int]SimList{}}
+	if len(work) == 0 {
+		return res, nil
+	}
+
+	workers := cfg.parallelism
+	if workers < 1 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(work) {
+		workers = len(work)
+	}
+	var (
+		jobs  = make(chan *Video)
+		wg    sync.WaitGroup
+		resMu sync.Mutex
+		errs  []error
+	)
+	wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go func() {
 			defer wg.Done()
-			l, err := s.queryVideo(v, f, cfg)
-			resMu.Lock()
-			defer resMu.Unlock()
-			if err != nil {
-				if firstErr == nil {
-					firstErr = fmt.Errorf("video %d: %w", v.ID, err)
+			for v := range jobs {
+				l, err := s.queryVideoIsolated(ctx, v, f, cfg)
+				resMu.Lock()
+				if err != nil {
+					errs = append(errs, &VideoError{VideoID: v.ID, Err: err})
+				} else {
+					res.PerVideo[v.ID] = l
 				}
-				return
+				resMu.Unlock()
 			}
-			res.PerVideo[v.ID] = l
-		}(v)
+		}()
 	}
+feed:
+	for _, v := range work {
+		select {
+		case jobs <- v:
+		case <-ctx.Done():
+			break feed
+		}
+	}
+	close(jobs)
+	// Workers exit promptly on cancellation: every engine checkpoints the
+	// context inside its main loop, so this wait is bounded by one
+	// checkpoint interval rather than by a full video evaluation.
 	wg.Wait()
-	if firstErr != nil {
-		return nil, firstErr
+
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("htlvideo: query aborted: %w", err)
 	}
+	sort.Slice(errs, func(i, j int) bool {
+		return errs[i].(*VideoError).VideoID < errs[j].(*VideoError).VideoID
+	})
+	if len(errs) > 0 && !cfg.partial {
+		return nil, errors.Join(errs...)
+	}
+	res.Errors = errs
 	return res, nil
 }
 
+// queryVideoIsolated evaluates one video, containing panics so a poisoned
+// video fails alone instead of crashing every caller of the store.
+func (s *Store) queryVideoIsolated(ctx context.Context, v *Video, f Formula, cfg queryConfig) (l SimList, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("htlvideo: panic during evaluation: %v\n%s", r, debug.Stack())
+		}
+	}()
+	return s.queryVideo(ctx, v, f, cfg)
+}
+
 // queryVideo evaluates the formula over one video.
-func (s *Store) queryVideo(v *Video, f Formula, cfg queryConfig) (SimList, error) {
-	sys, err := s.system(v, cfg.level)
+func (s *Store) queryVideo(ctx context.Context, v *Video, f Formula, cfg queryConfig) (SimList, error) {
+	sys, err := s.system(ctx, v, cfg.level)
 	if err != nil {
 		return SimList{}, err
 	}
-	return s.evalOne(sys, f, cfg)
+	return s.evalOne(ctx, sys, f, cfg)
 }
 
 // evalOne evaluates the formula over one video's sequence with the selected
 // engine.
-func (s *Store) evalOne(sys *picture.System, f Formula, cfg queryConfig) (SimList, error) {
+func (s *Store) evalOne(ctx context.Context, sys *picture.System, f Formula, cfg queryConfig) (SimList, error) {
 	coreOpts := core.Options{UntilThreshold: cfg.untilThreshold, And: cfg.andMode}
 	switch cfg.engine {
 	case EngineDirect:
-		return core.Eval(sys, f, coreOpts)
+		return core.EvalCtx(ctx, sys, f, coreOpts)
 	case EngineReference:
-		return refeval.New(sys, coreOpts).List(f)
+		return refeval.New(sys, coreOpts).ListCtx(ctx, f)
 	case EngineSQL:
 		if cfg.andMode != core.AndSum {
 			return SimList{}, errors.New("htlvideo: the SQL baseline supports only the additive conjunction semantics")
 		}
-		return s.evalSQL(sys, f, cfg)
+		return s.evalSQL(ctx, sys, f, cfg)
 	default:
-		l, err := core.Eval(sys, f, coreOpts)
+		l, err := core.EvalCtx(ctx, sys, f, coreOpts)
 		var notConj *core.ErrNotConjunctive
 		if errors.As(err, &notConj) {
-			return refeval.New(sys, coreOpts).List(f)
+			return refeval.New(sys, coreOpts).ListCtx(ctx, f)
 		}
 		return l, err
 	}
@@ -271,13 +400,16 @@ func (s *Store) evalOne(sys *picture.System, f Formula, cfg queryConfig) (SimLis
 // evalSQL runs the §4 SQL baseline: atomic units are evaluated by the
 // picture system, loaded as interval relations, and the formula's temporal
 // skeleton is translated into a SQL statement sequence.
-func (s *Store) evalSQL(sys *picture.System, f Formula, cfg queryConfig) (SimList, error) {
+func (s *Store) evalSQL(ctx context.Context, sys *picture.System, f Formula, cfg queryConfig) (SimList, error) {
 	tr, err := sqlgen.New(sys.Len(), cfg.untilThreshold)
 	if err != nil {
 		return SimList{}, err
 	}
 	atoms := map[string]sqlgen.Atom{}
 	for i, unit := range sqlgen.AtomicUnits(f) {
+		if err := ctx.Err(); err != nil {
+			return SimList{}, err
+		}
 		tb, err := sys.EvalAtomic(unit)
 		if err != nil {
 			return SimList{}, err
@@ -289,7 +421,7 @@ func (s *Store) evalSQL(sys *picture.System, f Formula, cfg queryConfig) (SimLis
 		}
 		atoms[unit.String()] = sqlgen.Atom{Table: name, MaxSim: list.MaxSim}
 	}
-	return tr.Eval(f, atoms)
+	return tr.EvalCtx(ctx, f, atoms)
 }
 
 // LeafSpans maps every segment of a video's level to the range of leaf
@@ -315,7 +447,7 @@ func (s *Store) Atomic(videoID, level int, query string) (SimList, error) {
 	if v == nil {
 		return SimList{}, fmt.Errorf("htlvideo: no video with id %d", videoID)
 	}
-	sys, err := s.system(v, level)
+	sys, err := s.system(context.Background(), v, level)
 	if err != nil {
 		return SimList{}, err
 	}
