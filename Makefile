@@ -24,5 +24,8 @@ race:
 fuzz:
 	$(GO) test -fuzz=FuzzParse -fuzztime=30s ./internal/htl/
 
+# Benchmarks plus BENCH_obs.json: per-engine query latency (count, mean,
+# p50, p99) read from the store's own metrics histograms.
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ .
+	BENCH_OBS_OUT=BENCH_obs.json $(GO) test -run '^TestWriteBenchObs$$' -count=1 -v .

@@ -1,0 +1,74 @@
+package htlvideo
+
+// TestWriteBenchObs is `make bench`'s observability companion: it drives the
+// same type-(1) query through each engine and emits the per-engine query
+// latency distributions — read straight from the store's own
+// `query.latency.engine.<engine>` histograms, so the benchmark doubles as an
+// end-to-end check of the instrumentation — to the JSON file named by
+// BENCH_OBS_OUT (BENCH_obs.json under `make bench`). Without the env var the
+// test skips, keeping plain `go test` runs quiet.
+
+import (
+	"encoding/json"
+	"os"
+	"testing"
+)
+
+func TestWriteBenchObs(t *testing.T) {
+	out := os.Getenv("BENCH_OBS_OUT")
+	if out == "" {
+		t.Skip("BENCH_OBS_OUT not set; run via `make bench`")
+	}
+	s := resilienceStore(t, 8)
+	engines := []struct {
+		name string
+		e    Engine
+	}{
+		{"core", EngineDirect},
+		{"sqlgen", EngineSQL},
+		{"refeval", EngineReference},
+	}
+	const iters = 40
+	for _, eng := range engines {
+		for i := 0; i < iters; i++ {
+			if _, err := s.Query("M1 until M2", WithEngine(eng.e)); err != nil {
+				t.Fatalf("engine %s: %v", eng.name, err)
+			}
+		}
+	}
+
+	type latency struct {
+		Count  int64 `json:"count"`
+		MeanNs int64 `json:"mean_ns"`
+		P50Ns  int64 `json:"p50_ns"`
+		P99Ns  int64 `json:"p99_ns"`
+	}
+	report := struct {
+		Query   string             `json:"query"`
+		Videos  int                `json:"videos"`
+		Iters   int                `json:"iters_per_engine"`
+		Engines map[string]latency `json:"engines"`
+	}{Query: "M1 until M2", Videos: 8, Iters: iters, Engines: map[string]latency{}}
+
+	hists := s.Metrics().Snapshot().Histograms
+	for _, eng := range engines {
+		h, ok := hists["query.latency.engine."+eng.name]
+		if !ok || h.Count != iters {
+			t.Fatalf("engine %s: latency histogram missing or short (%+v)", eng.name, h)
+		}
+		report.Engines[eng.name] = latency{
+			Count:  h.Count,
+			MeanNs: int64(h.Mean()),
+			P50Ns:  int64(h.Quantile(0.5)),
+			P99Ns:  int64(h.Quantile(0.99)),
+		}
+	}
+	buf, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(out, append(buf, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote %s", out)
+}

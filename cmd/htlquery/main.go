@@ -11,14 +11,18 @@
 //	htlquery -demo "exists x, y . present(x) and type(x) = 'man' and present(y) and type(y) = 'woman'"
 //	htlquery -store videos.json -level 3 -k 5 "M1 until M2"
 //	htlquery -demo -engine sql "..."
+//	htlquery -demo -trace -metrics-addr :8080 "..."   # trace to stderr, then serve /metrics
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
+	"os/signal"
 
 	"htlvideo"
 	"htlvideo/internal/casablanca"
@@ -33,6 +37,9 @@ func main() {
 	engine := flag.String("engine", "auto", "evaluation engine: auto, direct, sql, reference")
 	tau := flag.Float64("tau", 0.5, "until threshold on fractional similarity")
 	timeout := flag.Duration("timeout", 0, "overall query deadline, e.g. 200ms or 2s (0 = none)")
+	partial := flag.Bool("partial", false, "return partial results: failed videos are skipped and summarized")
+	trace := flag.Bool("trace", false, "print the query's structured trace as JSON on stderr")
+	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /debug/slowlog and /debug/pprof on this address; the process then stays alive until interrupted")
 	explain := flag.Bool("explain", false, "print the parsed formula and its class, then exit")
 	flag.Parse()
 
@@ -57,12 +64,21 @@ func main() {
 		fatalf("%v", err)
 	}
 
+	srv := serveMetrics(store, *metricsAddr)
+
 	opts := []htlvideo.QueryOption{
 		htlvideo.AtLevel(*level),
 		htlvideo.WithUntilThreshold(*tau),
 	}
 	if *atRoot {
 		opts = append(opts, htlvideo.AtRoot())
+	}
+	if *partial {
+		opts = append(opts, htlvideo.WithPartialResults())
+	}
+	var traces htlvideo.TraceCollector
+	if *trace {
+		opts = append(opts, htlvideo.WithTrace(&traces))
 	}
 	switch *engine {
 	case "auto":
@@ -83,6 +99,13 @@ func main() {
 		defer cancel()
 	}
 	res, err := store.QueryCtx(ctx, query, opts...)
+	if *trace {
+		if t := traces.Last(); t != nil {
+			enc := json.NewEncoder(os.Stderr)
+			enc.SetIndent("", "  ")
+			_ = enc.Encode(t.Snapshot())
+		}
+	}
 	if err != nil {
 		if errors.Is(err, context.DeadlineExceeded) {
 			fatalf("query exceeded the %v deadline: %v", *timeout, err)
@@ -90,9 +113,11 @@ func main() {
 		fatalf("%v", err)
 	}
 	fmt.Printf("query class: %v\n", res.Class)
+	printSummary(store, res)
 	top := res.TopK(*k)
 	if len(top) == 0 {
 		fmt.Println("no segments with non-zero similarity")
+		serveForever(srv, *metricsAddr)
 		return
 	}
 	fmt.Printf("%-7s %-12s %-12s %-9s %s\n", "video", "segments", "similarity", "fraction", "frames")
@@ -116,6 +141,52 @@ func main() {
 		}
 		fmt.Printf("%-7d %-12s %-12.6g %-9.3f %s\n", r.VideoID, r.Iv.String(), r.Sim.Act, r.Sim.Frac(), frames)
 	}
+	serveForever(srv, *metricsAddr)
+}
+
+// printSummary prints the one-line query outcome from the stats snapshot, so
+// even a query with zero surviving segments (timeouts, partial results)
+// reports what happened to every video.
+func printSummary(store *htlvideo.Store, res *htlvideo.Results) {
+	st := store.Stats()
+	fmt.Printf("videos: %d evaluated, %d skipped, %d errored\n",
+		st.Pool.VideosEvaluated, st.Pool.VideosSkipped, st.Pool.VideosFailed)
+	for _, e := range res.Errors {
+		var ve *htlvideo.VideoError
+		if errors.As(e, &ve) {
+			fmt.Fprintf(os.Stderr, "htlquery: video %d failed after %v: %v\n", ve.VideoID, ve.Elapsed, ve.Unwrap())
+		} else {
+			fmt.Fprintf(os.Stderr, "htlquery: %v\n", e)
+		}
+	}
+}
+
+// serveMetrics starts the observability listener, or returns nil.
+func serveMetrics(store *htlvideo.Store, addr string) *http.Server {
+	if addr == "" {
+		return nil
+	}
+	srv := &http.Server{Addr: addr, Handler: store.DebugHandler()}
+	go func() {
+		fmt.Fprintf(os.Stderr, "htlquery: serving /metrics, /debug/slowlog, /debug/pprof on %s\n", addr)
+		if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintf(os.Stderr, "htlquery: metrics listener: %v\n", err)
+		}
+	}()
+	return srv
+}
+
+// serveForever keeps the metrics endpoints alive after the query has printed,
+// until the process is interrupted.
+func serveForever(srv *http.Server, addr string) {
+	if srv == nil {
+		return
+	}
+	fmt.Fprintf(os.Stderr, "htlquery: query done; still serving metrics on %s (Ctrl-C to exit)\n", addr)
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, os.Interrupt)
+	<-ch
+	_ = srv.Close()
 }
 
 func buildStore(path string, demo bool) (*htlvideo.Store, error) {

@@ -28,6 +28,7 @@ import (
 	"htlvideo/internal/core"
 	"htlvideo/internal/htl"
 	"htlvideo/internal/metadata"
+	"htlvideo/internal/obs"
 	"htlvideo/internal/picture"
 	"htlvideo/internal/simlist"
 	"htlvideo/internal/track"
@@ -75,6 +76,30 @@ type (
 	Sim = simlist.Sim
 	// Ranked is one run of segments in a ranked result.
 	Ranked = core.Ranked
+
+	// Trace is one query's structured timing record: a tree of stage spans
+	// plus query-level tags (see WithTrace and Store.SlowLog).
+	Trace = obs.Trace
+	// TraceSnapshot is the JSON-ready copy of a finished trace.
+	TraceSnapshot = obs.TraceSnapshot
+	// SpanSnapshot is the JSON-ready copy of one trace span.
+	SpanSnapshot = obs.SpanSnapshot
+	// TraceSink receives completed query traces (WithTrace, SetTraceSink).
+	TraceSink = obs.TraceSink
+	// TraceCollector is a TraceSink retaining every trace, for inspection.
+	TraceCollector = obs.TraceCollector
+	// MetricsRegistry is the store's named metric collection (Store.Metrics).
+	MetricsRegistry = obs.Registry
+	// SlowLog retains the slowest queries with their traces (Store.SlowLog).
+	SlowLog = obs.SlowLog
+	// SlowEntry is one retained query of the slow log.
+	SlowEntry = obs.SlowEntry
+	// HistogramSnapshot is a latency histogram's point-in-time state.
+	HistogramSnapshot = obs.HistogramSnapshot
+	// Logger is the pluggable logging interface of the observability layer.
+	Logger = obs.Logger
+	// LoggerFunc adapts a printf-style function to Logger.
+	LoggerFunc = obs.LoggerFunc
 
 	// Frame is one synthetic video frame for the analyzer pipeline.
 	Frame = videogen.Frame

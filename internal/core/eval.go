@@ -6,6 +6,7 @@ import (
 
 	"htlvideo/internal/htl"
 	"htlvideo/internal/interval"
+	"htlvideo/internal/obs"
 	"htlvideo/internal/simlist"
 )
 
@@ -18,6 +19,9 @@ type Options struct {
 	// And selects the conjunction similarity function (§5's "other
 	// similarity functions"); the default AndSum is the paper's semantics.
 	And AndMode
+	// Obs receives per-operation work counts (atomic evaluations, temporal
+	// merges); nil disables the accounting at no cost.
+	Obs *obs.EngineMetrics
 }
 
 // DefaultOptions returns the library defaults.
@@ -114,6 +118,7 @@ func evalTable(ctx context.Context, src Source, f htl.Formula, opts Options) (*s
 		return nil, err
 	}
 	if htl.NonTemporal(f) {
+		opts.Obs.AtomicEval()
 		return src.EvalAtomic(f)
 	}
 	switch n := f.(type) {
@@ -127,6 +132,7 @@ func evalTable(ctx context.Context, src Source, f htl.Formula, opts Options) (*s
 			return nil, err
 		}
 		and := func(l1, l2 simlist.List) simlist.List {
+			opts.Obs.Merge()
 			return AndListsMode(l1, l2, opts.And)
 		}
 		return CombineTables(t1, t2, and, t1.MaxSim+t2.MaxSim), nil
@@ -140,6 +146,7 @@ func evalTable(ctx context.Context, src Source, f htl.Formula, opts Options) (*s
 			return nil, err
 		}
 		until := func(l1, l2 simlist.List) simlist.List {
+			opts.Obs.Merge()
 			return UntilLists(l1, l2, opts.UntilThreshold)
 		}
 		return CombineTables(t1, t2, until, t2.MaxSim), nil
@@ -177,6 +184,7 @@ func mapRows(ctx context.Context, src Source, f htl.Formula, opts Options, op fu
 	}
 	out := simlist.NewTable(t.ObjVars, t.AttrVars, t.MaxSim)
 	for _, r := range t.Rows {
+		opts.Obs.Merge()
 		row := simlist.Row{Bindings: r.Bindings, Ranges: r.Ranges, List: op(r.List)}
 		if keepRow(row) {
 			out.Rows = append(out.Rows, row)
@@ -238,6 +246,7 @@ func evalAtLevel(ctx context.Context, src Source, n htl.AtLevel, opts Options) (
 	}
 	for _, k := range order {
 		g := groups[k]
+		opts.Obs.Merge()
 		row := simlist.Row{
 			Bindings: g.bindings,
 			Ranges:   g.ranges,

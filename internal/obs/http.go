@@ -1,0 +1,50 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/pprof"
+)
+
+// Handler serves the observability endpoints over reg and slow:
+//
+//	/metrics        expvar-style JSON: every counter, gauge and histogram,
+//	                plus the stats() value under "stats" when non-nil
+//	/debug/slowlog  the retained slowest queries with their full traces
+//	/debug/pprof/   the standard runtime profiles
+//
+// Any argument may be nil; its endpoint then serves an empty document. The
+// handler is read-only and safe to serve while queries run.
+func Handler(reg *Registry, slow *SlowLog, stats func() any) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		doc := struct {
+			Metrics RegistrySnapshot `json:"metrics"`
+			Stats   any              `json:"stats,omitempty"`
+		}{Metrics: reg.Snapshot()}
+		if stats != nil {
+			doc.Stats = stats()
+		}
+		writeJSON(w, doc)
+	})
+	mux.HandleFunc("/debug/slowlog", func(w http.ResponseWriter, r *http.Request) {
+		entries := slow.Snapshot()
+		if entries == nil {
+			entries = []SlowEntry{}
+		}
+		writeJSON(w, entries)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}

@@ -1,0 +1,328 @@
+package obs
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// --- histogram ---------------------------------------------------------------
+
+// TestHistogramBucketBoundaries pins the bucket semantics: an observation
+// exactly on a boundary lands in the bucket it bounds (`le` semantics), one
+// nanosecond above it lands in the next, and observations beyond the largest
+// bound land in the overflow bucket.
+func TestHistogramBucketBoundaries(t *testing.T) {
+	bounds := []time.Duration{time.Millisecond, 10 * time.Millisecond, 100 * time.Millisecond}
+	h := NewHistogram(bounds)
+	h.Observe(time.Millisecond)            // boundary: bucket 0
+	h.Observe(time.Millisecond + 1)        // just above: bucket 1
+	h.Observe(10 * time.Millisecond)       // boundary: bucket 1
+	h.Observe(50 * time.Millisecond)       // interior: bucket 2
+	h.Observe(time.Second)                 // beyond all bounds: overflow
+	h.Observe(-time.Second)                // negative clamps to zero: bucket 0
+	snap := h.Snapshot()
+	if snap.Count != 6 {
+		t.Fatalf("Count = %d, want 6", snap.Count)
+	}
+	wantCounts := []int64{2, 2, 1, 1}
+	if len(snap.Buckets) != len(wantCounts) {
+		t.Fatalf("buckets = %d, want %d", len(snap.Buckets), len(wantCounts))
+	}
+	for i, want := range wantCounts {
+		if snap.Buckets[i].Count != want {
+			t.Errorf("bucket %d count = %d, want %d", i, snap.Buckets[i].Count, want)
+		}
+	}
+	if snap.Buckets[3].UpperBound != 0 {
+		t.Errorf("overflow bucket bound = %v, want 0 (+Inf)", snap.Buckets[3].UpperBound)
+	}
+	wantSum := time.Millisecond + (time.Millisecond + 1) + 10*time.Millisecond +
+		50*time.Millisecond + time.Second
+	if snap.Sum != wantSum {
+		t.Errorf("Sum = %v, want %v", snap.Sum, wantSum)
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	h := NewHistogram([]time.Duration{time.Millisecond, 10 * time.Millisecond, 100 * time.Millisecond})
+	for i := 0; i < 90; i++ {
+		h.Observe(500 * time.Microsecond)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(50 * time.Millisecond)
+	}
+	snap := h.Snapshot()
+	if q := snap.Quantile(0.5); q != time.Millisecond {
+		t.Errorf("p50 = %v, want %v", q, time.Millisecond)
+	}
+	if q := snap.Quantile(0.99); q != 100*time.Millisecond {
+		t.Errorf("p99 = %v, want %v", q, 100*time.Millisecond)
+	}
+	// Observations beyond every bound report the largest finite bound.
+	h2 := NewHistogram([]time.Duration{time.Millisecond})
+	h2.Observe(time.Second)
+	if q := h2.Snapshot().Quantile(0.5); q != time.Millisecond {
+		t.Errorf("overflow quantile = %v, want %v", q, time.Millisecond)
+	}
+	if q := (HistogramSnapshot{}).Quantile(0.5); q != 0 {
+		t.Errorf("empty quantile = %v, want 0", q)
+	}
+}
+
+// TestHistogramConcurrent hammers one histogram from many goroutines; the
+// counts must be exact (meaningful under -race).
+func TestHistogramConcurrent(t *testing.T) {
+	h := NewHistogram(nil)
+	const workers, per = 16, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Observe(time.Duration(w*1000+i) * time.Microsecond)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := h.Snapshot().Count; got != workers*per {
+		t.Fatalf("Count = %d, want %d", got, workers*per)
+	}
+}
+
+// --- counters and gauges -----------------------------------------------------
+
+// TestCounterConcurrent proves increments are lost-update-free under -race.
+func TestCounterConcurrent(t *testing.T) {
+	var c Counter
+	var g Gauge
+	const workers, per = 32, 2000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				c.Inc()
+				g.Inc()
+				g.Dec()
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != workers*per {
+		t.Fatalf("counter = %d, want %d", c.Value(), workers*per)
+	}
+	if g.Value() != 0 {
+		t.Fatalf("gauge = %d, want 0", g.Value())
+	}
+}
+
+// TestNilSafety: every primitive accepts its full method set on a nil
+// receiver, so instrumented code never branches on "is observability on".
+func TestNilSafety(t *testing.T) {
+	var c *Counter
+	c.Inc()
+	c.Add(3)
+	if c.Value() != 0 {
+		t.Error("nil counter has a value")
+	}
+	var g *Gauge
+	g.Inc()
+	g.Dec()
+	g.Set(7)
+	if g.Value() != 0 {
+		t.Error("nil gauge has a value")
+	}
+	var h *Histogram
+	h.Observe(time.Second)
+	if h.Snapshot().Count != 0 {
+		t.Error("nil histogram counted")
+	}
+	var m *EngineMetrics
+	m.AtomicEval()
+	m.Merge()
+	if m.Snapshot() != (EngineSnapshot{}) {
+		t.Error("nil engine metrics counted")
+	}
+	var tr *Trace
+	tr.SetTag("k", "v")
+	sp := tr.StartSpan("x")
+	sp.SetTag("k", "v")
+	sp2 := sp.StartSpan("y")
+	sp2.End()
+	sp.End()
+	tr.Finish()
+	_ = tr.Snapshot()
+	var reg *Registry
+	reg.Counter("a").Inc()
+	reg.Gauge("b").Set(1)
+	reg.Histogram("c", nil).Observe(time.Second)
+	_ = reg.Snapshot()
+	var sl *SlowLog
+	sl.ObserveTrace(NewTrace("q"))
+	sl.SetLogger(nil, 0)
+	if sl.Snapshot() != nil {
+		t.Error("nil slowlog has entries")
+	}
+}
+
+// --- registry ----------------------------------------------------------------
+
+func TestRegistrySnapshot(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a").Add(5)
+	if r.Counter("a").Value() != 5 {
+		t.Fatal("Counter is not get-or-create")
+	}
+	r.Gauge("b").Set(-2)
+	r.Histogram("c", nil).Observe(time.Millisecond)
+	snap := r.Snapshot()
+	if snap.Counters["a"] != 5 || snap.Gauges["b"] != -2 || snap.Histograms["c"].Count != 1 {
+		t.Fatalf("snapshot = %+v", snap)
+	}
+}
+
+// --- tracer ------------------------------------------------------------------
+
+// TestSpanNestingAndOrdering builds a two-stage trace with nested children
+// and checks the snapshot preserves structure, order, and monotonic offsets.
+func TestSpanNestingAndOrdering(t *testing.T) {
+	tr := NewTrace("q")
+	tr.SetTag("engine", "core")
+	a := tr.StartSpan("parse")
+	a.End()
+	b := tr.StartSpan("eval")
+	c1 := b.StartSpan("video")
+	c1.SetTag("video", "1")
+	g1 := c1.StartSpan("system")
+	g1.End()
+	c1.End()
+	c2 := b.StartSpan("video")
+	c2.End()
+	b.End()
+	total := tr.Finish()
+
+	snap := tr.Snapshot()
+	if snap.Name != "q" || snap.Tags["engine"] != "core" {
+		t.Fatalf("snapshot header = %+v", snap)
+	}
+	if snap.Duration != total {
+		t.Fatalf("Duration = %v, want %v", snap.Duration, total)
+	}
+	if len(snap.Spans) != 2 || snap.Spans[0].Name != "parse" || snap.Spans[1].Name != "eval" {
+		t.Fatalf("stages = %+v", snap.Spans)
+	}
+	eval := snap.Spans[1]
+	if len(eval.Children) != 2 || eval.Children[0].Tags["video"] != "1" {
+		t.Fatalf("children = %+v", eval.Children)
+	}
+	if len(eval.Children[0].Children) != 1 || eval.Children[0].Children[0].Name != "system" {
+		t.Fatalf("grandchildren = %+v", eval.Children[0].Children)
+	}
+	// Offsets are monotonic in start order; children start within parents.
+	if snap.Spans[0].Offset > snap.Spans[1].Offset {
+		t.Error("stage offsets out of order")
+	}
+	if eval.Children[0].Offset < eval.Offset {
+		t.Error("child starts before its parent")
+	}
+	// Sequential stage durations fit within the trace's wall time.
+	if sum := snap.Spans[0].Duration + snap.Spans[1].Duration; sum > total {
+		t.Errorf("stage durations %v exceed total %v", sum, total)
+	}
+}
+
+// TestTraceConcurrentSpans starts/ends spans from many goroutines (the
+// per-video eval pattern); meaningful under -race.
+func TestTraceConcurrentSpans(t *testing.T) {
+	tr := NewTrace("q")
+	stage := tr.StartSpan("eval")
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sp := stage.StartSpan("video")
+			sp.SetTag("video", fmt.Sprint(i))
+			sp.StartSpan("system").End()
+			sp.End()
+		}(i)
+	}
+	wg.Wait()
+	stage.End()
+	tr.Finish()
+	if got := len(tr.Snapshot().Spans[0].Children); got != 16 {
+		t.Fatalf("children = %d, want 16", got)
+	}
+}
+
+// --- slow log ----------------------------------------------------------------
+
+// doneTrace fabricates a finished trace with a fixed duration (in-package
+// tests may set the unexported fields directly; production traces get their
+// duration from the monotonic clock).
+func doneTrace(name string, d time.Duration) *Trace {
+	return &Trace{name: name, begin: time.Now(), tags: map[string]string{}, done: true, total: d}
+}
+
+// TestSlowLogKeepsSlowest feeds 50 queries into a 10-entry log and checks it
+// retains exactly the 10 slowest, ordered slowest-first.
+func TestSlowLogKeepsSlowest(t *testing.T) {
+	l := NewSlowLog(10)
+	for i := 1; i <= 50; i++ {
+		l.ObserveTrace(doneTrace(fmt.Sprintf("q%d", i), time.Duration(i)*time.Millisecond))
+	}
+	got := l.Snapshot()
+	if len(got) != 10 {
+		t.Fatalf("entries = %d, want 10", len(got))
+	}
+	for i, e := range got {
+		want := time.Duration(50-i) * time.Millisecond
+		if e.Duration != want {
+			t.Errorf("entry %d duration = %v, want %v", i, e.Duration, want)
+		}
+	}
+	l.Reset()
+	if len(l.Snapshot()) != 0 {
+		t.Error("Reset left entries behind")
+	}
+}
+
+// TestSlowLogLogger: the pluggable Logger fires only at or above threshold.
+func TestSlowLogLogger(t *testing.T) {
+	l := NewSlowLog(4)
+	var mu sync.Mutex
+	var lines []string
+	l.SetLogger(LoggerFunc(func(format string, args ...any) {
+		mu.Lock()
+		lines = append(lines, fmt.Sprintf(format, args...))
+		mu.Unlock()
+	}), 10*time.Millisecond)
+	l.ObserveTrace(doneTrace("fast", time.Millisecond))
+	l.ObserveTrace(doneTrace("slow", 20*time.Millisecond))
+	if len(lines) != 1 || !strings.Contains(lines[0], "slow") {
+		t.Fatalf("logged lines = %q, want one line naming the slow query", lines)
+	}
+}
+
+func TestSlowLogConcurrent(t *testing.T) {
+	l := NewSlowLog(8)
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				l.ObserveTrace(doneTrace("q", time.Duration(i*100+j)*time.Microsecond))
+			}
+		}(i)
+	}
+	wg.Wait()
+	if got := len(l.Snapshot()); got != 8 {
+		t.Fatalf("entries = %d, want 8", got)
+	}
+}

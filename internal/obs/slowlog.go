@@ -1,0 +1,97 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// SlowEntry is one retained query in the slow log.
+type SlowEntry struct {
+	Query    string        `json:"query"`
+	Duration time.Duration `json:"duration_ns"`
+	When     time.Time     `json:"when"`
+	Trace    TraceSnapshot `json:"trace"`
+}
+
+// SlowLog retains the N slowest queries seen, with their full traces — the
+// backing store of /debug/slowlog. It implements TraceSink, so it plugs
+// directly into the store's query path. An optional Logger emits one line
+// per over-threshold query as it happens.
+type SlowLog struct {
+	mu        sync.Mutex
+	cap       int
+	entries   []SlowEntry // sorted by descending duration
+	logger    Logger
+	threshold time.Duration
+}
+
+// DefaultSlowLogSize is the retained-query count of a fresh slow log.
+const DefaultSlowLogSize = 32
+
+// NewSlowLog retains the n slowest queries (DefaultSlowLogSize when n < 1).
+func NewSlowLog(n int) *SlowLog {
+	if n < 1 {
+		n = DefaultSlowLogSize
+	}
+	return &SlowLog{cap: n}
+}
+
+// SetLogger installs a logger invoked for every query at or above threshold;
+// nil disables logging again.
+func (l *SlowLog) SetLogger(lg Logger, threshold time.Duration) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	l.logger = lg
+	l.threshold = threshold
+	l.mu.Unlock()
+}
+
+// ObserveTrace implements TraceSink: a finished query enters the log if it is
+// among the slowest seen.
+func (l *SlowLog) ObserveTrace(t *Trace) {
+	if l == nil || t == nil {
+		return
+	}
+	d := t.Duration()
+	l.mu.Lock()
+	lg, threshold := l.logger, l.threshold
+	if len(l.entries) == l.cap && d <= l.entries[len(l.entries)-1].Duration {
+		l.mu.Unlock()
+	} else {
+		e := SlowEntry{Query: t.Name(), Duration: d, When: time.Now(), Trace: t.Snapshot()}
+		i := sort.Search(len(l.entries), func(i int) bool { return l.entries[i].Duration < d })
+		l.entries = append(l.entries, SlowEntry{})
+		copy(l.entries[i+1:], l.entries[i:])
+		l.entries[i] = e
+		if len(l.entries) > l.cap {
+			l.entries = l.entries[:l.cap]
+		}
+		l.mu.Unlock()
+	}
+	if lg != nil && d >= threshold {
+		lg.Logf("slow query (%v): %s", d, t.Name())
+	}
+}
+
+// Snapshot returns the retained entries, slowest first.
+func (l *SlowLog) Snapshot() []SlowEntry {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return append([]SlowEntry(nil), l.entries...)
+}
+
+// Reset empties the log.
+func (l *SlowLog) Reset() {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	l.entries = nil
+	l.mu.Unlock()
+}

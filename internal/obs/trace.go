@@ -1,0 +1,260 @@
+package obs
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// Trace is one query's structured timing record: a tree of spans plus
+// query-level tags (engine, formula class, level, video count). All methods
+// are safe for concurrent use — per-video spans start and end on worker
+// goroutines — and nil-safe, so an untraced query path costs only nil checks.
+//
+// Durations come from time.Since, whose monotonic-clock reading makes spans
+// immune to wall-clock steps.
+type Trace struct {
+	mu    sync.Mutex
+	name  string
+	begin time.Time
+	total time.Duration
+	done  bool
+	tags  map[string]string
+	roots []*Span
+}
+
+// NewTrace starts a trace; name is the query text (shown by the slow log).
+func NewTrace(name string) *Trace {
+	return &Trace{name: name, begin: time.Now(), tags: map[string]string{}}
+}
+
+// Name returns the traced query text.
+func (t *Trace) Name() string {
+	if t == nil {
+		return ""
+	}
+	return t.name
+}
+
+// SetTag records a query-level tag.
+func (t *Trace) SetTag(k, v string) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.tags[k] = v
+	t.mu.Unlock()
+}
+
+// StartSpan opens a top-level stage span.
+func (t *Trace) StartSpan(name string) *Span {
+	if t == nil {
+		return nil
+	}
+	now := time.Now()
+	sp := &Span{t: t, name: name, start: now, offset: now.Sub(t.begin)}
+	t.mu.Lock()
+	t.roots = append(t.roots, sp)
+	t.mu.Unlock()
+	return sp
+}
+
+// Finish fixes the trace's total duration (idempotent; spans still open at
+// Finish report the duration they had reached by their own End).
+func (t *Trace) Finish() time.Duration {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if !t.done {
+		t.done = true
+		t.total = time.Since(t.begin)
+	}
+	return t.total
+}
+
+// Duration returns the total fixed by Finish (time since start before then).
+func (t *Trace) Duration() time.Duration {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.done {
+		return t.total
+	}
+	return time.Since(t.begin)
+}
+
+// Span is one timed stage (or sub-stage) of a query.
+type Span struct {
+	t        *Trace
+	name     string
+	tags     map[string]string
+	start    time.Time
+	offset   time.Duration // from the trace's begin
+	dur      time.Duration
+	ended    bool
+	children []*Span
+}
+
+// StartSpan opens a child span.
+func (s *Span) StartSpan(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	now := time.Now()
+	sp := &Span{t: s.t, name: name, start: now, offset: now.Sub(s.t.begin)}
+	s.t.mu.Lock()
+	s.children = append(s.children, sp)
+	s.t.mu.Unlock()
+	return sp
+}
+
+// SetTag records a span tag.
+func (s *Span) SetTag(k, v string) {
+	if s == nil {
+		return
+	}
+	s.t.mu.Lock()
+	if s.tags == nil {
+		s.tags = map[string]string{}
+	}
+	s.tags[k] = v
+	s.t.mu.Unlock()
+}
+
+// End closes the span and returns its duration (idempotent).
+func (s *Span) End() time.Duration {
+	if s == nil {
+		return 0
+	}
+	s.t.mu.Lock()
+	defer s.t.mu.Unlock()
+	if !s.ended {
+		s.ended = true
+		s.dur = time.Since(s.start)
+	}
+	return s.dur
+}
+
+// TraceSnapshot is the JSON-ready copy of a finished trace.
+type TraceSnapshot struct {
+	Name     string            `json:"name"`
+	Tags     map[string]string `json:"tags,omitempty"`
+	Duration time.Duration     `json:"duration_ns"`
+	Spans    []SpanSnapshot    `json:"spans,omitempty"`
+}
+
+// SpanSnapshot is the JSON-ready copy of one span.
+type SpanSnapshot struct {
+	Name     string            `json:"name"`
+	Tags     map[string]string `json:"tags,omitempty"`
+	Offset   time.Duration     `json:"offset_ns"`
+	Duration time.Duration     `json:"duration_ns"`
+	Children []SpanSnapshot    `json:"children,omitempty"`
+}
+
+// Snapshot deep-copies the trace; safe to hold after the query completes.
+func (t *Trace) Snapshot() TraceSnapshot {
+	if t == nil {
+		return TraceSnapshot{}
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := TraceSnapshot{Name: t.name, Tags: copyTags(t.tags), Duration: t.total}
+	if !t.done {
+		out.Duration = time.Since(t.begin)
+	}
+	for _, sp := range t.roots {
+		out.Spans = append(out.Spans, sp.snapshotLocked())
+	}
+	return out
+}
+
+// Spans returns the top-level stage snapshots in start order.
+func (t *Trace) Spans() []SpanSnapshot { return t.Snapshot().Spans }
+
+func (s *Span) snapshotLocked() SpanSnapshot {
+	out := SpanSnapshot{Name: s.name, Tags: copyTags(s.tags), Offset: s.offset, Duration: s.dur}
+	if !s.ended {
+		out.Duration = time.Since(s.start)
+	}
+	for _, c := range s.children {
+		out.Children = append(out.Children, c.snapshotLocked())
+	}
+	return out
+}
+
+func copyTags(tags map[string]string) map[string]string {
+	if len(tags) == 0 {
+		return nil
+	}
+	out := make(map[string]string, len(tags))
+	for k, v := range tags {
+		out[k] = v
+	}
+	return out
+}
+
+// TraceSink receives completed query traces: the slow log is one, a test
+// collector another, an OTLP exporter a third. ObserveTrace is called after
+// Finish and must be safe for concurrent use.
+type TraceSink interface {
+	ObserveTrace(t *Trace)
+}
+
+// TraceCollector is a TraceSink that retains every trace, for tests and
+// one-shot CLI inspection.
+type TraceCollector struct {
+	mu     sync.Mutex
+	traces []*Trace
+}
+
+// ObserveTrace implements TraceSink.
+func (c *TraceCollector) ObserveTrace(t *Trace) {
+	c.mu.Lock()
+	c.traces = append(c.traces, t)
+	c.mu.Unlock()
+}
+
+// Traces returns the collected traces in arrival order.
+func (c *TraceCollector) Traces() []*Trace {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]*Trace(nil), c.traces...)
+}
+
+// Last returns the most recent trace, or nil.
+func (c *TraceCollector) Last() *Trace {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.traces) == 0 {
+		return nil
+	}
+	return c.traces[len(c.traces)-1]
+}
+
+// spanKey carries the active span through a context, so deeper layers
+// (picture-system builds, generated SQL statements) attach child spans to
+// whatever per-video span the store opened, without plumbing obs types
+// through every signature.
+type spanKey struct{}
+
+// ContextWithSpan returns ctx carrying sp as the active span.
+func ContextWithSpan(ctx context.Context, sp *Span) context.Context {
+	if sp == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, spanKey{}, sp)
+}
+
+// SpanFromContext returns the active span, or nil (whose methods no-op).
+func SpanFromContext(ctx context.Context) *Span {
+	if ctx == nil {
+		return nil
+	}
+	sp, _ := ctx.Value(spanKey{}).(*Span)
+	return sp
+}

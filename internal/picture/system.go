@@ -10,6 +10,7 @@ import (
 	"htlvideo/internal/faultinject"
 	"htlvideo/internal/htl"
 	"htlvideo/internal/metadata"
+	"htlvideo/internal/obs"
 )
 
 // Weights assigns the per-term weights of the additive similarity model.
@@ -79,6 +80,9 @@ func NewSystem(video *metadata.Video, level int, tax *Taxonomy, w Weights) (*Sys
 // internal/faultinject) or any future slow build step aborts when ctx is
 // cancelled.
 func NewSystemCtx(ctx context.Context, video *metadata.Video, level int, tax *Taxonomy, w Weights) (*System, error) {
+	sp := obs.SpanFromContext(ctx).StartSpan("picture.build")
+	defer sp.End()
+	sp.SetTag("video", fmt.Sprint(video.ID))
 	if err := faultinject.Fire(ctx, faultinject.SitePictureNewSystem, int64(video.ID)); err != nil {
 		return nil, err
 	}

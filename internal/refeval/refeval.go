@@ -84,6 +84,7 @@ func (e *Evaluator) simAt(ctx context.Context, f htl.Formula, u int, env picture
 		}
 	}
 	if htl.NonTemporal(f) {
+		e.opts.Obs.AtomicEval()
 		sim, err := e.sys.ScoreAtomicAt(f, u, env)
 		var unsup *picture.UnsupportedError
 		switch {
@@ -100,6 +101,7 @@ func (e *Evaluator) simAt(ctx context.Context, f htl.Formula, u int, env picture
 	}
 	switch n := f.(type) {
 	case htl.True, htl.Present, htl.Cmp, htl.Pred:
+		e.opts.Obs.AtomicEval()
 		sim, err := e.sys.ScoreAtomicAt(f, u, env)
 		if err != nil {
 			return 0, err
@@ -134,6 +136,7 @@ func (e *Evaluator) simAt(ctx context.Context, f htl.Formula, u int, env picture
 		}
 		return e.simAt(ctx, n.F, u+1, env)
 	case htl.Eventually:
+		e.opts.Obs.Merge()
 		best := 0.0
 		for j := u; j <= e.sys.Len(); j++ {
 			a, err := e.simAt(ctx, n.F, j, env)
@@ -144,6 +147,7 @@ func (e *Evaluator) simAt(ctx context.Context, f htl.Formula, u int, env picture
 		}
 		return best, nil
 	case htl.Until:
+		e.opts.Obs.Merge()
 		gMax := core.MaxSimOf(e.sys, n.L)
 		best := 0.0
 		for j := u; j <= e.sys.Len(); j++ {

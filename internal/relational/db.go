@@ -2,6 +2,7 @@ package relational
 
 import (
 	"sort"
+	"time"
 
 	"htlvideo/internal/faultinject"
 )
@@ -104,12 +105,37 @@ func (t *TableData) rangeCount(col int, lo, hi *bound) int {
 	return end - start
 }
 
+// StmtInfo describes one executed statement, for observability hooks: what
+// kind of statement it was, how many rows it touched, and how long it took.
+// The §4 comparison ("quite large intermediate relations") becomes visible on
+// live queries through these per-statement row counts.
+type StmtInfo struct {
+	// Kind is the statement keyword: "select", "insert", "delete", "create",
+	// "drop".
+	Kind string
+	// Rows is the number of rows returned (SELECT) or affected
+	// (INSERT/DELETE); zero for DDL.
+	Rows int
+	// Duration is the statement's execution wall time.
+	Duration time.Duration
+	// Err reports whether the statement failed.
+	Err bool
+}
+
 // DB is an in-memory SQL database.
 type DB struct {
 	tables map[string]*TableData
 	// stmts counts statements executed over the database's lifetime; it
 	// keys the fault-injection hook so tests can target one statement.
 	stmts int64
+	// affected is the row count of the most recent INSERT or DELETE, for
+	// OnStmt reporting.
+	affected int
+
+	// OnStmt, when set, observes every statement executed through ExecStmt.
+	// Set it before issuing statements; the DB is not safe for concurrent
+	// use, so the hook is called sequentially.
+	OnStmt func(StmtInfo)
 }
 
 // NewDB returns an empty database.
@@ -143,6 +169,41 @@ func (db *DB) Exec(src string) (*Result, error) {
 
 // ExecStmt executes one parsed statement.
 func (db *DB) ExecStmt(st Stmt) (*Result, error) {
+	if db.OnStmt == nil {
+		return db.execStmt(st)
+	}
+	start := time.Now()
+	db.affected = 0
+	res, err := db.execStmt(st)
+	info := StmtInfo{Kind: stmtKind(st), Duration: time.Since(start), Err: err != nil}
+	if res != nil {
+		info.Rows = len(res.Rows)
+	} else {
+		info.Rows = db.affected
+	}
+	db.OnStmt(info)
+	return res, err
+}
+
+// stmtKind names a statement for observability.
+func stmtKind(st Stmt) string {
+	switch st.(type) {
+	case *CreateTable:
+		return "create"
+	case *DropTable:
+		return "drop"
+	case *Insert:
+		return "insert"
+	case *Delete:
+		return "delete"
+	case *Select:
+		return "select"
+	default:
+		return "other"
+	}
+}
+
+func (db *DB) execStmt(st Stmt) (*Result, error) {
 	if faultinject.Enabled() {
 		n := db.stmts
 		db.stmts++
@@ -218,6 +279,7 @@ func (db *DB) InsertRows(name string, rows [][]Value) error {
 		t.Rows = append(t.Rows, stored)
 	}
 	t.version++
+	db.affected += len(rows)
 	return nil
 }
 
@@ -256,6 +318,7 @@ func (db *DB) execDelete(s *Delete) error {
 		return errf(-1, "table %q does not exist", s.Table)
 	}
 	if s.Where == nil {
+		db.affected += len(t.Rows)
 		t.Rows = nil
 		t.version++
 		return nil
@@ -272,6 +335,7 @@ func (db *DB) execDelete(s *Delete) error {
 			kept = append(kept, row)
 		}
 	}
+	db.affected += len(t.Rows) - len(kept)
 	t.Rows = kept
 	t.version++
 	return nil

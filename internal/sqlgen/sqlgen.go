@@ -29,6 +29,7 @@ import (
 
 	"htlvideo/internal/htl"
 	"htlvideo/internal/interval"
+	"htlvideo/internal/obs"
 	"htlvideo/internal/relational"
 	"htlvideo/internal/simlist"
 )
@@ -124,6 +125,9 @@ func (tr *Translator) run(ctx context.Context, sql string) (*relational.Result, 
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	sp := obs.SpanFromContext(ctx).StartSpan("sql")
+	defer sp.End()
+	sp.SetTag("stmt", truncate(sql, 96))
 	tr.Script.WriteString(sql)
 	tr.Script.WriteString(";\n")
 	res, err := tr.DB.Exec(sql)
@@ -131,6 +135,14 @@ func (tr *Translator) run(ctx context.Context, sql string) (*relational.Result, 
 		return nil, fmt.Errorf("sqlgen: %w\nstatement: %s", err, sql)
 	}
 	return res, nil
+}
+
+// truncate caps a statement for span tagging.
+func truncate(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n] + "…"
 }
 
 func (tr *Translator) fresh(prefix string) string {

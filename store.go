@@ -7,13 +7,18 @@ import (
 	"runtime"
 	"runtime/debug"
 	"sort"
+	"strconv"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"htlvideo/internal/core"
 	"htlvideo/internal/htl"
 	"htlvideo/internal/metadata"
+	"htlvideo/internal/obs"
 	"htlvideo/internal/picture"
 	"htlvideo/internal/refeval"
+	"htlvideo/internal/relational"
 	"htlvideo/internal/sqlgen"
 )
 
@@ -24,6 +29,9 @@ type Store struct {
 	meta    *metadata.Store
 	tax     *Taxonomy
 	weights Weights
+
+	// obs is the store's instrumentation (see store_obs.go); always non-nil.
+	obs *storeObs
 
 	// mu guards the system cache; queries across many videos build and read
 	// it concurrently.
@@ -37,6 +45,9 @@ type Store struct {
 // of racing to construct duplicates and letting the last writer win.
 type sysEntry struct {
 	once sync.Once
+	// done flips after the shared build completes, distinguishing a cache
+	// hit from a concurrent lookup that joined an in-flight build.
+	done atomic.Bool
 	sys  *picture.System
 	err  error
 }
@@ -51,6 +62,7 @@ func NewStore(tax *Taxonomy, w Weights) *Store {
 		meta:    metadata.NewStore(),
 		tax:     tax,
 		weights: w,
+		obs:     newStoreObs(),
 		systems: map[[2]int]*sysEntry{},
 	}
 }
@@ -70,16 +82,27 @@ func (s *Store) Videos() []*Video { return s.meta.Videos() }
 // caching the error.
 func (s *Store) system(ctx context.Context, v *Video, level int) (*picture.System, error) {
 	key := [2]int{v.ID, level}
+	o := s.obs
 	for {
 		s.mu.Lock()
 		e, ok := s.systems[key]
 		if !ok {
 			e = &sysEntry{}
 			s.systems[key] = e
+			o.cacheSize.Set(int64(len(s.systems)))
 		}
 		s.mu.Unlock()
+		switch {
+		case !ok:
+			o.cacheMisses.Inc()
+		case e.done.Load():
+			o.cacheHits.Inc()
+		default:
+			o.cacheDeduped.Inc()
+		}
 		e.once.Do(func() {
 			e.sys, e.err = picture.NewSystemCtx(ctx, v, level, s.tax, s.weights)
+			e.done.Store(true)
 		})
 		if e.err == nil {
 			return e.sys, nil
@@ -87,6 +110,8 @@ func (s *Store) system(ctx context.Context, v *Video, level int) (*picture.Syste
 		s.mu.Lock()
 		if s.systems[key] == e {
 			delete(s.systems, key)
+			o.cacheEvicted.Inc()
+			o.cacheSize.Set(int64(len(s.systems)))
 		}
 		s.mu.Unlock()
 		// A waiter can inherit a cancellation error from the context of the
@@ -133,6 +158,7 @@ type queryConfig struct {
 	andMode        core.AndMode
 	parallelism    int
 	partial        bool
+	sink           obs.TraceSink
 }
 
 // AtLevel asserts the formula on each video's proper sequence at the given
@@ -190,6 +216,10 @@ func OnVideo(id int) QueryOption { return func(c *queryConfig) { c.videoID = &id
 type VideoError struct {
 	// VideoID is the video whose evaluation failed.
 	VideoID int
+	// Elapsed is how long the video's evaluation ran before failing —
+	// cancellation and stall failures are distinguishable from fast-path
+	// errors, and the slow log can show which video stalled.
+	Elapsed time.Duration
 	// Err is the underlying failure; context errors, engine errors, and
 	// contained panics all land here.
 	Err error
@@ -243,11 +273,15 @@ func (s *Store) Query(query string, opts ...QueryOption) (*Results, error) {
 // into the evaluation engines and stop work mid-video, not just between
 // videos. On cancellation the query fails with an error wrapping ctx.Err().
 func (s *Store) QueryCtx(ctx context.Context, query string, opts ...QueryOption) (*Results, error) {
+	tr := obs.NewTrace(query)
+	sp := tr.StartSpan("parse")
 	f, err := htl.Parse(query)
+	sp.End()
 	if err != nil {
+		s.obs.endQuery(tr, "", "", err, nil)
 		return nil, err
 	}
-	return s.QueryFormulaCtx(ctx, f, opts...)
+	return s.queryFormulaCtx(ctx, tr, f, opts...)
 }
 
 // QueryFormula evaluates a parsed HTL formula.
@@ -264,6 +298,14 @@ func (s *Store) QueryFormula(f Formula, opts ...QueryOption) (*Results, error) {
 // WithPartialResults, failed videos are skipped and reported in
 // Results.Errors instead.
 func (s *Store) QueryFormulaCtx(ctx context.Context, f Formula, opts ...QueryOption) (*Results, error) {
+	return s.queryFormulaCtx(ctx, obs.NewTrace(f.String()), f, opts...)
+}
+
+// queryFormulaCtx runs a query under an already-started trace (QueryCtx adds
+// the parse stage before calling it). Whatever path the query takes, the
+// deferred endQuery settles the per-query accounting: totals, per-engine and
+// per-class counters and latency, the slow log, and the trace sinks.
+func (s *Store) queryFormulaCtx(ctx context.Context, tr *obs.Trace, f Formula, opts ...QueryOption) (res *Results, err error) {
 	cfg := queryConfig{level: 2, untilThreshold: core.DefaultUntilThreshold}
 	for _, o := range opts {
 		o(&cfg)
@@ -271,6 +313,13 @@ func (s *Store) QueryFormulaCtx(ctx context.Context, f Formula, opts ...QueryOpt
 	if cfg.atRoot {
 		cfg.level = 1
 	}
+	class := htl.Classify(f)
+	engine := engineKey(cfg.engine)
+	tr.SetTag("engine", engine)
+	tr.SetTag("class", classKey(class))
+	tr.SetTag("level", strconv.Itoa(cfg.level))
+	defer func() { s.obs.endQuery(tr, engine, classKey(class), err, cfg.sink) }()
+
 	videos := s.meta.Videos()
 	if cfg.videoID != nil {
 		v := s.meta.Video(*cfg.videoID)
@@ -288,11 +337,13 @@ func (s *Store) QueryFormulaCtx(ctx context.Context, f Formula, opts ...QueryOpt
 	var work []*Video
 	for _, v := range videos {
 		if cfg.videoID == nil && len(v.Sequence(cfg.level)) == 0 {
+			s.obs.videosSkipped.Inc()
 			continue
 		}
 		work = append(work, v)
 	}
-	res := &Results{Formula: f, Class: htl.Classify(f), PerVideo: map[int]SimList{}}
+	tr.SetTag("videos", strconv.Itoa(len(work)))
+	res = &Results{Formula: f, Class: class, PerVideo: map[int]SimList{}}
 	if len(work) == 0 {
 		return res, nil
 	}
@@ -304,6 +355,9 @@ func (s *Store) QueryFormulaCtx(ctx context.Context, f Formula, opts ...QueryOpt
 	if workers > len(work) {
 		workers = len(work)
 	}
+	o := s.obs
+	evalStage := tr.StartSpan("eval")
+	o.poolQueued.Add(int64(len(work)))
 	var (
 		jobs  = make(chan *Video)
 		wg    sync.WaitGroup
@@ -315,21 +369,34 @@ func (s *Store) QueryFormulaCtx(ctx context.Context, f Formula, opts ...QueryOpt
 		go func() {
 			defer wg.Done()
 			for v := range jobs {
-				l, err := s.queryVideoIsolated(ctx, v, f, cfg)
+				o.poolQueued.Dec()
+				o.poolInFlight.Inc()
+				vsp := evalStage.StartSpan("video")
+				vsp.SetTag("video", strconv.Itoa(v.ID))
+				start := time.Now()
+				l, err := s.queryVideoIsolated(obs.ContextWithSpan(ctx, vsp), v, f, cfg)
+				elapsed := time.Since(start)
+				vsp.End()
+				o.poolInFlight.Dec()
+				o.videoLat.Observe(elapsed)
 				resMu.Lock()
 				if err != nil {
-					errs = append(errs, &VideoError{VideoID: v.ID, Err: err})
+					o.videosFailed.Inc()
+					errs = append(errs, &VideoError{VideoID: v.ID, Elapsed: elapsed, Err: err})
 				} else {
+					o.videosEvaluated.Inc()
 					res.PerVideo[v.ID] = l
 				}
 				resMu.Unlock()
 			}
 		}()
 	}
+	fed := 0
 feed:
 	for _, v := range work {
 		select {
 		case jobs <- v:
+			fed++
 		case <-ctx.Done():
 			break feed
 		}
@@ -339,10 +406,16 @@ feed:
 	// context inside its main loop, so this wait is bounded by one
 	// checkpoint interval rather than by a full video evaluation.
 	wg.Wait()
+	// Videos never fed to a worker (cancellation cut the feed short) leave
+	// the queue gauge with the pool.
+	o.poolQueued.Add(int64(fed - len(work)))
+	evalStage.End()
 
 	if err := ctx.Err(); err != nil {
 		return nil, fmt.Errorf("htlvideo: query aborted: %w", err)
 	}
+	merge := tr.StartSpan("merge")
+	defer merge.End()
 	sort.Slice(errs, func(i, j int) bool {
 		return errs[i].(*VideoError).VideoID < errs[j].(*VideoError).VideoID
 	})
@@ -358,31 +431,45 @@ feed:
 func (s *Store) queryVideoIsolated(ctx context.Context, v *Video, f Formula, cfg queryConfig) (l SimList, err error) {
 	defer func() {
 		if r := recover(); r != nil {
+			s.obs.panicsRecovered.Inc()
 			err = fmt.Errorf("htlvideo: panic during evaluation: %v\n%s", r, debug.Stack())
 		}
 	}()
 	return s.queryVideo(ctx, v, f, cfg)
 }
 
-// queryVideo evaluates the formula over one video.
+// queryVideo evaluates the formula over one video: the picture-system
+// build/cache-lookup stage, then the engine stage, each under its own span of
+// the per-video trace.
 func (s *Store) queryVideo(ctx context.Context, v *Video, f Formula, cfg queryConfig) (SimList, error) {
-	sys, err := s.system(ctx, v, cfg.level)
+	vsp := obs.SpanFromContext(ctx)
+	ssp := vsp.StartSpan("system")
+	sys, err := s.system(obs.ContextWithSpan(ctx, ssp), v, cfg.level)
+	ssp.End()
 	if err != nil {
 		return SimList{}, err
 	}
-	return s.evalOne(ctx, sys, f, cfg)
+	esp := vsp.StartSpan("engine")
+	defer esp.End()
+	return s.evalOne(obs.ContextWithSpan(ctx, esp), sys, f, cfg, esp)
 }
 
 // evalOne evaluates the formula over one video's sequence with the selected
-// engine.
-func (s *Store) evalOne(ctx context.Context, sys *picture.System, f Formula, cfg queryConfig) (SimList, error) {
-	coreOpts := core.Options{UntilThreshold: cfg.untilThreshold, And: cfg.andMode}
+// engine, tagging sp with the engine that actually ran (the auto engine may
+// fall back to the reference evaluator).
+func (s *Store) evalOne(ctx context.Context, sys *picture.System, f Formula, cfg queryConfig, sp *obs.Span) (SimList, error) {
+	coreOpts := core.Options{UntilThreshold: cfg.untilThreshold, And: cfg.andMode, Obs: &s.obs.coreM}
+	refOpts := coreOpts
+	refOpts.Obs = &s.obs.refM
 	switch cfg.engine {
 	case EngineDirect:
+		sp.SetTag("engine", "core")
 		return core.EvalCtx(ctx, sys, f, coreOpts)
 	case EngineReference:
-		return refeval.New(sys, coreOpts).ListCtx(ctx, f)
+		sp.SetTag("engine", "refeval")
+		return refeval.New(sys, refOpts).ListCtx(ctx, f)
 	case EngineSQL:
+		sp.SetTag("engine", "sqlgen")
 		if cfg.andMode != core.AndSum {
 			return SimList{}, errors.New("htlvideo: the SQL baseline supports only the additive conjunction semantics")
 		}
@@ -391,8 +478,12 @@ func (s *Store) evalOne(ctx context.Context, sys *picture.System, f Formula, cfg
 		l, err := core.EvalCtx(ctx, sys, f, coreOpts)
 		var notConj *core.ErrNotConjunctive
 		if errors.As(err, &notConj) {
-			return refeval.New(sys, coreOpts).ListCtx(ctx, f)
+			s.obs.fallbacks.Inc()
+			sp.SetTag("engine", "refeval")
+			sp.SetTag("fallback", "true")
+			return refeval.New(sys, refOpts).ListCtx(ctx, f)
 		}
+		sp.SetTag("engine", "core")
 		return l, err
 	}
 }
@@ -404,6 +495,14 @@ func (s *Store) evalSQL(ctx context.Context, sys *picture.System, f Formula, cfg
 	tr, err := sqlgen.New(sys.Len(), cfg.untilThreshold)
 	if err != nil {
 		return SimList{}, err
+	}
+	// Per-statement row counts and timings make the §4 direct-vs-SQL
+	// comparison observable on live queries, not just in benchmarks.
+	o := s.obs
+	tr.DB.OnStmt = func(info relational.StmtInfo) {
+		o.sqlStmts.Inc()
+		o.sqlRows.Add(int64(info.Rows))
+		o.sqlStmtLat.Observe(info.Duration)
 	}
 	atoms := map[string]sqlgen.Atom{}
 	for i, unit := range sqlgen.AtomicUnits(f) {

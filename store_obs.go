@@ -1,0 +1,308 @@
+package htlvideo
+
+// Store-level observability: the metrics the query path maintains, the typed
+// Stats() snapshot, the per-query trace plumbing (WithTrace, SetTraceSink),
+// and the slow-query log. The primitives live in internal/obs; this file owns
+// the metric names and the mapping from engines and formula classes to them.
+
+import (
+	"net/http"
+	"strings"
+	"sync"
+
+	"htlvideo/internal/htl"
+	"htlvideo/internal/obs"
+)
+
+// storeObs bundles one store's instrumentation. Hot-path counters are cached
+// as fields so queries never take the registry lock; per-engine and per-class
+// metrics go through registry lookups only once per query.
+type storeObs struct {
+	reg  *obs.Registry
+	slow *obs.SlowLog
+
+	mu   sync.Mutex
+	sink obs.TraceSink // store-wide sink, nil when unset
+
+	// coreM and refM are handed to the similarity-list and reference engines
+	// through core.Options.
+	coreM obs.EngineMetrics
+	refM  obs.EngineMetrics
+
+	queries     *obs.Counter
+	queryErrors *obs.Counter
+	fallbacks   *obs.Counter
+	queryLat    *obs.Histogram
+	videoLat    *obs.Histogram
+
+	cacheHits    *obs.Counter
+	cacheMisses  *obs.Counter
+	cacheDeduped *obs.Counter
+	cacheEvicted *obs.Counter
+	cacheSize    *obs.Gauge
+
+	poolInFlight    *obs.Gauge
+	poolQueued      *obs.Gauge
+	panicsRecovered *obs.Counter
+	videosEvaluated *obs.Counter
+	videosFailed    *obs.Counter
+	videosSkipped   *obs.Counter
+
+	sqlStmts   *obs.Counter
+	sqlRows    *obs.Counter
+	sqlStmtLat *obs.Histogram
+}
+
+func newStoreObs() *storeObs {
+	reg := obs.NewRegistry()
+	return &storeObs{
+		reg:  reg,
+		slow: obs.NewSlowLog(obs.DefaultSlowLogSize),
+
+		queries:     reg.Counter("query.total"),
+		queryErrors: reg.Counter("query.errors"),
+		fallbacks:   reg.Counter("query.fallbacks"),
+		queryLat:    reg.Histogram("query.latency", nil),
+		videoLat:    reg.Histogram("video.latency", nil),
+
+		cacheHits:    reg.Counter("cache.hits"),
+		cacheMisses:  reg.Counter("cache.misses"),
+		cacheDeduped: reg.Counter("cache.deduped"),
+		cacheEvicted: reg.Counter("cache.evicted"),
+		cacheSize:    reg.Gauge("cache.size"),
+
+		poolInFlight:    reg.Gauge("pool.in_flight"),
+		poolQueued:      reg.Gauge("pool.queued"),
+		panicsRecovered: reg.Counter("pool.panics_recovered"),
+		videosEvaluated: reg.Counter("pool.videos_evaluated"),
+		videosFailed:    reg.Counter("pool.videos_failed"),
+		videosSkipped:   reg.Counter("pool.videos_skipped"),
+
+		sqlStmts:   reg.Counter("sql.statements"),
+		sqlRows:    reg.Counter("sql.rows"),
+		sqlStmtLat: reg.Histogram("sql.stmt.latency", nil),
+	}
+}
+
+// traceSink returns the store-wide sink, or nil.
+func (o *storeObs) traceSink() obs.TraceSink {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.sink
+}
+
+// endQuery finishes a query's trace and settles its per-query accounting:
+// totals, per-engine and per-formula-class counters and latency histograms,
+// the slow log, and every attached sink. engine/class may be empty (parse
+// failures) to skip the breakdowns.
+func (o *storeObs) endQuery(tr *obs.Trace, engine, class string, err error, sink obs.TraceSink) {
+	d := tr.Finish()
+	o.queries.Inc()
+	if err != nil {
+		o.queryErrors.Inc()
+		tr.SetTag("error", truncateErr(err))
+	}
+	o.queryLat.Observe(d)
+	if engine != "" {
+		o.reg.Counter("query.count.engine." + engine).Inc()
+		o.reg.Histogram("query.latency.engine."+engine, nil).Observe(d)
+	}
+	if class != "" {
+		o.reg.Counter("query.count.class." + class).Inc()
+		o.reg.Histogram("query.latency.class."+class, nil).Observe(d)
+	}
+	o.slow.ObserveTrace(tr)
+	if gs := o.traceSink(); gs != nil {
+		gs.ObserveTrace(tr)
+	}
+	if sink != nil {
+		sink.ObserveTrace(tr)
+	}
+}
+
+func truncateErr(err error) string {
+	msg := err.Error()
+	if i := strings.IndexByte(msg, '\n'); i >= 0 {
+		msg = msg[:i]
+	}
+	if len(msg) > 160 {
+		msg = msg[:160] + "…"
+	}
+	return msg
+}
+
+// engineKey maps an engine selector to its metric/tag name: the §4
+// comparison's vocabulary (core = direct similarity-list algorithms, sqlgen =
+// SQL baseline, refeval = brute-force reference).
+func engineKey(e Engine) string {
+	switch e {
+	case EngineDirect:
+		return "core"
+	case EngineSQL:
+		return "sqlgen"
+	case EngineReference:
+		return "refeval"
+	default:
+		return "auto"
+	}
+}
+
+// classKey maps a formula class to its metric/tag name.
+func classKey(c Class) string {
+	switch c {
+	case htl.ClassType1:
+		return "type1"
+	case htl.ClassType2:
+		return "type2"
+	case htl.ClassConjunctive:
+		return "conjunctive"
+	case htl.ClassExtendedConjunctive:
+		return "extended"
+	default:
+		return "general"
+	}
+}
+
+// Stats is a typed point-in-time snapshot of a store's instrumentation.
+type Stats struct {
+	Queries QueryStats  `json:"queries"`
+	Cache   CacheStats  `json:"cache"`
+	Pool    PoolStats   `json:"pool"`
+	SQL     SQLStats    `json:"sql"`
+	Engines EngineStats `json:"engines"`
+}
+
+// QueryStats aggregates whole-query accounting.
+type QueryStats struct {
+	// Total counts every query issued (including failed ones); Errors the
+	// failed subset; Fallbacks the auto-engine falls to the reference
+	// evaluator.
+	Total     int64 `json:"total"`
+	Errors    int64 `json:"errors"`
+	Fallbacks int64 `json:"fallbacks"`
+	// ByEngine and ByClass break Total down by requested engine (core,
+	// sqlgen, refeval, auto) and by formula class (type1, type2, conjunctive,
+	// extended, general) — the per-formula-class cost accounting of §4.
+	ByEngine map[string]int64 `json:"by_engine,omitempty"`
+	ByClass  map[string]int64 `json:"by_class,omitempty"`
+	// Latency is the whole-query latency distribution.
+	Latency obs.HistogramSnapshot `json:"latency"`
+}
+
+// CacheStats describes the picture-system cache.
+type CacheStats struct {
+	// Hits are lookups of a completed build; Misses first builds; Deduped
+	// concurrent lookups that joined an in-flight build (singleflight);
+	// Evicted failed builds removed so later queries retry.
+	Hits    int64 `json:"hits"`
+	Misses  int64 `json:"misses"`
+	Deduped int64 `json:"deduped"`
+	Evicted int64 `json:"evicted"`
+	// Size is the current number of cached (video, level) systems.
+	Size int64 `json:"size"`
+}
+
+// PoolStats describes the per-query bounded worker pool (gauges aggregate
+// across concurrent queries).
+type PoolStats struct {
+	InFlight        int64 `json:"in_flight"`
+	Queued          int64 `json:"queued"`
+	PanicsRecovered int64 `json:"panics_recovered"`
+	VideosEvaluated int64 `json:"videos_evaluated"`
+	VideosFailed    int64 `json:"videos_failed"`
+	VideosSkipped   int64 `json:"videos_skipped"`
+}
+
+// SQLStats describes the relational engine's work under the SQL baseline.
+type SQLStats struct {
+	Statements  int64                 `json:"statements"`
+	Rows        int64                 `json:"rows"`
+	StmtLatency obs.HistogramSnapshot `json:"stmt_latency"`
+}
+
+// EngineStats carries the evaluation engines' work counters.
+type EngineStats struct {
+	Core      obs.EngineSnapshot `json:"core"`
+	Reference obs.EngineSnapshot `json:"reference"`
+}
+
+// Stats snapshots the store's instrumentation. Safe to call concurrently
+// with queries; counters settle per query, so a snapshot taken mid-query may
+// not include that query yet.
+func (s *Store) Stats() Stats {
+	o := s.obs
+	snap := o.reg.Snapshot()
+	st := Stats{
+		Queries: QueryStats{
+			Total:     o.queries.Value(),
+			Errors:    o.queryErrors.Value(),
+			Fallbacks: o.fallbacks.Value(),
+			ByEngine:  map[string]int64{},
+			ByClass:   map[string]int64{},
+			Latency:   o.queryLat.Snapshot(),
+		},
+		Cache: CacheStats{
+			Hits:    o.cacheHits.Value(),
+			Misses:  o.cacheMisses.Value(),
+			Deduped: o.cacheDeduped.Value(),
+			Evicted: o.cacheEvicted.Value(),
+			Size:    o.cacheSize.Value(),
+		},
+		Pool: PoolStats{
+			InFlight:        o.poolInFlight.Value(),
+			Queued:          o.poolQueued.Value(),
+			PanicsRecovered: o.panicsRecovered.Value(),
+			VideosEvaluated: o.videosEvaluated.Value(),
+			VideosFailed:    o.videosFailed.Value(),
+			VideosSkipped:   o.videosSkipped.Value(),
+		},
+		SQL: SQLStats{
+			Statements:  o.sqlStmts.Value(),
+			Rows:        o.sqlRows.Value(),
+			StmtLatency: o.sqlStmtLat.Snapshot(),
+		},
+		Engines: EngineStats{Core: o.coreM.Snapshot(), Reference: o.refM.Snapshot()},
+	}
+	for name, v := range snap.Counters {
+		if key, ok := strings.CutPrefix(name, "query.count.engine."); ok {
+			st.Queries.ByEngine[key] = v
+		}
+		if key, ok := strings.CutPrefix(name, "query.count.class."); ok {
+			st.Queries.ByClass[key] = v
+		}
+	}
+	return st
+}
+
+// Metrics exposes the store's metric registry (the /metrics backing store):
+// every counter, gauge and latency histogram the query path maintains.
+func (s *Store) Metrics() *obs.Registry { return s.obs.reg }
+
+// SlowLog exposes the store's slow-query log: the N slowest queries seen,
+// with their full traces. Attach a logger via SlowLog().SetLogger to emit a
+// line per over-threshold query.
+func (s *Store) SlowLog() *obs.SlowLog { return s.obs.slow }
+
+// SetTraceSink installs a store-wide trace sink receiving every query's
+// finished trace (nil removes it). Per-query sinks attach with WithTrace.
+func (s *Store) SetTraceSink(sink obs.TraceSink) {
+	s.obs.mu.Lock()
+	s.obs.sink = sink
+	s.obs.mu.Unlock()
+}
+
+// DebugHandler serves the store's observability over HTTP: /metrics
+// (expvar-style JSON of the registry plus the Stats snapshot),
+// /debug/slowlog, and /debug/pprof. cmd/htlquery mounts it behind
+// -metrics-addr.
+func (s *Store) DebugHandler() http.Handler {
+	return obs.Handler(s.obs.reg, s.obs.slow, func() any { return s.Stats() })
+}
+
+// WithTrace attaches a per-query trace sink: the query records a span per
+// pipeline stage (parse → picture-system build/cache lookup → per-video eval
+// → merge), tagged with engine, formula class, level and video count, and
+// hands the finished trace to sink alongside the returned Results.
+func WithTrace(sink obs.TraceSink) QueryOption {
+	return func(c *queryConfig) { c.sink = sink }
+}
