@@ -4,9 +4,9 @@
 
 GO ?= go
 
-.PHONY: check vet build test race fuzz bench
+.PHONY: check vet build test race chaos fuzz fuzz-store bench
 
-check: vet build race
+check: vet build race chaos
 
 vet:
 	$(GO) vet ./...
@@ -20,9 +20,21 @@ test:
 race:
 	$(GO) test -race ./...
 
+# End-to-end server chaos test: ≥32 concurrent clients against htlserve's
+# handler while faultinject injects build failures, panics and stalls.
+# Run alone (not in parallel with other packages): fault plans are
+# process-wide.
+chaos:
+	$(GO) test -race -run '^TestServerChaos$$' -count=1 -v ./internal/server/
+
 # Short parser fuzz session (FuzzParse: parse → print → re-parse is total).
 fuzz:
 	$(GO) test -fuzz=FuzzParse -fuzztime=30s ./internal/htl/
+
+# Short store-format fuzz session (FuzzLoadStore: load never panics and
+# load → save → load round-trips byte-identically).
+fuzz-store:
+	$(GO) test -run '^$$' -fuzz=FuzzLoadStore -fuzztime=30s .
 
 # Benchmarks plus BENCH_obs.json: per-engine query latency (count, mean,
 # p50, p99) read from the store's own metrics histograms.

@@ -26,6 +26,7 @@ import (
 
 	"htlvideo"
 	"htlvideo/internal/casablanca"
+	"htlvideo/internal/server"
 )
 
 func main() {
@@ -161,12 +162,15 @@ func printSummary(store *htlvideo.Store, res *htlvideo.Results) {
 	}
 }
 
-// serveMetrics starts the observability listener, or returns nil.
+// serveMetrics starts the observability listener, or returns nil. The
+// server comes from internal/server's hardened constructor: an unbounded
+// ReadHeaderTimeout would let a single slow client (Slowloris) pin the
+// listener's goroutines for good.
 func serveMetrics(store *htlvideo.Store, addr string) *http.Server {
 	if addr == "" {
 		return nil
 	}
-	srv := &http.Server{Addr: addr, Handler: store.DebugHandler()}
+	srv := server.NewHTTPServer(addr, store.DebugHandler())
 	go func() {
 		fmt.Fprintf(os.Stderr, "htlquery: serving /metrics, /debug/slowlog, /debug/pprof on %s\n", addr)
 		if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {

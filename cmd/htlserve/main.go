@@ -1,0 +1,131 @@
+// Command htlserve is the long-running retrieval front-end: a fault-tolerant
+// HTTP query server over a video store (internal/server). It loads a JSON
+// store file, serves HTL queries with admission control, per-video circuit
+// breaking and transient-error retries, hot-reloads the store on SIGHUP or
+// POST /-/reload, and drains gracefully on SIGINT/SIGTERM.
+//
+// Usage:
+//
+//	htlserve -store videos.json -addr :8321
+//	htlserve -demo -addr :8321 -max-concurrent 16 -queue 32
+//
+// Endpoints:
+//
+//	GET  /query?q=<HTL>[&level=2][&root=1][&engine=auto|direct|sql|reference]
+//	              [&tau=0.5][&k=10][&timeout=500ms][&partial=0|1]
+//	GET  /healthz   liveness
+//	GET  /readyz    readiness (503 while draining)
+//	POST /-/reload  re-read and atomically swap the store file
+//	GET  /metrics   server + store metrics and stats
+//	GET  /debug/slowlog, /debug/pprof/*
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"htlvideo"
+	"htlvideo/internal/casablanca"
+	"htlvideo/internal/obs"
+	"htlvideo/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", ":8321", "listen address")
+	storePath := flag.String("store", "", "JSON store file (reloadable via SIGHUP or POST /-/reload)")
+	demo := flag.Bool("demo", false, "serve the built-in Casablanca demo store (reload disabled)")
+	maxConcurrent := flag.Int("max-concurrent", 0, "queries executing at once (0 = GOMAXPROCS)")
+	queueLen := flag.Int("queue", 0, "requests allowed to wait for a slot before shedding (0 = GOMAXPROCS)")
+	queueWait := flag.Duration("queue-wait", 100*time.Millisecond, "longest a queued request waits before it is shed with 429")
+	defaultTimeout := flag.Duration("default-timeout", 5*time.Second, "per-request deadline when the client names none")
+	maxTimeout := flag.Duration("max-timeout", 30*time.Second, "cap on client-requested ?timeout=")
+	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "graceful-shutdown drain bound before stragglers are cancelled")
+	retries := flag.Int("retries", 3, "total attempts per video for transient failures (1 disables retries)")
+	breakerOpenFor := flag.Duration("breaker-open", time.Second, "cool-down before an open per-video breaker probes again")
+	flag.Parse()
+
+	logger := obs.LoggerFunc(log.New(os.Stderr, "htlserve: ", log.LstdFlags).Printf)
+
+	retryCfg := server.DefaultRetryConfig()
+	retryCfg.MaxAttempts = *retries
+	breakerCfg := server.DefaultBreakerConfig()
+	breakerCfg.OpenFor = *breakerOpenFor
+	opts := []server.Option{
+		server.WithAdmission(server.AdmissionConfig{
+			MaxConcurrent: *maxConcurrent, QueueLen: *queueLen, QueueWait: *queueWait,
+		}),
+		server.WithRetry(retryCfg),
+		server.WithBreaker(breakerCfg),
+		server.WithDefaultTimeout(*defaultTimeout),
+		server.WithMaxTimeout(*maxTimeout),
+		server.WithDrainTimeout(*drainTimeout),
+		server.WithLogger(logger),
+	}
+
+	var (
+		srv *server.Server
+		err error
+	)
+	switch {
+	case *demo || *storePath == "":
+		if !*demo {
+			logger.Logf("no -store given; serving the built-in Casablanca demo")
+		}
+		st := htlvideo.NewStore(casablanca.Taxonomy(), casablanca.Weights())
+		if err := st.Add(casablanca.Video()); err != nil {
+			fatalf("building demo store: %v", err)
+		}
+		srv = server.New(st, opts...)
+	default:
+		srv, err = server.Open(*storePath, opts...)
+		if err != nil {
+			fatalf("loading %s: %v", *storePath, err)
+		}
+	}
+
+	// SIGHUP hot-reloads; SIGINT/SIGTERM drain and exit.
+	hup := make(chan os.Signal, 1)
+	signal.Notify(hup, syscall.SIGHUP)
+	go func() {
+		for range hup {
+			if err := srv.Reload(); err != nil {
+				logger.Logf("reload: %v", err)
+			}
+		}
+	}()
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+
+	done := make(chan error, 1)
+	go func() {
+		logger.Logf("serving %d videos on %s", len(srv.Store().Videos()), *addr)
+		done <- srv.ListenAndServe(*addr)
+	}()
+
+	select {
+	case sig := <-stop:
+		logger.Logf("received %v, draining (up to %v)", sig, *drainTimeout)
+		if err := srv.Shutdown(context.Background()); err != nil {
+			logger.Logf("shutdown: %v", err)
+			os.Exit(1)
+		}
+		<-done // Serve returns ErrServerClosed after Shutdown
+	case err := <-done:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fatalf("serve: %v", err)
+		}
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "htlserve: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,108 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"time"
+)
+
+// AdmissionConfig tunes the server's load shedding.
+type AdmissionConfig struct {
+	// MaxConcurrent bounds the queries executing at once.
+	MaxConcurrent int
+	// QueueLen bounds the requests allowed to wait for a slot; a request
+	// arriving with the queue full is shed immediately with 429.
+	QueueLen int
+	// QueueWait bounds how long a queued request waits before it too is
+	// shed — queueing converts short bursts into latency, shedding keeps
+	// sustained overload from building an unbounded backlog.
+	QueueWait time.Duration
+}
+
+// errShed is returned by acquire when the request must be shed (429).
+var errShed = errors.New("server: overloaded, request shed")
+
+// limiter is the admission controller: a slot semaphore plus a bounded wait
+// queue, both plain buffered channels so acquisition composes with context
+// cancellation in one select.
+type limiter struct {
+	cfg   AdmissionConfig
+	slots chan struct{}
+	queue chan struct{}
+	// waiting and shed are observation hooks (gauge, counter); either may
+	// be nil.
+	waiting interface{ Add(int64) }
+	shed    interface{ Inc() }
+}
+
+func newLimiter(cfg AdmissionConfig) *limiter {
+	if cfg.MaxConcurrent < 1 {
+		cfg.MaxConcurrent = 1
+	}
+	if cfg.QueueLen < 0 {
+		cfg.QueueLen = 0
+	}
+	if cfg.QueueWait <= 0 {
+		cfg.QueueWait = 100 * time.Millisecond
+	}
+	return &limiter{
+		cfg:   cfg,
+		slots: make(chan struct{}, cfg.MaxConcurrent),
+		queue: make(chan struct{}, cfg.QueueLen),
+	}
+}
+
+// acquire claims an execution slot, queueing up to QueueWait when all slots
+// are busy. It returns errShed when the queue is full or the wait expires,
+// or ctx.Err() when the caller gave up first. On nil the caller must call
+// release exactly once.
+func (l *limiter) acquire(ctx context.Context) error {
+	select {
+	case l.slots <- struct{}{}:
+		return nil
+	default:
+	}
+	// All slots busy: take a queue position without blocking, or shed.
+	select {
+	case l.queue <- struct{}{}:
+	default:
+		if l.shed != nil {
+			l.shed.Inc()
+		}
+		return errShed
+	}
+	if l.waiting != nil {
+		l.waiting.Add(1)
+	}
+	defer func() {
+		<-l.queue
+		if l.waiting != nil {
+			l.waiting.Add(-1)
+		}
+	}()
+	t := time.NewTimer(l.cfg.QueueWait)
+	defer t.Stop()
+	select {
+	case l.slots <- struct{}{}:
+		return nil
+	case <-t.C:
+		if l.shed != nil {
+			l.shed.Inc()
+		}
+		return errShed
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// release returns an execution slot.
+func (l *limiter) release() { <-l.slots }
+
+// retryAfter estimates how long a shed client should wait before retrying:
+// roughly one queue-wait, floored at a second so clients do not hammer.
+func (l *limiter) retryAfter() time.Duration {
+	if l.cfg.QueueWait > time.Second {
+		return l.cfg.QueueWait
+	}
+	return time.Second
+}

@@ -1,0 +1,82 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestLimiterShedsWhenQueueFull(t *testing.T) {
+	l := newLimiter(AdmissionConfig{MaxConcurrent: 2, QueueLen: 1, QueueWait: time.Minute})
+	ctx := context.Background()
+	// Fill both slots.
+	if err := l.acquire(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.acquire(ctx); err != nil {
+		t.Fatal(err)
+	}
+	// Third request queues (asynchronously); once it holds the queue token,
+	// a fourth sheds immediately.
+	queued := make(chan error, 1)
+	go func() { queued <- l.acquire(ctx) }()
+	waitUntil(t, func() bool { return len(l.queue) == 1 })
+	if err := l.acquire(ctx); !errors.Is(err, errShed) {
+		t.Fatalf("fourth acquire: err = %v, want errShed", err)
+	}
+	// Releasing a slot admits the queued request.
+	l.release()
+	if err := <-queued; err != nil {
+		t.Fatalf("queued acquire: %v", err)
+	}
+}
+
+func TestLimiterQueueWaitSheds(t *testing.T) {
+	l := newLimiter(AdmissionConfig{MaxConcurrent: 1, QueueLen: 1, QueueWait: 10 * time.Millisecond})
+	if err := l.acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	err := l.acquire(context.Background())
+	if !errors.Is(err, errShed) {
+		t.Fatalf("err = %v, want errShed after the queue wait", err)
+	}
+	if elapsed := time.Since(start); elapsed < 10*time.Millisecond {
+		t.Fatalf("shed after %v, want at least the 10ms queue wait", elapsed)
+	}
+	// The queue token was returned: a later request queues again instead of
+	// shedding instantly.
+	if len(l.queue) != 0 {
+		t.Fatal("queue token leaked")
+	}
+}
+
+func TestLimiterContextCancelWhileQueued(t *testing.T) {
+	l := newLimiter(AdmissionConfig{MaxConcurrent: 1, QueueLen: 1, QueueWait: time.Minute})
+	if err := l.acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- l.acquire(ctx) }()
+	waitUntil(t, func() bool { return len(l.queue) == 1 })
+	cancel()
+	if err := <-done; !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled (a gone client is not a shed)", err)
+	}
+	if len(l.queue) != 0 {
+		t.Fatal("queue token leaked on cancellation")
+	}
+}
+
+func waitUntil(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition not reached in 2s")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

@@ -1,0 +1,213 @@
+package server
+
+// Pure unit tests for the circuit-breaker state machine: a fake clock, no
+// sleeps, every transition asserted deterministically.
+
+import (
+	"testing"
+	"time"
+)
+
+// fakeClock is a manually advanced time source.
+type fakeClock struct{ t time.Time }
+
+func newFakeClock() *fakeClock { return &fakeClock{t: time.Unix(1000, 0)} }
+
+func (c *fakeClock) now() time.Time            { return c.t }
+func (c *fakeClock) advance(d time.Duration)   { c.t = c.t.Add(d) }
+
+// transitionLog records breaker transitions for assertion.
+type transitionLog struct {
+	entries []string
+}
+
+func (l *transitionLog) record(key int64, from, to BreakerState) {
+	l.entries = append(l.entries, from.String()+"->"+to.String())
+}
+
+func testBreaker(t *testing.T) (*Breaker, *fakeClock, *transitionLog) {
+	t.Helper()
+	clk := newFakeClock()
+	log := &transitionLog{}
+	b := NewBreaker(BreakerConfig{
+		Window:         8,
+		MinVolume:      4,
+		FailureRate:    0.5,
+		OpenFor:        10 * time.Second,
+		HalfOpenProbes: 2,
+	}, clk.now, log.record)
+	return b, clk, log
+}
+
+func TestBreakerStaysClosedBelowMinVolume(t *testing.T) {
+	b, _, _ := testBreaker(t)
+	for i := 0; i < 3; i++ { // 3 failures < MinVolume 4
+		if !b.Allow(1) {
+			t.Fatalf("closed breaker rejected call %d", i)
+		}
+		b.Report(1, true)
+	}
+	if got := b.State(1); got != StateClosed {
+		t.Fatalf("state = %v after 3 failures, want closed (min volume 4)", got)
+	}
+}
+
+func TestBreakerOpensAtFailureRate(t *testing.T) {
+	b, _, log := testBreaker(t)
+	// 2 successes + 2 failures = rate 0.5 at volume 4: exactly the threshold.
+	b.Report(1, false)
+	b.Report(1, false)
+	b.Report(1, true)
+	if got := b.State(1); got != StateClosed {
+		t.Fatalf("state = %v at volume 3, want closed", got)
+	}
+	b.Report(1, true)
+	if got := b.State(1); got != StateOpen {
+		t.Fatalf("state = %v at 2/4 failures, want open", got)
+	}
+	if b.Allow(1) {
+		t.Fatal("open breaker admitted work")
+	}
+	if len(log.entries) != 1 || log.entries[0] != "closed->open" {
+		t.Fatalf("transitions = %v, want [closed->open]", log.entries)
+	}
+}
+
+func TestBreakerKeysAreIndependent(t *testing.T) {
+	b, _, _ := testBreaker(t)
+	for i := 0; i < 4; i++ {
+		b.Report(7, true)
+	}
+	if b.Allow(7) {
+		t.Fatal("video 7 should be open")
+	}
+	if !b.Allow(8) {
+		t.Fatal("video 8 tripped by video 7's failures")
+	}
+}
+
+func TestBreakerHalfOpenAfterCooldown(t *testing.T) {
+	b, clk, log := testBreaker(t)
+	for i := 0; i < 4; i++ {
+		b.Report(1, true)
+	}
+	clk.advance(9 * time.Second)
+	if b.Allow(1) {
+		t.Fatal("breaker admitted work before OpenFor elapsed")
+	}
+	clk.advance(time.Second)
+	// First Allow flips to half-open and admits the probe.
+	if !b.Allow(1) {
+		t.Fatal("breaker rejected the half-open probe")
+	}
+	if got := b.State(1); got != StateHalfOpen {
+		t.Fatalf("state = %v, want half-open", got)
+	}
+	// HalfOpenProbes = 2: one more probe fits, the third is rejected.
+	if !b.Allow(1) {
+		t.Fatal("second probe rejected")
+	}
+	if b.Allow(1) {
+		t.Fatal("third concurrent probe admitted, want at most 2")
+	}
+	// Both probes succeed: the circuit closes with a clean window.
+	b.Report(1, false)
+	b.Report(1, false)
+	if got := b.State(1); got != StateClosed {
+		t.Fatalf("state = %v after successful probes, want closed", got)
+	}
+	want := []string{"closed->open", "open->half-open", "half-open->closed"}
+	if len(log.entries) != len(want) {
+		t.Fatalf("transitions = %v, want %v", log.entries, want)
+	}
+	for i := range want {
+		if log.entries[i] != want[i] {
+			t.Fatalf("transitions = %v, want %v", log.entries, want)
+		}
+	}
+	// The window was reset on close: one new failure must not re-open.
+	b.Report(1, true)
+	if got := b.State(1); got != StateClosed {
+		t.Fatalf("state = %v after one failure post-recovery, want closed (window reset)", got)
+	}
+}
+
+func TestBreakerProbeFailureReopens(t *testing.T) {
+	b, clk, _ := testBreaker(t)
+	for i := 0; i < 4; i++ {
+		b.Report(1, true)
+	}
+	clk.advance(10 * time.Second)
+	if !b.Allow(1) {
+		t.Fatal("probe rejected")
+	}
+	b.Report(1, true)
+	if got := b.State(1); got != StateOpen {
+		t.Fatalf("state = %v after failed probe, want open", got)
+	}
+	// The cool-down restarts from the probe failure.
+	clk.advance(9 * time.Second)
+	if b.Allow(1) {
+		t.Fatal("breaker admitted work 9s after re-opening")
+	}
+	clk.advance(time.Second)
+	if !b.Allow(1) {
+		t.Fatal("breaker rejected probe after full cool-down")
+	}
+}
+
+func TestBreakerCancelReleasesProbe(t *testing.T) {
+	b, clk, _ := testBreaker(t)
+	for i := 0; i < 4; i++ {
+		b.Report(1, true)
+	}
+	clk.advance(10 * time.Second)
+	if !b.Allow(1) || !b.Allow(1) {
+		t.Fatal("probes rejected")
+	}
+	if b.Allow(1) {
+		t.Fatal("probe budget exceeded")
+	}
+	// A cancelled probe (request deadline died) frees its slot without an
+	// outcome.
+	b.Cancel(1)
+	if !b.Allow(1) {
+		t.Fatal("cancelled probe slot not released")
+	}
+}
+
+func TestBreakerWindowSlides(t *testing.T) {
+	b, _, _ := testBreaker(t)
+	// Fill the window (8) with successes, then add failures: the ring
+	// forgets the oldest successes, so 4 failures out of the last 8 trip it.
+	for i := 0; i < 8; i++ {
+		b.Report(1, false)
+	}
+	for i := 0; i < 3; i++ {
+		b.Report(1, true)
+	}
+	if got := b.State(1); got != StateClosed {
+		t.Fatalf("state = %v at 3/8 failures, want closed", got)
+	}
+	b.Report(1, true)
+	if got := b.State(1); got != StateOpen {
+		t.Fatalf("state = %v at 4/8 failures in the window, want open", got)
+	}
+}
+
+func TestBreakerStaleReportWhileOpenIgnored(t *testing.T) {
+	b, clk, _ := testBreaker(t)
+	for i := 0; i < 4; i++ {
+		b.Report(1, true)
+	}
+	// A straggler that was admitted before the circuit opened reports late;
+	// it must not distort the open state or the cool-down.
+	b.Report(1, false)
+	if got := b.State(1); got != StateOpen {
+		t.Fatalf("state = %v after stale report, want open", got)
+	}
+	clk.advance(10 * time.Second)
+	if !b.Allow(1) {
+		t.Fatal("cool-down broken by stale report")
+	}
+}

@@ -1,0 +1,407 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"htlvideo"
+	"htlvideo/internal/obs"
+)
+
+// NewHTTPServer returns an http.Server hardened against slow clients: header
+// and body read timeouts bound a Slowloris-style drip-feed, the write
+// timeout bounds a reader that never drains, and header size is capped.
+// Every listener in this repo (htlserve, htlquery's -metrics-addr) goes
+// through it.
+func NewHTTPServer(addr string, h http.Handler) *http.Server {
+	return &http.Server{
+		Addr:              addr,
+		Handler:           h,
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		WriteTimeout:      90 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+		MaxHeaderBytes:    1 << 20,
+	}
+}
+
+// QueryResponse is the /query payload.
+type QueryResponse struct {
+	// Class is the parsed formula's class.
+	Class string `json:"class"`
+	// Videos counts the videos eligible for the query (those with segments
+	// at the asserted level); Evaluated the subset that produced a list.
+	Videos    int `json:"videos"`
+	Evaluated int `json:"evaluated"`
+	// Top is the k highest-similarity segment runs across all videos.
+	Top []RankedDoc `json:"top"`
+	// Skipped lists videos not attempted (open circuit breaker).
+	Skipped []SkipDoc `json:"skipped,omitempty"`
+	// Failed lists videos whose evaluation failed after retries.
+	Failed []FailDoc `json:"failed,omitempty"`
+	// Retries counts extra evaluation attempts spent on transient errors.
+	Retries int64 `json:"retries,omitempty"`
+	// ElapsedMS is the server-side wall time of the request.
+	ElapsedMS float64 `json:"elapsed_ms"`
+}
+
+// RankedDoc is one ranked segment run.
+type RankedDoc struct {
+	Video int     `json:"video"`
+	Beg   int     `json:"beg"`
+	End   int     `json:"end"`
+	Sim   float64 `json:"sim"`
+	Frac  float64 `json:"frac"`
+}
+
+// SkipDoc is one video skipped without evaluation.
+type SkipDoc struct {
+	Video  int    `json:"video"`
+	Reason string `json:"reason"`
+}
+
+// FailDoc is one video that failed evaluation.
+type FailDoc struct {
+	Video   int    `json:"video"`
+	Error   string `json:"error"`
+	Timeout bool   `json:"timeout,omitempty"`
+}
+
+// errorDoc is the JSON error body.
+type errorDoc struct {
+	Error string `json:"error"`
+}
+
+// Handler returns the server's full endpoint set:
+//
+//	GET  /query          evaluate an HTL query (q, level, root, engine, tau,
+//	                     k, timeout, partial parameters)
+//	GET  /healthz        liveness: 200 while the process runs
+//	GET  /readyz         readiness: 200 while serving, 503 once draining
+//	POST /-/reload       re-read and swap the store file
+//	GET  /metrics        server + current-store metrics and stats
+//	GET  /debug/slowlog  the current store's slow-query log
+//	GET  /debug/pprof/*  runtime profiles
+//
+// Every handler is panic-isolated: a panic is contained, counted, and
+// answered with 500 instead of killing the connection's goroutine.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/query", s.handleQuery)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, r *http.Request) {
+		if s.Draining() || s.Store() == nil {
+			writeJSON(w, http.StatusServiceUnavailable, errorDoc{Error: "draining"})
+			return
+		}
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprintln(w, "ready")
+	})
+	mux.HandleFunc("/-/reload", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			w.Header().Set("Allow", http.MethodPost)
+			writeJSON(w, http.StatusMethodNotAllowed, errorDoc{Error: "POST required"})
+			return
+		}
+		if err := s.Reload(); err != nil {
+			writeJSON(w, http.StatusInternalServerError, errorDoc{Error: err.Error()})
+			return
+		}
+		writeJSON(w, http.StatusOK, struct {
+			Reloaded bool `json:"reloaded"`
+			Videos   int  `json:"videos"`
+		}{true, len(s.Store().Videos())})
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		st := s.Store()
+		doc := struct {
+			Server obs.RegistrySnapshot `json:"server"`
+			Store  obs.RegistrySnapshot `json:"store"`
+			Stats  any                  `json:"stats"`
+		}{Server: s.m.reg.Snapshot()}
+		if st != nil {
+			doc.Store = st.Metrics().Snapshot()
+			doc.Stats = st.Stats()
+		}
+		writeJSON(w, http.StatusOK, doc)
+	})
+	// The slow log and profiles belong to the current store snapshot; the
+	// indirection keeps them pointing at the freshly reloaded store.
+	debug := func(w http.ResponseWriter, r *http.Request) {
+		if st := s.Store(); st != nil {
+			st.DebugHandler().ServeHTTP(w, r)
+			return
+		}
+		http.NotFound(w, r)
+	}
+	mux.HandleFunc("/debug/slowlog", debug)
+	mux.HandleFunc("/debug/pprof/", debug)
+	return s.instrument(mux)
+}
+
+// instrument wraps the mux with panic isolation and request accounting.
+func (s *Server) instrument(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		s.m.requests.Inc()
+		s.m.inFlight.Inc()
+		start := time.Now()
+		defer func() {
+			if rec := recover(); rec != nil {
+				s.m.panics.Inc()
+				s.logf("server: panic serving %s: %v", r.URL.Path, rec)
+				// Best effort: if the handler already wrote, the connection
+				// is poisoned and the write below is a no-op.
+				writeJSON(w, http.StatusInternalServerError, errorDoc{Error: "internal error"})
+			}
+			s.m.inFlight.Dec()
+			s.m.reqLat.Observe(time.Since(start))
+			s.m.responses.Inc()
+		}()
+		next.ServeHTTP(w, r)
+	})
+}
+
+// handleQuery evaluates one HTL query under admission control: parse the
+// parameters and the formula, then fan the store's videos out over a bounded
+// pool where each video runs behind its circuit breaker with transient-error
+// retries, and merge whatever survived into a ranked partial result.
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	st := s.Store()
+	if st == nil {
+		writeJSON(w, http.StatusServiceUnavailable, errorDoc{Error: "no store loaded"})
+		return
+	}
+	if err := s.limiter.acquire(r.Context()); err != nil {
+		if errors.Is(err, errShed) {
+			w.Header().Set("Retry-After", strconv.Itoa(int(s.limiter.retryAfter().Seconds())))
+			writeJSON(w, http.StatusTooManyRequests, errorDoc{Error: "overloaded, retry later"})
+			return
+		}
+		// The client went away while queued; nothing to say to it.
+		writeJSON(w, http.StatusRequestTimeout, errorDoc{Error: err.Error()})
+		return
+	}
+	defer s.limiter.release()
+
+	start := time.Now()
+	p, status, err := s.parseQueryRequest(r)
+	if err != nil {
+		writeJSON(w, status, errorDoc{Error: err.Error()})
+		return
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), p.timeout)
+	defer cancel()
+
+	out := s.evaluate(ctx, st, p)
+	out.ElapsedMS = float64(time.Since(start)) / float64(time.Millisecond)
+
+	switch {
+	case ctx.Err() != nil && out.Evaluated == 0:
+		// The deadline consumed the whole request.
+		writeJSON(w, http.StatusGatewayTimeout, out)
+	case !p.partial && len(out.Failed) > 0:
+		writeJSON(w, http.StatusInternalServerError, out)
+	default:
+		writeJSON(w, http.StatusOK, out)
+	}
+}
+
+// queryParams is one parsed /query request.
+type queryParams struct {
+	query   string
+	formula htlvideo.Formula
+	level   int
+	atRoot  bool
+	engine  htlvideo.Engine
+	tau     float64
+	k       int
+	timeout time.Duration
+	partial bool
+}
+
+// parseQueryRequest validates the request. Parse and validation failures are
+// terminal — they are deterministic and are never retried.
+func (s *Server) parseQueryRequest(r *http.Request) (p queryParams, status int, err error) {
+	p = queryParams{level: 2, tau: 0.5, k: 10, timeout: s.cfg.defaultTimeout, partial: true}
+	q := r.FormValue("q")
+	if q == "" {
+		return p, http.StatusBadRequest, errors.New("missing q parameter")
+	}
+	p.query = q
+	if p.formula, err = htlvideo.Parse(q); err != nil {
+		return p, http.StatusBadRequest, fmt.Errorf("parsing query: %w", err)
+	}
+	if v := r.FormValue("level"); v != "" {
+		if p.level, err = strconv.Atoi(v); err != nil || p.level < 1 {
+			return p, http.StatusBadRequest, fmt.Errorf("invalid level %q", v)
+		}
+	}
+	if v := r.FormValue("root"); v != "" {
+		if p.atRoot, err = strconv.ParseBool(v); err != nil {
+			return p, http.StatusBadRequest, fmt.Errorf("invalid root %q", v)
+		}
+	}
+	if p.atRoot {
+		p.level = 1
+	}
+	switch v := r.FormValue("engine"); v {
+	case "", "auto":
+		p.engine = htlvideo.EngineAuto
+	case "direct":
+		p.engine = htlvideo.EngineDirect
+	case "sql":
+		p.engine = htlvideo.EngineSQL
+	case "reference":
+		p.engine = htlvideo.EngineReference
+	default:
+		return p, http.StatusBadRequest, fmt.Errorf("unknown engine %q", v)
+	}
+	if v := r.FormValue("tau"); v != "" {
+		if p.tau, err = strconv.ParseFloat(v, 64); err != nil || p.tau < 0 || p.tau > 1 {
+			return p, http.StatusBadRequest, fmt.Errorf("invalid tau %q", v)
+		}
+	}
+	if v := r.FormValue("k"); v != "" {
+		if p.k, err = strconv.Atoi(v); err != nil || p.k < 1 {
+			return p, http.StatusBadRequest, fmt.Errorf("invalid k %q", v)
+		}
+	}
+	if v := r.FormValue("timeout"); v != "" {
+		d, err := time.ParseDuration(v)
+		if err != nil || d <= 0 {
+			return p, http.StatusBadRequest, fmt.Errorf("invalid timeout %q", v)
+		}
+		if d > s.cfg.maxTimeout {
+			d = s.cfg.maxTimeout
+		}
+		p.timeout = d
+	}
+	if v := r.FormValue("partial"); v != "" {
+		if p.partial, err = strconv.ParseBool(v); err != nil {
+			return p, http.StatusBadRequest, fmt.Errorf("invalid partial %q", v)
+		}
+	}
+	return p, http.StatusOK, nil
+}
+
+// evaluate fans the eligible videos out over the per-request pool: each
+// video passes its circuit breaker, runs with transient-error retries, and
+// reports its outcome back to the breaker. The merge mirrors the store's
+// partial-result semantics at the serving layer — a failing or tripped
+// video costs its own results only.
+func (s *Server) evaluate(ctx context.Context, st *htlvideo.Store, p queryParams) *QueryResponse {
+	out := &QueryResponse{Class: fmt.Sprint(htlvideo.Classify(p.formula))}
+	var eligible []int
+	for _, v := range st.Videos() {
+		if len(v.Sequence(p.level)) == 0 {
+			continue
+		}
+		eligible = append(eligible, v.ID)
+	}
+	out.Videos = len(eligible)
+
+	opts := []htlvideo.QueryOption{
+		htlvideo.AtLevel(p.level),
+		htlvideo.WithUntilThreshold(p.tau),
+		htlvideo.WithEngine(p.engine),
+	}
+	if p.atRoot {
+		opts = append(opts, htlvideo.AtRoot())
+	}
+
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		lists    = map[int]htlvideo.SimList{}
+		attempts atomic.Int64
+		sem      = make(chan struct{}, s.cfg.parallelism)
+	)
+	for _, id := range eligible {
+		id := id
+		if !s.breaker.Allow(int64(id)) {
+			s.m.brSkipped.Inc()
+			out.Skipped = append(out.Skipped, SkipDoc{Video: id, Reason: "breaker open"})
+			continue
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			select {
+			case sem <- struct{}{}:
+				defer func() { <-sem }()
+			case <-ctx.Done():
+				// Never attempted: release the breaker reservation.
+				s.breaker.Cancel(int64(id))
+				mu.Lock()
+				out.Failed = append(out.Failed, FailDoc{Video: id, Error: ctx.Err().Error(), Timeout: true})
+				mu.Unlock()
+				return
+			}
+			var list htlvideo.SimList
+			err := s.retry.do(ctx, func() error {
+				attempts.Add(1)
+				res, e := st.QueryFormulaCtx(ctx, p.formula, append(opts, htlvideo.OnVideo(id))...)
+				if e != nil {
+					return e
+				}
+				list = res.PerVideo[id]
+				return nil
+			}, IsTransient)
+			mu.Lock()
+			defer mu.Unlock()
+			switch {
+			case err == nil:
+				s.breaker.Report(int64(id), false)
+				lists[id] = list
+			case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+				// The request's own deadline died, which says nothing about
+				// the video's health.
+				s.breaker.Cancel(int64(id))
+				out.Failed = append(out.Failed, FailDoc{Video: id, Error: err.Error(), Timeout: true})
+			default:
+				s.breaker.Report(int64(id), true)
+				out.Failed = append(out.Failed, FailDoc{Video: id, Error: truncate(err.Error(), 300)})
+			}
+		}()
+	}
+	wg.Wait()
+
+	out.Evaluated = len(lists)
+	out.Retries = attempts.Load() - int64(out.Evaluated+len(out.Failed))
+	if out.Retries < 0 {
+		out.Retries = 0
+	}
+	res := &htlvideo.Results{PerVideo: lists}
+	for _, rk := range res.TopK(p.k) {
+		out.Top = append(out.Top, RankedDoc{
+			Video: rk.VideoID, Beg: rk.Iv.Beg, End: rk.Iv.End,
+			Sim: rk.Sim.Act, Frac: rk.Sim.Frac(),
+		})
+	}
+	return out
+}
+
+func truncate(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n] + "…"
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}

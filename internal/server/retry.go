@@ -1,0 +1,140 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"sync"
+	"time"
+
+	"htlvideo"
+	"htlvideo/internal/faultinject"
+)
+
+// RetryConfig tunes the transient-error retry loop.
+type RetryConfig struct {
+	// MaxAttempts is the total number of attempts including the first;
+	// 1 disables retries.
+	MaxAttempts int
+	// BaseDelay seeds the exponential backoff: the attempt-n delay is drawn
+	// uniformly from [0, min(MaxDelay, BaseDelay·2^(n-1))] — "full jitter",
+	// which decorrelates retry storms across concurrent clients.
+	BaseDelay time.Duration
+	// MaxDelay caps the backoff ceiling.
+	MaxDelay time.Duration
+}
+
+// DefaultRetryConfig returns the serving defaults.
+func DefaultRetryConfig() RetryConfig {
+	return RetryConfig{MaxAttempts: 3, BaseDelay: 5 * time.Millisecond, MaxDelay: 100 * time.Millisecond}
+}
+
+// IsTransient classifies an error as retryable. Transient failures are the
+// ones a fresh attempt can plausibly clear: picture-system build failures
+// (evicted from the cache, so a retry rebuilds), injected faults, and
+// contained evaluation panics. Context cancellation/deadline errors and
+// everything else — parse errors never reach the retry loop, validation and
+// engine-capability errors are deterministic — are not retried.
+func IsTransient(err error) bool {
+	if err == nil || errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return false
+	}
+	var pe *htlvideo.PanicError
+	return errors.Is(err, htlvideo.ErrPictureBuild) ||
+		errors.Is(err, faultinject.ErrInjected) ||
+		errors.As(err, &pe)
+}
+
+// retrier runs a function with exponential backoff and full jitter. The
+// random source and the sleep function are injected so the loop is a
+// deterministic unit under test (the server wires a seeded lockedRand and a
+// context-aware timer sleep).
+type retrier struct {
+	cfg       RetryConfig
+	rand      func(n int64) int64 // uniform in [0, n)
+	sleep     func(ctx context.Context, d time.Duration) error
+	onAttempt func(attempt int, err error) // called before each re-attempt
+}
+
+func newRetrier(cfg RetryConfig, rnd func(n int64) int64, onAttempt func(int, error)) *retrier {
+	if cfg.MaxAttempts < 1 {
+		cfg.MaxAttempts = 1
+	}
+	if cfg.BaseDelay < 0 {
+		cfg.BaseDelay = 0
+	}
+	if cfg.MaxDelay < cfg.BaseDelay {
+		cfg.MaxDelay = cfg.BaseDelay
+	}
+	if rnd == nil {
+		rnd = newLockedRand(time.Now().UnixNano()).int63n
+	}
+	return &retrier{cfg: cfg, rand: rnd, sleep: timerSleep, onAttempt: onAttempt}
+}
+
+// do runs fn until it succeeds, fails permanently, exhausts MaxAttempts, or
+// the context dies while backing off. The last error is returned.
+func (r *retrier) do(ctx context.Context, fn func() error, transient func(error) bool) error {
+	var err error
+	for attempt := 1; ; attempt++ {
+		err = fn()
+		if err == nil || attempt >= r.cfg.MaxAttempts || !transient(err) {
+			return err
+		}
+		if r.onAttempt != nil {
+			r.onAttempt(attempt, err)
+		}
+		if serr := r.sleep(ctx, r.delay(attempt)); serr != nil {
+			// The deadline died while backing off; the caller sees the
+			// failure that prompted the retry, not the backoff's demise.
+			return err
+		}
+	}
+}
+
+// delay draws the full-jitter backoff for the given (1-based) attempt.
+func (r *retrier) delay(attempt int) time.Duration {
+	ceil := r.cfg.BaseDelay
+	for i := 1; i < attempt && ceil < r.cfg.MaxDelay; i++ {
+		ceil *= 2
+	}
+	if ceil > r.cfg.MaxDelay {
+		ceil = r.cfg.MaxDelay
+	}
+	if ceil <= 0 {
+		return 0
+	}
+	return time.Duration(r.rand(int64(ceil) + 1))
+}
+
+// timerSleep blocks for d or until ctx is done.
+func timerSleep(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// lockedRand is a mutex-guarded rand.Rand: math/rand's global source would
+// be shared process state, and per-request sources would defeat seeding.
+type lockedRand struct {
+	mu sync.Mutex
+	r  *rand.Rand
+}
+
+func newLockedRand(seed int64) *lockedRand {
+	return &lockedRand{r: rand.New(rand.NewSource(seed))}
+}
+
+func (l *lockedRand) int63n(n int64) int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.r.Int63n(n)
+}

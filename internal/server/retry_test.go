@@ -1,0 +1,155 @@
+package server
+
+// Pure unit tests for the retry/backoff loop: a recording fake sleeper and a
+// seeded random source, no real sleeps.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"htlvideo"
+	"htlvideo/internal/faultinject"
+)
+
+// fakeSleeper records requested backoff delays instead of sleeping.
+type fakeSleeper struct {
+	delays []time.Duration
+	// err, when set, is returned on the errAt-th sleep (1-based).
+	err   error
+	errAt int
+}
+
+func (f *fakeSleeper) sleep(ctx context.Context, d time.Duration) error {
+	f.delays = append(f.delays, d)
+	if f.err != nil && len(f.delays) == f.errAt {
+		return f.err
+	}
+	return nil
+}
+
+func testRetrier(cfg RetryConfig, seed int64) (*retrier, *fakeSleeper) {
+	r := newRetrier(cfg, newLockedRand(seed).int63n, nil)
+	fs := &fakeSleeper{}
+	r.sleep = fs.sleep
+	return r, fs
+}
+
+var errTransient = fmt.Errorf("%w: flaky", faultinject.ErrInjected)
+
+func TestRetrySucceedsFirstTry(t *testing.T) {
+	r, fs := testRetrier(RetryConfig{MaxAttempts: 3, BaseDelay: time.Millisecond, MaxDelay: 8 * time.Millisecond}, 1)
+	calls := 0
+	err := r.do(context.Background(), func() error { calls++; return nil }, IsTransient)
+	if err != nil || calls != 1 || len(fs.delays) != 0 {
+		t.Fatalf("err=%v calls=%d sleeps=%d, want nil/1/0", err, calls, len(fs.delays))
+	}
+}
+
+func TestRetryTransientUntilSuccess(t *testing.T) {
+	r, fs := testRetrier(RetryConfig{MaxAttempts: 4, BaseDelay: time.Millisecond, MaxDelay: 8 * time.Millisecond}, 1)
+	calls := 0
+	err := r.do(context.Background(), func() error {
+		calls++
+		if calls < 3 {
+			return errTransient
+		}
+		return nil
+	}, IsTransient)
+	if err != nil || calls != 3 || len(fs.delays) != 2 {
+		t.Fatalf("err=%v calls=%d sleeps=%d, want nil/3/2", err, calls, len(fs.delays))
+	}
+}
+
+func TestRetryExhaustsAttempts(t *testing.T) {
+	r, fs := testRetrier(RetryConfig{MaxAttempts: 3, BaseDelay: time.Millisecond, MaxDelay: 8 * time.Millisecond}, 1)
+	calls := 0
+	err := r.do(context.Background(), func() error { calls++; return errTransient }, IsTransient)
+	if !errors.Is(err, faultinject.ErrInjected) || calls != 3 || len(fs.delays) != 2 {
+		t.Fatalf("err=%v calls=%d sleeps=%d, want injected/3/2", err, calls, len(fs.delays))
+	}
+}
+
+func TestRetryNeverRetriesPermanentErrors(t *testing.T) {
+	for name, err := range map[string]error{
+		"validation": errors.New("htlvideo: the SQL baseline supports only the additive conjunction semantics"),
+		"cancel":     context.Canceled,
+		"deadline":   context.DeadlineExceeded,
+		"wrapped":    fmt.Errorf("video 3: %w", context.DeadlineExceeded),
+	} {
+		r, fs := testRetrier(RetryConfig{MaxAttempts: 5, BaseDelay: time.Millisecond, MaxDelay: time.Millisecond}, 1)
+		calls := 0
+		got := r.do(context.Background(), func() error { calls++; return err }, IsTransient)
+		if got != err || calls != 1 || len(fs.delays) != 0 {
+			t.Errorf("%s: err=%v calls=%d sleeps=%d, want the error once with no sleeps", name, got, calls, len(fs.delays))
+		}
+	}
+}
+
+func TestRetryBackoffIsBoundedFullJitter(t *testing.T) {
+	cfg := RetryConfig{MaxAttempts: 6, BaseDelay: 4 * time.Millisecond, MaxDelay: 10 * time.Millisecond}
+	r, fs := testRetrier(cfg, 42)
+	_ = r.do(context.Background(), func() error { return errTransient }, IsTransient)
+	if len(fs.delays) != 5 {
+		t.Fatalf("sleeps = %d, want 5", len(fs.delays))
+	}
+	// Full jitter: attempt n draws from [0, min(MaxDelay, Base·2^(n-1))].
+	ceils := []time.Duration{4, 8, 10, 10, 10}
+	for i, d := range fs.delays {
+		if d < 0 || d > ceils[i]*time.Millisecond {
+			t.Fatalf("delay %d = %v outside [0, %v]", i+1, d, ceils[i]*time.Millisecond)
+		}
+	}
+}
+
+func TestRetryDeterministicUnderSeed(t *testing.T) {
+	run := func() []time.Duration {
+		r, fs := testRetrier(RetryConfig{MaxAttempts: 5, BaseDelay: time.Millisecond, MaxDelay: 64 * time.Millisecond}, 7)
+		_ = r.do(context.Background(), func() error { return errTransient }, IsTransient)
+		return fs.delays
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("runs differ in length: %v vs %v", a, b)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged: %v vs %v", a, b)
+		}
+	}
+}
+
+func TestRetryStopsWhenContextDiesDuringBackoff(t *testing.T) {
+	r, fs := testRetrier(RetryConfig{MaxAttempts: 5, BaseDelay: time.Millisecond, MaxDelay: time.Millisecond}, 1)
+	fs.err, fs.errAt = context.DeadlineExceeded, 2
+	calls := 0
+	err := r.do(context.Background(), func() error { calls++; return errTransient }, IsTransient)
+	// The loop surfaces the failure that prompted the retry, not the
+	// backoff's own demise, and stops immediately.
+	if !errors.Is(err, faultinject.ErrInjected) || calls != 2 || len(fs.delays) != 2 {
+		t.Fatalf("err=%v calls=%d sleeps=%d, want injected/2/2", err, calls, len(fs.delays))
+	}
+}
+
+func TestIsTransientClassification(t *testing.T) {
+	pe := &htlvideo.PanicError{Value: "boom"}
+	for _, tc := range []struct {
+		name string
+		err  error
+		want bool
+	}{
+		{"nil", nil, false},
+		{"injected", errTransient, true},
+		{"build", fmt.Errorf("%w: disk hiccup", htlvideo.ErrPictureBuild), true},
+		{"panic", fmt.Errorf("video 2: %w", pe), true},
+		{"cancel", context.Canceled, false},
+		{"deadline", fmt.Errorf("aborted: %w", context.DeadlineExceeded), false},
+		{"validation", errors.New("unknown engine"), false},
+	} {
+		if got := IsTransient(tc.err); got != tc.want {
+			t.Errorf("%s: IsTransient(%v) = %v, want %v", tc.name, tc.err, got, tc.want)
+		}
+	}
+}

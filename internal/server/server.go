@@ -1,0 +1,321 @@
+// Package server is the retrieval front-end: a long-running, fault-tolerant
+// HTTP query server over an htlvideo.Store. It composes the store's
+// resilience primitives (cancellation, bounded per-query worker pool, panic
+// isolation, fault injection) and observability (internal/obs) with the
+// standard serving toolkit:
+//
+//   - admission control — a bounded concurrency limiter with a small wait
+//     queue that sheds load with 429 + Retry-After once full;
+//   - per-request deadlines — a server default, capped client override via
+//     ?timeout=, propagated through the store's QueryCtx path;
+//   - a per-video circuit breaker — repeatedly failing videos are skipped
+//     (reported in partial results) instead of stalling every query, and
+//     probed again after a cool-down;
+//   - retry with exponential backoff and full jitter — only for transient
+//     errors (picture-system build failures, injected faults, contained
+//     panics), never for parse or validation errors;
+//   - hot store reload — SIGHUP or POST /-/reload re-reads the store file,
+//     validates it fully, and atomically swaps it in while in-flight queries
+//     finish on the old snapshot;
+//   - graceful drain — shutdown stops accepting, drains in-flight requests
+//     up to a deadline, then cancels stragglers.
+//
+// Every knob is an Option; every state transition (shed, breaker open/close,
+// retry, reload, drain) is counted through internal/obs and visible on
+// /metrics next to /healthz and /readyz.
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"htlvideo"
+	"htlvideo/internal/obs"
+)
+
+// Option tweaks the server's configuration.
+type Option func(*config)
+
+type config struct {
+	admission AdmissionConfig
+	breaker   BreakerConfig
+	retry     RetryConfig
+	// defaultTimeout bounds a request that names no ?timeout=; maxTimeout
+	// caps what a client may ask for.
+	defaultTimeout time.Duration
+	maxTimeout     time.Duration
+	// drainTimeout bounds graceful shutdown before stragglers are cancelled.
+	drainTimeout time.Duration
+	// parallelism bounds one request's concurrent per-video evaluations.
+	parallelism int
+	now         func() time.Time
+	rand        func(n int64) int64
+	logger      obs.Logger
+}
+
+// WithAdmission sets the load-shedding limits.
+func WithAdmission(a AdmissionConfig) Option { return func(c *config) { c.admission = a } }
+
+// WithBreaker sets the per-video circuit-breaker thresholds.
+func WithBreaker(b BreakerConfig) Option { return func(c *config) { c.breaker = b } }
+
+// WithRetry sets the transient-error retry policy.
+func WithRetry(r RetryConfig) Option { return func(c *config) { c.retry = r } }
+
+// WithDefaultTimeout sets the per-request deadline used when the client
+// names none.
+func WithDefaultTimeout(d time.Duration) Option { return func(c *config) { c.defaultTimeout = d } }
+
+// WithMaxTimeout caps the deadline a client may request via ?timeout=.
+func WithMaxTimeout(d time.Duration) Option { return func(c *config) { c.maxTimeout = d } }
+
+// WithDrainTimeout bounds graceful shutdown: past it, in-flight requests are
+// cancelled and the listener closed.
+func WithDrainTimeout(d time.Duration) Option { return func(c *config) { c.drainTimeout = d } }
+
+// WithParallelism bounds one request's concurrent per-video evaluations
+// (default GOMAXPROCS).
+func WithParallelism(n int) Option { return func(c *config) { c.parallelism = n } }
+
+// WithClock injects the time source (tests).
+func WithClock(now func() time.Time) Option { return func(c *config) { c.now = now } }
+
+// WithRandSeed seeds the retry jitter deterministically (tests).
+func WithRandSeed(seed int64) Option {
+	return func(c *config) { c.rand = newLockedRand(seed).int63n }
+}
+
+// WithLogger installs a logger for reload, drain and shed events.
+func WithLogger(l obs.Logger) Option { return func(c *config) { c.logger = l } }
+
+// serverMetrics are the serving layer's own counters and gauges, registered
+// in a registry separate from the store's (the store is swapped on reload;
+// the server's history is not).
+type serverMetrics struct {
+	reg *obs.Registry
+
+	requests   *obs.Counter
+	responses  *obs.Counter
+	shed       *obs.Counter
+	panics     *obs.Counter
+	inFlight   *obs.Gauge
+	queued     *obs.Gauge
+	reqLat     *obs.Histogram
+	retries    *obs.Counter
+	brOpened   *obs.Counter
+	brHalfOpen *obs.Counter
+	brClosed   *obs.Counter
+	brSkipped  *obs.Counter
+	reloads    *obs.Counter
+	reloadErrs *obs.Counter
+	drains     *obs.Counter
+	drainForce *obs.Counter
+}
+
+func newServerMetrics() *serverMetrics {
+	reg := obs.NewRegistry()
+	return &serverMetrics{
+		reg:        reg,
+		requests:   reg.Counter("server.requests.total"),
+		responses:  reg.Counter("server.responses.total"),
+		shed:       reg.Counter("server.requests.shed"),
+		panics:     reg.Counter("server.panics_recovered"),
+		inFlight:   reg.Gauge("server.requests.in_flight"),
+		queued:     reg.Gauge("server.requests.queued"),
+		reqLat:     reg.Histogram("server.request.latency", nil),
+		retries:    reg.Counter("server.retries"),
+		brOpened:   reg.Counter("server.breaker.opened"),
+		brHalfOpen: reg.Counter("server.breaker.half_open"),
+		brClosed:   reg.Counter("server.breaker.closed"),
+		brSkipped:  reg.Counter("server.breaker.videos_skipped"),
+		reloads:    reg.Counter("server.reloads"),
+		reloadErrs: reg.Counter("server.reload_errors"),
+		drains:     reg.Counter("server.drains"),
+		drainForce: reg.Counter("server.drains_forced"),
+	}
+}
+
+// Server is the fault-tolerant query server. Create one with New (an
+// in-memory store) or Open (a store file, enabling hot reload), mount
+// Handler on a listener via Serve, and stop with Shutdown.
+type Server struct {
+	cfg     config
+	store   atomic.Pointer[htlvideo.Store]
+	m       *serverMetrics
+	limiter *limiter
+	breaker *Breaker
+	retry   *retrier
+
+	// storePath enables Reload; empty for in-memory servers.
+	storePath string
+	// reloadMu serializes reloads (SIGHUP racing POST /-/reload).
+	reloadMu sync.Mutex
+
+	// baseCtx is the ancestor of every request context; baseCancel is the
+	// drain deadline's hammer.
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+	draining   atomic.Bool
+
+	httpMu  sync.Mutex
+	httpSrv *http.Server
+}
+
+// New builds a server over an in-memory store (Reload then has no source
+// and fails; use Open for a file-backed server).
+func New(st *htlvideo.Store, opts ...Option) *Server {
+	cfg := config{
+		admission:      AdmissionConfig{MaxConcurrent: runtime.GOMAXPROCS(0), QueueLen: runtime.GOMAXPROCS(0), QueueWait: 100 * time.Millisecond},
+		breaker:        DefaultBreakerConfig(),
+		retry:          DefaultRetryConfig(),
+		defaultTimeout: 5 * time.Second,
+		maxTimeout:     30 * time.Second,
+		drainTimeout:   10 * time.Second,
+		parallelism:    runtime.GOMAXPROCS(0),
+		now:            time.Now,
+	}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if cfg.maxTimeout < cfg.defaultTimeout {
+		cfg.maxTimeout = cfg.defaultTimeout
+	}
+	if cfg.parallelism < 1 {
+		cfg.parallelism = runtime.GOMAXPROCS(0)
+	}
+	m := newServerMetrics()
+	s := &Server{cfg: cfg, m: m}
+	s.store.Store(st)
+	s.limiter = newLimiter(cfg.admission)
+	s.limiter.waiting, s.limiter.shed = m.queued, m.shed
+	s.breaker = NewBreaker(cfg.breaker, cfg.now, func(key int64, from, to BreakerState) {
+		switch to {
+		case StateOpen:
+			m.brOpened.Inc()
+		case StateHalfOpen:
+			m.brHalfOpen.Inc()
+		case StateClosed:
+			m.brClosed.Inc()
+		}
+		s.logf("server: breaker video %d: %v -> %v", key, from, to)
+	})
+	s.retry = newRetrier(cfg.retry, cfg.rand, func(attempt int, err error) {
+		m.retries.Inc()
+	})
+	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
+	return s
+}
+
+// Open builds a file-backed server: the store is loaded (and fully
+// validated) from path, and Reload re-reads the same path.
+func Open(path string, opts ...Option) (*Server, error) {
+	st, err := htlvideo.LoadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	s := New(st, opts...)
+	s.storePath = path
+	return s, nil
+}
+
+// Store returns the current store snapshot. Queries in flight keep the
+// snapshot they started with across reloads.
+func (s *Server) Store() *htlvideo.Store { return s.store.Load() }
+
+// Metrics exposes the serving layer's metric registry (the store has its
+// own, reachable via Store().Metrics()).
+func (s *Server) Metrics() *obs.Registry { return s.m.reg }
+
+// Reload re-reads the store file, validates it fully, and atomically swaps
+// it in. In-flight queries finish on the old snapshot; a failed load leaves
+// the serving store untouched. It fails for in-memory servers.
+func (s *Server) Reload() error {
+	s.reloadMu.Lock()
+	defer s.reloadMu.Unlock()
+	if s.storePath == "" {
+		s.m.reloadErrs.Inc()
+		return errors.New("server: no store file to reload (in-memory store)")
+	}
+	st, err := htlvideo.LoadFile(s.storePath)
+	if err != nil {
+		s.m.reloadErrs.Inc()
+		s.logf("server: reload %s failed: %v", s.storePath, err)
+		return fmt.Errorf("server: reloading %s: %w", s.storePath, err)
+	}
+	s.store.Store(st)
+	s.m.reloads.Inc()
+	s.logf("server: reloaded %s (%d videos)", s.storePath, len(st.Videos()))
+	return nil
+}
+
+// Serve accepts connections on l until Shutdown. The underlying
+// http.Server is hardened (see NewHTTPServer) and every request context
+// descends from the server's base context so a forced drain cancels
+// stragglers.
+func (s *Server) Serve(l net.Listener) error {
+	srv := NewHTTPServer("", s.Handler())
+	srv.BaseContext = func(net.Listener) context.Context { return s.baseCtx }
+	s.httpMu.Lock()
+	s.httpSrv = srv
+	s.httpMu.Unlock()
+	return srv.Serve(l)
+}
+
+// ListenAndServe listens on addr and serves (see Serve).
+func (s *Server) ListenAndServe(addr string) error {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(l)
+}
+
+// Shutdown drains the server gracefully: it stops accepting, flips /readyz
+// to 503, waits for in-flight requests up to the drain timeout (bounded
+// also by ctx), then cancels stragglers through the base context and closes
+// remaining connections. Safe to call once per Serve.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.draining.Store(true)
+	s.m.drains.Inc()
+	s.httpMu.Lock()
+	srv := s.httpSrv
+	s.httpMu.Unlock()
+	if srv == nil {
+		s.baseCancel()
+		return nil
+	}
+	dctx, cancel := context.WithTimeout(ctx, s.cfg.drainTimeout)
+	defer cancel()
+	err := srv.Shutdown(dctx)
+	if err != nil {
+		// The drain deadline passed with requests still in flight: cancel
+		// their contexts and tear the connections down.
+		s.m.drainForce.Inc()
+		s.logf("server: drain deadline exceeded, cancelling stragglers: %v", err)
+		s.baseCancel()
+		cerr := srv.Close()
+		if cerr != nil && !errors.Is(cerr, http.ErrServerClosed) {
+			return cerr
+		}
+		return err
+	}
+	s.baseCancel()
+	s.logf("server: drained cleanly")
+	return nil
+}
+
+// Draining reports whether Shutdown has begun (readyz turns 503).
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.logger != nil {
+		s.cfg.logger.Logf(format, args...)
+	}
+}

@@ -76,6 +76,28 @@ func (s *Store) Video(id int) *Video { return s.meta.Video(id) }
 // Videos returns all stored videos ordered by id.
 func (s *Store) Videos() []*Video { return s.meta.Videos() }
 
+// ErrPictureBuild marks failures of the picture-system build stage (as
+// opposed to parse, validation or engine errors). Build failures are evicted
+// from the cache and retried by later queries, so a serving layer may
+// classify them as transient and retry; detect them with errors.Is. The
+// underlying cause (an injected fault, an invalid sequence) stays on the
+// chain.
+var ErrPictureBuild = errors.New("htlvideo: picture system build failed")
+
+// PanicError is a panic contained during one video's evaluation, surfaced as
+// that video's error. Recover it with errors.As to distinguish a poisoned
+// evaluation from an ordinary engine error.
+type PanicError struct {
+	// Value is the recovered panic value.
+	Value any
+	// Stack is the goroutine stack captured at recovery.
+	Stack []byte
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("htlvideo: panic during evaluation: %v\n%s", e.Value, e.Stack)
+}
+
 // system returns (building and caching if needed) the picture system over
 // one video's sequence at a level. Concurrent callers for the same key share
 // one build; failed builds are evicted so later queries retry rather than
@@ -117,10 +139,13 @@ func (s *Store) system(ctx context.Context, v *Video, level int) (*picture.Syste
 		// A waiter can inherit a cancellation error from the context of the
 		// query that initiated the shared build; retry under our own while
 		// it is still live.
-		if ctxErr(e.err) && ctx.Err() == nil {
-			continue
+		if ctxErr(e.err) {
+			if ctx.Err() == nil {
+				continue
+			}
+			return nil, e.err
 		}
-		return nil, e.err
+		return nil, fmt.Errorf("%w: %w", ErrPictureBuild, e.err)
 	}
 }
 
@@ -432,7 +457,7 @@ func (s *Store) queryVideoIsolated(ctx context.Context, v *Video, f Formula, cfg
 	defer func() {
 		if r := recover(); r != nil {
 			s.obs.panicsRecovered.Inc()
-			err = fmt.Errorf("htlvideo: panic during evaluation: %v\n%s", r, debug.Stack())
+			err = &PanicError{Value: r, Stack: debug.Stack()}
 		}
 	}()
 	return s.queryVideo(ctx, v, f, cfg)

@@ -4,6 +4,8 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"os"
+	"path/filepath"
 	"sort"
 
 	"htlvideo/internal/metadata"
@@ -86,8 +88,97 @@ func LoadStore(r io.Reader) (*Store, error) {
 	return doc.Build()
 }
 
+// LoadFile reads a JSON store document from a file.
+func LoadFile(path string) (*Store, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return LoadStore(f)
+}
+
+// SaveFile writes the store to path atomically: the document goes to a
+// temporary file in the same directory, is fsynced, and replaces path with
+// rename. A crash mid-save leaves the previous file intact, never a
+// truncated document — the property the serving layer's hot reload depends
+// on.
+func (s *Store) SaveFile(path string) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("htlvideo: saving store: %w", err)
+	}
+	defer func() {
+		if tmp != nil {
+			tmp.Close()
+			os.Remove(tmp.Name())
+		}
+	}()
+	if err := s.Save(tmp); err != nil {
+		return fmt.Errorf("htlvideo: saving store: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		return fmt.Errorf("htlvideo: saving store: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		tmp = nil
+		return fmt.Errorf("htlvideo: saving store: %w", err)
+	}
+	name := tmp.Name()
+	tmp = nil
+	if err := os.Rename(name, path); err != nil {
+		os.Remove(name)
+		return fmt.Errorf("htlvideo: saving store: %w", err)
+	}
+	return nil
+}
+
+// Validate checks document-level invariants before any store construction:
+// video ids must be unique across the document and object ids unique within
+// each segment. The same conditions are enforced again structurally when
+// videos are added to the store; checking them here yields errors that name
+// document coordinates (video ids, segment paths) instead of half-built
+// state.
+func (d StoreDoc) Validate() error {
+	seen := make(map[int]bool, len(d.Videos))
+	for _, vd := range d.Videos {
+		if seen[vd.ID] {
+			return fmt.Errorf("htlvideo: duplicate video id %d in store document", vd.ID)
+		}
+		seen[vd.ID] = true
+		for i, sd := range vd.Segments {
+			if err := validateSegmentDoc(sd, fmt.Sprintf("video %d: segment %d", vd.ID, i+1)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// validateSegmentDoc rejects duplicate object ids within one segment, then
+// recurses; path names the segment in document coordinates.
+func validateSegmentDoc(sd SegmentDoc, path string) error {
+	seen := make(map[int64]bool, len(sd.Objects))
+	for _, od := range sd.Objects {
+		if seen[od.ID] {
+			return fmt.Errorf("htlvideo: %s: duplicate object id %d", path, od.ID)
+		}
+		seen[od.ID] = true
+	}
+	for i, cd := range sd.Children {
+		if err := validateSegmentDoc(cd, fmt.Sprintf("%s.%d", path, i+1)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // Build constructs a store from the document.
 func (d StoreDoc) Build() (*Store, error) {
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
 	tax := NewTaxonomy()
 	for _, e := range d.Taxonomy {
 		if err := tax.Add(e.Child, e.Parent); err != nil {

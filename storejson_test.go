@@ -2,6 +2,8 @@ package htlvideo
 
 import (
 	"bytes"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
@@ -135,17 +137,112 @@ func TestStoreJSONCasablancaRoundTrip(t *testing.T) {
 
 func TestLoadStoreErrors(t *testing.T) {
 	for name, src := range map[string]string{
-		"bad json":      `{`,
-		"float attr":    `{"videos":[{"id":1,"segments":[{"attrs":{"x":1.5}}]}]}`,
-		"bool attr":     `{"videos":[{"id":1,"segments":[{"attrs":{"x":true}}]}]}`,
-		"dup video":     `{"videos":[{"id":1,"segments":[{}]},{"id":1,"segments":[{}]}]}`,
-		"tax cycle":     `{"taxonomy":[{"child":"a","parent":"b"},{"child":"b","parent":"a"}],"videos":[{"id":1,"segments":[{}]}]}`,
-		"bad object":    `{"videos":[{"id":1,"segments":[{"objects":[{"id":0,"type":"man"}]}]}]}`,
-		"uneven leaves": `{"videos":[{"id":1,"segments":[{"children":[{}]},{}]}]}`,
-		"dangling rel":  `{"videos":[{"id":1,"segments":[{"rels":[{"name":"r","subject":1,"object":2}]}]}]}`,
+		"bad json":       `{`,
+		"float attr":     `{"videos":[{"id":1,"segments":[{"attrs":{"x":1.5}}]}]}`,
+		"bool attr":      `{"videos":[{"id":1,"segments":[{"attrs":{"x":true}}]}]}`,
+		"dup video":      `{"videos":[{"id":1,"segments":[{}]},{"id":1,"segments":[{}]}]}`,
+		"tax cycle":      `{"taxonomy":[{"child":"a","parent":"b"},{"child":"b","parent":"a"}],"videos":[{"id":1,"segments":[{}]}]}`,
+		"bad object":     `{"videos":[{"id":1,"segments":[{"objects":[{"id":0,"type":"man"}]}]}]}`,
+		"uneven leaves":  `{"videos":[{"id":1,"segments":[{"children":[{}]},{}]}]}`,
+		"dangling rel":   `{"videos":[{"id":1,"segments":[{"rels":[{"name":"r","subject":1,"object":2}]}]}]}`,
+		"dup object":     `{"videos":[{"id":1,"segments":[{"objects":[{"id":7,"type":"man"},{"id":7,"type":"man"}]}]}]}`,
+		"dup object sub": `{"videos":[{"id":1,"segments":[{"children":[{"objects":[{"id":7,"type":"man"},{"id":7,"type":"woman"}]}]}]}]}`,
 	} {
 		if _, err := LoadStore(strings.NewReader(src)); err == nil {
 			t.Errorf("%s: expected error", name)
 		}
 	}
+}
+
+// TestStoreDocValidateNamesCoordinates: duplicate ids are rejected at the
+// document level with errors naming document coordinates, before any store
+// construction.
+func TestStoreDocValidateNamesCoordinates(t *testing.T) {
+	_, err := LoadStore(strings.NewReader(
+		`{"videos":[{"id":3,"segments":[{},{"children":[]},{"objects":[{"id":9,"type":"man"},{"id":9,"type":"man"}]}]}]}`))
+	if err == nil || !strings.Contains(err.Error(), "video 3: segment 3") || !strings.Contains(err.Error(), "object id 9") {
+		t.Fatalf("err = %v, want duplicate-object error naming video 3 segment 3", err)
+	}
+	_, err = LoadStore(strings.NewReader(`{"videos":[{"id":4,"segments":[{}]},{"id":4,"segments":[{}]}]}`))
+	if err == nil || !strings.Contains(err.Error(), "duplicate video id 4") {
+		t.Fatalf("err = %v, want duplicate-video error naming id 4", err)
+	}
+}
+
+func TestSaveFileLoadFile(t *testing.T) {
+	s, err := LoadStore(strings.NewReader(sampleStoreJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "store.json")
+	if err := s.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := "(exists x, y . fires_at(x, y)) and eventually (exists z . on_floor(z))"
+	r1, err := s.Query(q, AtLevel(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := s2.Query(q, AtLevel(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !simlist.EqualApprox(r1.PerVideo[1], r2.PerVideo[1], 1e-12) {
+		t.Fatalf("file round trip changed results:\n %v\n %v", r1.PerVideo[1], r2.PerVideo[1])
+	}
+
+	// SaveFile replaces atomically: overwriting an existing file leaves no
+	// temp residue and the replacement is complete.
+	if err := s2.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(filepath.Dir(path))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || entries[0].Name() != "store.json" {
+		t.Fatalf("directory after SaveFile: %v, want just store.json", entries)
+	}
+	if _, err := LoadFile(path); err != nil {
+		t.Fatalf("reload after overwrite: %v", err)
+	}
+}
+
+// FuzzLoadStore: loading arbitrary bytes must never panic, and any document
+// that loads must round-trip — load → save → load yields an equal document
+// (byte-identical saves).
+func FuzzLoadStore(f *testing.F) {
+	f.Add(sampleStoreJSON)
+	if b, err := os.ReadFile(filepath.Join("examples", "store.json")); err == nil {
+		f.Add(string(b))
+	} else {
+		f.Errorf("reading corpus seed: %v", err)
+	}
+	f.Add(`{"videos":[]}`)
+	f.Add(`{"taxonomy":[{"child":"a","parent":"b"}],"videos":[{"id":1,"segments":[{"objects":[{"id":1,"type":"a"}]}]}]}`)
+	f.Fuzz(func(t *testing.T, src string) {
+		s, err := LoadStore(strings.NewReader(src))
+		if err != nil {
+			return
+		}
+		var b1 bytes.Buffer
+		if err := s.Save(&b1); err != nil {
+			t.Fatalf("saving a loaded store: %v", err)
+		}
+		s2, err := LoadStore(bytes.NewReader(b1.Bytes()))
+		if err != nil {
+			t.Fatalf("reloading a saved store: %v\njson:\n%s", err, b1.String())
+		}
+		var b2 bytes.Buffer
+		if err := s2.Save(&b2); err != nil {
+			t.Fatalf("re-saving: %v", err)
+		}
+		if !bytes.Equal(b1.Bytes(), b2.Bytes()) {
+			t.Fatalf("load→save→load is not a fixed point:\nfirst:\n%s\nsecond:\n%s", b1.String(), b2.String())
+		}
+	})
 }
