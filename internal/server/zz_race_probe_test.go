@@ -1,0 +1,31 @@
+package server
+
+import (
+	"fmt"
+	"net/http/httptest"
+	"testing"
+
+	"htlvideo"
+)
+
+func TestRootQueryOptsRace(t *testing.T) {
+	s := htlvideo.NewStore(nil, htlvideo.DefaultWeights())
+	for id := 1; id <= 8; id++ {
+		v := htlvideo.NewVideo(id, fmt.Sprintf("clip %d", id), map[string]int{"shot": 2})
+		v.Root.AppendChild(htlvideo.Seg().Attr("M1", htlvideo.Int(1)).Obj(htlvideo.ObjectID(100*id+1), "man").Build())
+		v.Root.AppendChild(htlvideo.Seg().Attr("M2", htlvideo.Int(1)).Build())
+		if err := s.Add(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	srv := New(s, WithParallelism(8))
+	h := srv.Handler()
+	for i := 0; i < 30; i++ {
+		r := httptest.NewRequest("GET", "/query?q=EX+M1&root=1&level=2", nil)
+		w := httptest.NewRecorder()
+		h.ServeHTTP(w, r)
+		if w.Code != 200 {
+			t.Logf("status %d: %s", w.Code, w.Body.String())
+		}
+	}
+}
