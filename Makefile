@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: check vet build test race chaos fuzz fuzz-store bench
+.PHONY: check vet build test race chaos fuzz fuzz-store bench bench-short
 
 check: vet build race chaos
 
@@ -36,8 +36,15 @@ fuzz:
 fuzz-store:
 	$(GO) test -run '^$$' -fuzz=FuzzLoadStore -fuzztime=30s .
 
-# Benchmarks plus BENCH_obs.json: per-engine query latency (count, mean,
-# p50, p99) read from the store's own metrics histograms.
+# Benchmarks plus BENCH_obs.json (per-engine query latency from the store's
+# own metrics histograms) and BENCH_perf.json (compilation/caching ns/op,
+# B/op, allocs/op, and the warm-vs-cold repeated-query speedup).
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ .
 	BENCH_OBS_OUT=BENCH_obs.json $(GO) test -run '^TestWriteBenchObs$$' -count=1 -v .
+	BENCH_PERF_OUT=BENCH_perf.json $(GO) test -run '^TestWriteBenchPerf$$' -count=1 -v .
+
+# Fast allocation-aware bench smoke (CI): every benchmark once at reduced
+# short-mode sizes, with allocs/op visible.
+bench-short:
+	$(GO) test -short -run '^$$' -bench=. -benchtime=1x -benchmem ./...

@@ -29,6 +29,7 @@ func benchAtomic(b *testing.B, query string) {
 		b.Fatal(err)
 	}
 	f := htl.MustParse(query)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		tb, err := sys.EvalAtomic(f)
@@ -54,6 +55,7 @@ func BenchmarkTable3Eventually(b *testing.B) {
 		b.Fatal(err)
 	}
 	mt := core.ProjectMax(tb)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		_ = core.EventuallyList(mt)
@@ -68,6 +70,7 @@ func BenchmarkTable4Query1(b *testing.B) {
 		b.Fatal(err)
 	}
 	f := htl.MustParse(casablanca.Query1)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := core.Eval(sys, f, core.DefaultOptions()); err != nil {
@@ -80,6 +83,7 @@ func BenchmarkTable4Query1(b *testing.B) {
 
 func BenchmarkFigure2Until(b *testing.B) {
 	l1, l2, _ := experiments.Figure2()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		_ = core.UntilLists(l1, l2, 0.5)
@@ -88,13 +92,32 @@ func BenchmarkFigure2Until(b *testing.B) {
 
 // --- Tables 5-6: direct vs SQL on random workloads ---------------------------
 
-var perfSizes = []int{10000, 50000, 100000}
+// shortOr picks the reduced size under -short (the CI bench smoke runs every
+// benchmark once with -short -benchtime=1x) and the full paper-scale size
+// otherwise.
+func shortOr(short, full int) int {
+	if testing.Short() {
+		return short
+	}
+	return full
+}
+
+// shortSizes reduces a size sweep to its first entry under -short.
+func shortSizes(full ...int) []int {
+	if testing.Short() {
+		return full[:1]
+	}
+	return full
+}
+
+func perfSizes() []int { return shortSizes(10000, 50000, 100000) }
 
 func benchPerf(b *testing.B, op experiments.Op, sql bool) {
-	for _, size := range perfSizes {
+	for _, size := range perfSizes() {
 		b.Run(fmt.Sprintf("n=%d", size), func(b *testing.B) {
 			in := experiments.PrepareInput(op, size, 42)
 			rng := rand.New(rand.NewSource(7))
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				if sql {
@@ -135,12 +158,13 @@ func benchComplex(b *testing.B, op experiments.Op, sql bool) {
 	// The eventually/until translations make the SQL side quadratic-ish
 	// (§4's "intermediate relations may become quite large"); a reduced size
 	// keeps the sweep practical while preserving the comparison's shape.
-	size := 10000
+	size := shortOr(2000, 10000)
 	if op == experiments.OpComplex2 {
-		size = 4000
+		size = shortOr(1000, 4000)
 	}
 	in := experiments.PrepareInput(op, size, 42)
 	rng := rand.New(rand.NewSource(7))
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if sql {
@@ -162,10 +186,11 @@ func benchComplex(b *testing.B, op experiments.Op, sql bool) {
 // --- Scaling: the direct method's linear growth (§4.2 observation) -----------
 
 func BenchmarkScalingDirectUntil(b *testing.B) {
-	for _, size := range []int{10000, 20000, 40000, 80000, 160000} {
+	for _, size := range shortSizes(10000, 20000, 40000, 80000, 160000) {
 		b.Run(fmt.Sprintf("n=%d", size), func(b *testing.B) {
 			in := experiments.PrepareInput(experiments.OpUntil, size, 42)
 			g, h := in.Lists["P1"], in.Lists["P2"]
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				_ = core.UntilLists(g, h, 0.5)
@@ -180,15 +205,17 @@ func BenchmarkScalingDirectUntil(b *testing.B) {
 // per-id dense evaluation (what the SQL baseline effectively does, minus the
 // engine overhead).
 func BenchmarkAblationUntilPerID(b *testing.B) {
-	const n = 50000
+	n := shortOr(2000, 50000)
 	in := experiments.PrepareInput(experiments.OpUntil, n, 42)
 	g, h := in.Lists["P1"], in.Lists["P2"]
 	b.Run("intervals", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			_ = core.UntilLists(g, h, 0.5)
 		}
 	})
 	b.Run("per-id", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			_ = untilDense(g, h, 0.5, n)
 		}
@@ -219,14 +246,16 @@ func BenchmarkAblationMWayMerge(b *testing.B) {
 	const m = 32
 	lists := make([]simlist.List, m)
 	for i := range lists {
-		lists[i] = workload.Generate(workload.DefaultConfig(20000, int64(i)))
+		lists[i] = workload.Generate(workload.DefaultConfig(shortOr(2000, 20000), int64(i)))
 	}
 	b.Run("sweep", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			_ = core.MaxMergeLists(20, lists...)
 		}
 	})
 	b.Run("pairwise", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			_ = core.MaxMergePairwise(20, lists...)
 		}
@@ -238,14 +267,16 @@ func BenchmarkAblationMWayMerge(b *testing.B) {
 func BenchmarkAblationTopK(b *testing.B) {
 	lists := map[int]simlist.List{}
 	for v := 1; v <= 8; v++ {
-		lists[v] = workload.Generate(workload.DefaultConfig(50000, int64(v)))
+		lists[v] = workload.Generate(workload.DefaultConfig(shortOr(2000, 50000), int64(v)))
 	}
 	b.Run("heap", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			_ = core.TopK(lists, 10)
 		}
 	})
 	b.Run("sort", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			_ = core.TopKBySort(lists, 10)
 		}
@@ -255,13 +286,15 @@ func BenchmarkAblationTopK(b *testing.B) {
 // BenchmarkAblationSortCost isolates the input-sorting share of the direct
 // method's measured time (the paper reports merge-sort numbers).
 func BenchmarkAblationSortCost(b *testing.B) {
-	in := experiments.PrepareInput(experiments.OpAnd, 100000, 42)
+	in := experiments.PrepareInput(experiments.OpAnd, shortOr(5000, 100000), 42)
 	b.Run("presorted", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			_ = core.AndLists(in.Lists["P1"], in.Lists["P2"])
 		}
 	})
 	b.Run("shuffled", func(b *testing.B) {
+		b.ReportAllocs()
 		rng := rand.New(rand.NewSource(7))
 		for i := 0; i < b.N; i++ {
 			b.StopTimer()
@@ -276,18 +309,20 @@ func BenchmarkAblationSortCost(b *testing.B) {
 // measurement: decoding the similarity tables from their binary storage
 // format before running the algorithm, against the pure in-memory run.
 func BenchmarkAblationStorageRead(b *testing.B) {
-	in := experiments.PrepareInput(experiments.OpUntil, 100000, 42)
+	in := experiments.PrepareInput(experiments.OpUntil, shortOr(5000, 100000), 42)
 	encoded, err := experiments.EncodeInput(in)
 	if err != nil {
 		b.Fatal(err)
 	}
 	b.Run("in-memory", func(b *testing.B) {
+		b.ReportAllocs()
 		g, h := in.Lists["P1"], in.Lists["P2"]
 		for i := 0; i < b.N; i++ {
 			_ = core.UntilLists(g, h, 0.5)
 		}
 	})
 	b.Run("from-storage", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			if _, _, err := experiments.RunDirectStored(experiments.OpUntil, encoded, 0.5); err != nil {
 				b.Fatal(err)
@@ -299,14 +334,77 @@ func BenchmarkAblationStorageRead(b *testing.B) {
 // BenchmarkAblationUntilThreshold sweeps τ: lower thresholds keep more
 // g-entries and lengthen the runs the merge walks.
 func BenchmarkAblationUntilThreshold(b *testing.B) {
-	in := experiments.PrepareInput(experiments.OpUntil, 100000, 42)
+	in := experiments.PrepareInput(experiments.OpUntil, shortOr(5000, 100000), 42)
 	g, h := in.Lists["P1"], in.Lists["P2"]
 	for _, tau := range []float64{0.1, 0.5, 0.9} {
 		b.Run(fmt.Sprintf("tau=%.1f", tau), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				_ = core.UntilLists(g, h, tau)
 			}
 		})
+	}
+}
+
+// --- Query compilation and caching --------------------------------------------
+
+// BenchmarkCompileCold measures a full parse → classify → plan compilation
+// with the plan cache bypassed.
+func BenchmarkCompileCold(b *testing.B) {
+	s := resilienceStore(b, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := s.compile("(M1 until M2) and (eventually M2)", true); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPlanCacheHit measures the compile path once the plan is cached:
+// repeated Compile calls should be a single LRU lookup.
+func BenchmarkPlanCacheHit(b *testing.B) {
+	s := resilienceStore(b, 1)
+	if _, err := s.Compile("(M1 until M2) and (eventually M2)"); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Compile("(M1 until M2) and (eventually M2)"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRepeatedQueryCold is the baseline for the result cache: every
+// iteration parses (cache bypassed) and evaluates all videos from scratch.
+func BenchmarkRepeatedQueryCold(b *testing.B) {
+	s := resilienceStore(b, 8)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Query("M1 until M2", WithoutCache()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRepeatedQueryWarm repeats the identical query with the result
+// cache on; after the single warming evaluation each iteration is a cache
+// lookup. The acceptance bar is ≥5× faster than BenchmarkRepeatedQueryCold.
+func BenchmarkRepeatedQueryWarm(b *testing.B) {
+	s := resilienceStore(b, 8)
+	s.EnableResultCache(ResultCacheConfig{Capacity: 16})
+	if _, err := s.Query("M1 until M2"); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Query("M1 until M2"); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 

@@ -50,6 +50,8 @@ func main() {
 	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "graceful-shutdown drain bound before stragglers are cancelled")
 	retries := flag.Int("retries", 3, "total attempts per video for transient failures (1 disables retries)")
 	breakerOpenFor := flag.Duration("breaker-open", time.Second, "cool-down before an open per-video breaker probes again")
+	resultCache := flag.Int("result-cache", 1024, "query results cached per store snapshot (0 disables; invalidated atomically on reload)")
+	resultCacheTTL := flag.Duration("result-cache-ttl", time.Minute, "age limit on cached query results (0 = no expiry)")
 	flag.Parse()
 
 	logger := obs.LoggerFunc(log.New(os.Stderr, "htlserve: ", log.LstdFlags).Printf)
@@ -68,6 +70,11 @@ func main() {
 		server.WithMaxTimeout(*maxTimeout),
 		server.WithDrainTimeout(*drainTimeout),
 		server.WithLogger(logger),
+	}
+	if *resultCache > 0 {
+		opts = append(opts, server.WithResultCache(htlvideo.ResultCacheConfig{
+			Capacity: *resultCache, TTL: *resultCacheTTL,
+		}))
 	}
 
 	var (

@@ -1,0 +1,175 @@
+// Package cache provides a small, typed LRU cache with optional TTL
+// expiry — the building block behind the store's plan cache and result
+// cache. It is generic, so cached values are never boxed through `any`,
+// and hand-rolls its doubly-linked recency list instead of using
+// container/list (whose Element.Value is an interface and would allocate
+// per node on every insert).
+package cache
+
+import (
+	"sync"
+	"time"
+)
+
+// entry is one cache slot, threaded on the recency list (head = most
+// recently used).
+type entry[K comparable, V any] struct {
+	key        K
+	val        V
+	expires    time.Time // zero when the cache has no TTL
+	prev, next *entry[K, V]
+}
+
+// LRU is a fixed-capacity least-recently-used cache with optional TTL.
+// All methods are safe for concurrent use.
+type LRU[K comparable, V any] struct {
+	mu         sync.Mutex
+	capacity   int
+	ttl        time.Duration
+	now        func() time.Time
+	items      map[K]*entry[K, V]
+	head, tail *entry[K, V]
+	onEvict    func(K, V)
+}
+
+// New builds an LRU holding at most capacity entries (capacity < 1 is
+// treated as 1). ttl == 0 disables expiry.
+func New[K comparable, V any](capacity int, ttl time.Duration) *LRU[K, V] {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &LRU[K, V]{
+		capacity: capacity,
+		ttl:      ttl,
+		now:      time.Now,
+		items:    make(map[K]*entry[K, V], capacity),
+	}
+}
+
+// SetClock injects the time source (tests).
+func (c *LRU[K, V]) SetClock(now func() time.Time) {
+	c.mu.Lock()
+	c.now = now
+	c.mu.Unlock()
+}
+
+// SetOnEvict installs a callback invoked (outside any promotion, but under
+// the cache lock) whenever an entry leaves the cache by capacity eviction
+// or TTL expiry — not by Remove or Purge.
+func (c *LRU[K, V]) SetOnEvict(fn func(K, V)) {
+	c.mu.Lock()
+	c.onEvict = fn
+	c.mu.Unlock()
+}
+
+// Get returns the live value for key and marks it most recently used.
+// Expired entries are evicted and report a miss.
+func (c *LRU[K, V]) Get(key K) (V, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.items[key]
+	if !ok {
+		var zero V
+		return zero, false
+	}
+	if c.expired(e) {
+		c.evict(e)
+		var zero V
+		return zero, false
+	}
+	c.moveToFront(e)
+	return e.val, true
+}
+
+// Add inserts or replaces key's value, marks it most recently used, and
+// evicts the least recently used entry when over capacity.
+func (c *LRU[K, V]) Add(key K, val V) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var expires time.Time
+	if c.ttl > 0 {
+		expires = c.now().Add(c.ttl)
+	}
+	if e, ok := c.items[key]; ok {
+		e.val, e.expires = val, expires
+		c.moveToFront(e)
+		return
+	}
+	e := &entry[K, V]{key: key, val: val, expires: expires}
+	c.items[key] = e
+	c.pushFront(e)
+	for len(c.items) > c.capacity {
+		c.evict(c.tail)
+	}
+}
+
+// Remove deletes key if present (no eviction callback).
+func (c *LRU[K, V]) Remove(key K) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.items[key]; ok {
+		c.unlink(e)
+		delete(c.items, key)
+	}
+}
+
+// Purge empties the cache (no eviction callbacks).
+func (c *LRU[K, V]) Purge() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	clear(c.items)
+	c.head, c.tail = nil, nil
+}
+
+// Len returns the current number of entries, including any not yet
+// observed to be expired.
+func (c *LRU[K, V]) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.items)
+}
+
+func (c *LRU[K, V]) expired(e *entry[K, V]) bool {
+	return !e.expires.IsZero() && c.now().After(e.expires)
+}
+
+func (c *LRU[K, V]) evict(e *entry[K, V]) {
+	c.unlink(e)
+	delete(c.items, e.key)
+	if c.onEvict != nil {
+		c.onEvict(e.key, e.val)
+	}
+}
+
+func (c *LRU[K, V]) pushFront(e *entry[K, V]) {
+	e.prev, e.next = nil, c.head
+	if c.head != nil {
+		c.head.prev = e
+	}
+	c.head = e
+	if c.tail == nil {
+		c.tail = e
+	}
+}
+
+func (c *LRU[K, V]) unlink(e *entry[K, V]) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		c.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		c.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+}
+
+func (c *LRU[K, V]) moveToFront(e *entry[K, V]) {
+	if c.head == e {
+		return
+	}
+	c.unlink(e)
+	c.pushFront(e)
+}

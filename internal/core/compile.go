@@ -1,0 +1,95 @@
+package core
+
+import (
+	"htlvideo/internal/htl"
+)
+
+// Query compilation (the compile-once/evaluate-many split): a formula is
+// lowered once into a Plan — a DAG of PNodes in which structurally
+// identical subformulas are interned into a single node — so that parsing,
+// classification, free-variable analysis and subtree deduplication are paid
+// once per distinct formula text rather than once per (query, video). The
+// evaluators then memoize per-subtree results keyed by node pointer, which
+// makes "structurally identical subtrees compute their similarity list
+// once" fall out of interning: equal subtrees are the *same* node.
+
+// Plan is a compiled formula: the interned subformula DAG plus the
+// analysis results every evaluation would otherwise recompute.
+type Plan struct {
+	// Root is the root node; Root.F is the original formula.
+	Root *PNode
+	// Key is the formula's canonical text (htl's round-trippable printing),
+	// suitable as a cache key: two formulas with equal keys are
+	// structurally identical.
+	Key string
+	// Class is the formula's class in the paper's hierarchy.
+	Class htl.Class
+	// Nodes counts distinct subformulas (the DAG's size, not the tree's).
+	Nodes int
+}
+
+// PNode is one interned subformula. Two structurally identical subtrees of
+// a plan share one PNode, so evaluators can memoize by node pointer.
+type PNode struct {
+	// F is the subformula.
+	F htl.Formula
+	// Key is F's canonical text.
+	Key string
+	// NonTemporal marks atomic units: subformulas the picture layer scores
+	// whole (no temporal or level-modal operator inside).
+	NonTemporal bool
+	// Closed marks subformulas with no free variables; their similarity at
+	// a segment is independent of the enclosing evaluation environment.
+	Closed bool
+	// ObjVars and AttrVars are F's free object and attribute variables.
+	ObjVars, AttrVars []string
+	// Kids are the direct subformulas, in syntactic order. Non-temporal
+	// nodes keep their kids too: the reference evaluator decomposes atomic
+	// units structurally when the picture layer cannot score them whole.
+	Kids []*PNode
+}
+
+// CompilePlan compiles f. The cost is one canonical printing per subtree
+// plus the class and free-variable analyses; evaluation never re-walks the
+// formula for analysis afterwards.
+func CompilePlan(f htl.Formula) *Plan {
+	c := planCompiler{seen: map[string]*PNode{}}
+	root := c.node(f)
+	return &Plan{Root: root, Key: root.Key, Class: htl.Classify(f), Nodes: len(c.seen)}
+}
+
+type planCompiler struct {
+	// seen interns nodes by canonical text. Formula nodes themselves are
+	// not comparable (argument slices), so text is the identity.
+	seen map[string]*PNode
+}
+
+func (c *planCompiler) node(f htl.Formula) *PNode {
+	key := f.String()
+	if n, ok := c.seen[key]; ok {
+		return n
+	}
+	n := &PNode{F: f, Key: key, NonTemporal: htl.NonTemporal(f)}
+	n.ObjVars, n.AttrVars = htl.FreeVars(f)
+	n.Closed = len(n.ObjVars) == 0 && len(n.AttrVars) == 0
+	c.seen[key] = n
+	switch x := f.(type) {
+	case htl.And:
+		n.Kids = []*PNode{c.node(x.L), c.node(x.R)}
+	case htl.Until:
+		n.Kids = []*PNode{c.node(x.L), c.node(x.R)}
+	case htl.Not:
+		n.Kids = []*PNode{c.node(x.F)}
+	case htl.Next:
+		n.Kids = []*PNode{c.node(x.F)}
+	case htl.Eventually:
+		n.Kids = []*PNode{c.node(x.F)}
+	case htl.Exists:
+		n.Kids = []*PNode{c.node(x.F)}
+	case htl.Freeze:
+		n.Kids = []*PNode{c.node(x.F)}
+	case htl.AtLevel:
+		n.Kids = []*PNode{c.node(x.F)}
+	}
+	return n
+}

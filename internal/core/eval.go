@@ -20,7 +20,7 @@ type Options struct {
 	// similarity functions"); the default AndSum is the paper's semantics.
 	And AndMode
 	// Obs receives per-operation work counts (atomic evaluations, temporal
-	// merges); nil disables the accounting at no cost.
+	// merges, memo hits); nil disables the accounting at no cost.
 	Obs *obs.EngineMetrics
 }
 
@@ -52,21 +52,31 @@ func Eval(src Source, f htl.Formula, opts Options) (simlist.List, error) {
 // EvalCtx is Eval with cooperative cancellation: the evaluator checks ctx at
 // every subformula and at every segment of a level-modal scan, so deadlines
 // and cancellation stop work mid-evaluation rather than only between calls.
+// It compiles f on the fly; callers evaluating one formula repeatedly should
+// compile once and use EvalPlanCtx.
 func EvalCtx(ctx context.Context, src Source, f htl.Formula, opts Options) (simlist.List, error) {
-	if htl.Classify(f) == htl.ClassGeneral {
-		return simlist.List{}, &ErrNotConjunctive{Formula: f, Reason: "negation or quantification over a temporal subformula"}
+	return EvalPlanCtx(ctx, src, CompilePlan(f), opts)
+}
+
+// EvalPlanCtx evaluates a compiled plan (see CompilePlan) over src's
+// sequence. Structurally identical subformulas share a plan node, so their
+// similarity tables are computed once per evaluation and memo hits are
+// reported through opts.Obs.
+func EvalPlanCtx(ctx context.Context, src Source, p *Plan, opts Options) (simlist.List, error) {
+	if p.Class == htl.ClassGeneral {
+		return simlist.List{}, &ErrNotConjunctive{Formula: p.Root.F, Reason: "negation or quantification over a temporal subformula"}
 	}
 	// Strip the existential prefix; the final projection maximizes over all
 	// evaluations regardless of the prefix variables (§3.2 part two).
-	g := f
+	g := p.Root
 	for {
-		e, ok := g.(htl.Exists)
-		if !ok {
+		if _, ok := g.F.(htl.Exists); !ok {
 			break
 		}
-		g = e.F
+		g = g.Kids[0]
 	}
-	t, err := evalTable(ctx, src, g, opts)
+	e := newPlanEval(src, opts)
+	t, err := e.eval(ctx, g)
 	if err != nil {
 		return simlist.List{}, err
 	}
@@ -77,12 +87,13 @@ func EvalCtx(ctx context.Context, src Source, f htl.Formula, opts Options) (siml
 // conjunctive formula over src's sequence; exposed for the SQL baseline and
 // for tests.
 func EvalTable(src Source, f htl.Formula, opts Options) (*simlist.Table, error) {
-	return evalTable(context.Background(), src, f, opts)
+	return EvalTableCtx(context.Background(), src, f, opts)
 }
 
 // EvalTableCtx is EvalTable with cooperative cancellation.
 func EvalTableCtx(ctx context.Context, src Source, f htl.Formula, opts Options) (*simlist.Table, error) {
-	return evalTable(ctx, src, f, opts)
+	e := newPlanEval(src, opts)
+	return e.eval(ctx, CompilePlan(f).Root)
 }
 
 // MaxSimOf returns the maximum possible similarity of f, which depends only
@@ -113,78 +124,106 @@ func MaxSimOf(src Source, f htl.Formula) float64 {
 	}
 }
 
-func evalTable(ctx context.Context, src Source, f htl.Formula, opts Options) (*simlist.Table, error) {
+// planEval evaluates a plan's nodes over one source, memoizing per node.
+// Tables are treated as immutable once computed, so a memoized table may be
+// handed to several parents (and even to both sides of one join).
+type planEval struct {
+	src  Source
+	opts Options
+	memo map[*PNode]*simlist.Table
+}
+
+func newPlanEval(src Source, opts Options) *planEval {
+	return &planEval{src: src, opts: opts, memo: map[*PNode]*simlist.Table{}}
+}
+
+func (e *planEval) eval(ctx context.Context, n *PNode) (*simlist.Table, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	if htl.NonTemporal(f) {
-		opts.Obs.AtomicEval()
-		return src.EvalAtomic(f)
+	if t, ok := e.memo[n]; ok {
+		e.opts.Obs.MemoHit()
+		return t, nil
 	}
-	switch n := f.(type) {
+	t, err := e.evalNode(ctx, n)
+	if err != nil {
+		return nil, err
+	}
+	e.memo[n] = t
+	return t, nil
+}
+
+func (e *planEval) evalNode(ctx context.Context, n *PNode) (*simlist.Table, error) {
+	if n.NonTemporal {
+		e.opts.Obs.AtomicEval()
+		return e.src.EvalAtomic(n.F)
+	}
+	switch n.F.(type) {
 	case htl.And:
-		t1, err := evalTable(ctx, src, n.L, opts)
+		t1, err := e.eval(ctx, n.Kids[0])
 		if err != nil {
 			return nil, err
 		}
-		t2, err := evalTable(ctx, src, n.R, opts)
+		t2, err := e.eval(ctx, n.Kids[1])
 		if err != nil {
 			return nil, err
 		}
 		and := func(l1, l2 simlist.List) simlist.List {
-			opts.Obs.Merge()
-			return AndListsMode(l1, l2, opts.And)
+			e.opts.Obs.Merge()
+			return AndListsMode(l1, l2, e.opts.And)
 		}
 		return CombineTables(t1, t2, and, t1.MaxSim+t2.MaxSim), nil
 	case htl.Until:
-		t1, err := evalTable(ctx, src, n.L, opts)
+		t1, err := e.eval(ctx, n.Kids[0])
 		if err != nil {
 			return nil, err
 		}
-		t2, err := evalTable(ctx, src, n.R, opts)
+		t2, err := e.eval(ctx, n.Kids[1])
 		if err != nil {
 			return nil, err
 		}
 		until := func(l1, l2 simlist.List) simlist.List {
-			opts.Obs.Merge()
-			return UntilLists(l1, l2, opts.UntilThreshold)
+			e.opts.Obs.Merge()
+			return UntilLists(l1, l2, e.opts.UntilThreshold)
 		}
 		return CombineTables(t1, t2, until, t2.MaxSim), nil
 	case htl.Next:
-		return mapRows(ctx, src, n.F, opts, NextList)
+		return e.mapRows(ctx, n.Kids[0], NextList)
 	case htl.Eventually:
-		return mapRows(ctx, src, n.F, opts, EventuallyList)
+		return e.mapRows(ctx, n.Kids[0], EventuallyList)
 	case htl.Freeze:
-		t1, err := evalTable(ctx, src, n.F, opts)
+		x := n.F.(htl.Freeze)
+		t1, err := e.eval(ctx, n.Kids[0])
 		if err != nil {
 			return nil, err
 		}
-		vt, err := src.ValueTable(n.Attr)
+		vt, err := e.src.ValueTable(x.Attr)
 		if err != nil {
 			return nil, err
 		}
-		return FreezeTable(t1, n.Var, vt, n.Attr.Of), nil
+		return FreezeTable(t1, x.Var, vt, x.Attr.Of), nil
 	case htl.AtLevel:
-		return evalAtLevel(ctx, src, n, opts)
+		return e.evalAtLevel(ctx, n)
 	case htl.Exists:
-		return nil, &ErrNotConjunctive{Formula: f, Reason: "existential quantifier over a temporal subformula not at the beginning"}
+		return nil, &ErrNotConjunctive{Formula: n.F, Reason: "existential quantifier over a temporal subformula not at the beginning"}
 	case htl.Not:
-		return nil, &ErrNotConjunctive{Formula: f, Reason: "negation of a temporal subformula"}
+		return nil, &ErrNotConjunctive{Formula: n.F, Reason: "negation of a temporal subformula"}
 	default:
-		return nil, &ErrNotConjunctive{Formula: f, Reason: fmt.Sprintf("unsupported node %T", f)}
+		return nil, &ErrNotConjunctive{Formula: n.F, Reason: fmt.Sprintf("unsupported node %T", n.F)}
 	}
 }
 
-// mapRows evaluates the operand table and applies a per-list operator
+// mapRows evaluates the operand node and applies a per-list operator
 // (`next`, `eventually`) to every row, dropping rows that become empty.
-func mapRows(ctx context.Context, src Source, f htl.Formula, opts Options, op func(simlist.List) simlist.List) (*simlist.Table, error) {
-	t, err := evalTable(ctx, src, f, opts)
+func (e *planEval) mapRows(ctx context.Context, kid *PNode, op func(simlist.List) simlist.List) (*simlist.Table, error) {
+	t, err := e.eval(ctx, kid)
 	if err != nil {
 		return nil, err
 	}
 	out := simlist.NewTable(t.ObjVars, t.AttrVars, t.MaxSim)
+	out.Rows = make([]simlist.Row, 0, len(t.Rows))
 	for _, r := range t.Rows {
-		opts.Obs.Merge()
+		e.opts.Obs.Merge()
 		row := simlist.Row{Bindings: r.Bindings, Ranges: r.Ranges, List: op(r.List)}
 		if keepRow(row) {
 			out.Rows = append(out.Rows, row)
@@ -198,9 +237,11 @@ func mapRows(ctx context.Context, src Source, f htl.Formula, opts Options, op fu
 // descendant sequence at level L, or 0 when there is none. Free variables of
 // g flow through: each distinct evaluation of g becomes a row over the
 // parent sequence.
-func evalAtLevel(ctx context.Context, src Source, n htl.AtLevel, opts Options) (*simlist.Table, error) {
-	objVars, attrVars := htl.FreeVars(n.F)
-	maxSim := MaxSimOf(src, n.F)
+func (e *planEval) evalAtLevel(ctx context.Context, n *PNode) (*simlist.Table, error) {
+	x := n.F.(htl.AtLevel)
+	kid := n.Kids[0]
+	objVars, attrVars := kid.ObjVars, kid.AttrVars
+	maxSim := MaxSimOf(e.src, x.F)
 	out := simlist.NewTable(objVars, attrVars, maxSim)
 
 	type acc struct {
@@ -211,18 +252,21 @@ func evalAtLevel(ctx context.Context, src Source, n htl.AtLevel, opts Options) (
 	groups := map[string]*acc{}
 	var order []string
 
-	for id := 1; id <= src.Len(); id++ {
+	for id := 1; id <= e.src.Len(); id++ {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		cs, err := src.ChildSource(id, n.Level)
+		cs, err := e.src.ChildSource(id, x.Level)
 		if err != nil {
 			return nil, err
 		}
 		if cs == nil || cs.Len() == 0 {
 			continue
 		}
-		ct, err := evalTable(ctx, cs, n.F, opts)
+		// Each child sequence is a fresh source, so the child evaluation
+		// gets its own memo (nodes still dedupe *within* the child tree).
+		ce := newPlanEval(cs, e.opts)
+		ct, err := ce.eval(ctx, kid)
 		if err != nil {
 			return nil, err
 		}
@@ -246,7 +290,7 @@ func evalAtLevel(ctx context.Context, src Source, n htl.AtLevel, opts Options) (
 	}
 	for _, k := range order {
 		g := groups[k]
-		opts.Obs.Merge()
+		e.opts.Obs.Merge()
 		row := simlist.Row{
 			Bindings: g.bindings,
 			Ranges:   g.ranges,

@@ -24,6 +24,9 @@ import (
 func AndLists(l1, l2 simlist.List) simlist.List {
 	out := simlist.List{MaxSim: l1.MaxSim + l2.MaxSim}
 	e1, e2 := l1.Entries, l2.Entries
+	if n := len(e1) + len(e2); n > 0 {
+		out.Entries = make([]simlist.Entry, 0, n)
+	}
 	i, j := 0, 0
 	// pos is the next id not yet emitted.
 	pos := minBeg(e1, e2)
@@ -106,6 +109,9 @@ func AndListsMode(l1, l2 simlist.List, mode AndMode) simlist.List {
 	m := l1.MaxSim + l2.MaxSim
 	out := simlist.List{MaxSim: m}
 	e1, e2 := l1.Entries, l2.Entries
+	if n := len(e1) + len(e2); n > 0 {
+		out.Entries = make([]simlist.Entry, 0, n)
+	}
 	pos := minBeg(e1, e2)
 	i, j := 0, 0
 	for i < len(e1) || j < len(e2) {
@@ -153,6 +159,9 @@ func AndListsMode(l1, l2 simlist.List, mode AndMode) simlist.List {
 // since g can have no entry beyond the sequence.
 func NextList(l simlist.List) simlist.List {
 	out := simlist.List{MaxSim: l.MaxSim}
+	if len(l.Entries) > 0 {
+		out.Entries = make([]simlist.Entry, 0, len(l.Entries))
+	}
 	for _, e := range l.Entries {
 		iv := e.Iv.Shift(-1)
 		clipped, ok := iv.ClampLow(1)
@@ -179,7 +188,7 @@ func EventuallyList(l simlist.List) simlist.List {
 		iv  interval.I
 		act float64
 	}
-	var rev []piece
+	rev := make([]piece, 0, len(l.Entries))
 	runMax := 0.0
 	hi := 0 // highest id covered so far (exclusive upper bound of next piece)
 	for k := len(l.Entries) - 1; k >= 0; k-- {
@@ -237,7 +246,7 @@ func UntilLists(lg, lh simlist.List, tau float64) simlist.List {
 	}
 	gRuns = interval.Coalesce(gRuns)
 
-	var pieces []simlist.Entry
+	pieces := make([]simlist.Entry, 0, len(lg.Entries)+len(lh.Entries))
 
 	// Step 2a: within each g-run I, the value at i is the maximum act of the
 	// h-entries J reachable from i: J.End >= i and J.Beg <= I.End+1.
@@ -417,6 +426,9 @@ func MaxMergePairwise(maxSim float64, ls ...simlist.List) simlist.List {
 func maxMerge2(l1, l2 simlist.List, maxSim float64) simlist.List {
 	out := simlist.List{MaxSim: maxSim}
 	e1, e2 := l1.Entries, l2.Entries
+	if n := len(e1) + len(e2); n > 0 {
+		out.Entries = make([]simlist.Entry, 0, n)
+	}
 	pos := minBeg(e1, e2)
 	i, j := 0, 0
 	for i < len(e1) || j < len(e2) {

@@ -1,7 +1,7 @@
 package core
 
 import (
-	"strings"
+	"sync"
 
 	"htlvideo/internal/interval"
 	"htlvideo/internal/simlist"
@@ -12,6 +12,12 @@ import (
 // the shared object variables so that partially matched evaluations keep
 // their partial similarity, as §2.5's conjunction semantics requires), the
 // freeze-operator join against a value table, and existential projection.
+//
+// The join is a query hot path (one CombineTables per and/until node per
+// video), so its transient state — hash keys, the matched bitmap, the
+// probe-all index list — lives in a pooled scratch, and the binding/range
+// slices that rows retain are carved from block arenas instead of being
+// allocated one tiny slice at a time.
 
 // listCombiner combines the similarity lists of two joined rows.
 type listCombiner func(l1, l2 simlist.List) simlist.List
@@ -56,6 +62,76 @@ func makeJoinSchema(t1, t2 *simlist.Table) joinSchema {
 	return s
 }
 
+// joinScratch is the transient per-join state, pooled across joins. Nothing
+// in it escapes into the output table.
+type joinScratch struct {
+	key      []byte
+	matched2 []bool
+	allIdx   []int
+}
+
+var joinScratchPool = sync.Pool{New: func() any { return new(joinScratch) }}
+
+// bools returns a zeroed []bool of length n backed by the scratch.
+func (s *joinScratch) bools(n int) []bool {
+	if cap(s.matched2) < n {
+		s.matched2 = make([]bool, n)
+	} else {
+		s.matched2 = s.matched2[:n]
+		clear(s.matched2)
+	}
+	return s.matched2
+}
+
+// iota returns [0, 1, ..., n-1] backed by the scratch.
+func (s *joinScratch) iota(n int) []int {
+	if cap(s.allIdx) < n {
+		s.allIdx = make([]int, n)
+	} else {
+		s.allIdx = s.allIdx[:n]
+	}
+	for i := range s.allIdx {
+		s.allIdx[i] = i
+	}
+	return s.allIdx
+}
+
+// rowArena block-allocates the binding and range slices that output rows
+// retain: many small per-row slices collapse into a few block allocations.
+// Slices are carved with full slice expressions so a later append on a row
+// cannot clobber its neighbour; blocks are never reused or pooled, since the
+// produced table owns them.
+type rowArena struct {
+	ids []simlist.ObjectID
+	rgs []simlist.Range
+}
+
+const arenaBlock = 256
+
+func (a *rowArena) bindings(n int) []simlist.ObjectID {
+	if n == 0 {
+		return nil
+	}
+	if len(a.ids) < n {
+		a.ids = make([]simlist.ObjectID, max(arenaBlock, n))
+	}
+	s := a.ids[0:n:n]
+	a.ids = a.ids[n:]
+	return s
+}
+
+func (a *rowArena) ranges(n int) []simlist.Range {
+	if n == 0 {
+		return nil
+	}
+	if len(a.rgs) < n {
+		a.rgs = make([]simlist.Range, max(arenaBlock, n))
+	}
+	s := a.rgs[0:n:n]
+	a.rgs = a.rgs[n:]
+	return s
+}
+
 // CombineTables joins two similarity tables on their shared object-variable
 // columns (equality, with AnyObject as wildcard) and shared attribute-
 // variable columns (range intersection), combining the similarity lists of
@@ -69,47 +145,42 @@ func makeJoinSchema(t1, t2 *simlist.Table) joinSchema {
 func CombineTables(t1, t2 *simlist.Table, op listCombiner, maxSim float64) *simlist.Table {
 	s := makeJoinSchema(t1, t2)
 	out := simlist.NewTable(s.objVars, s.attrVars, maxSim)
+	if n := max(len(t1.Rows), len(t2.Rows)); n > 0 {
+		out.Rows = make([]simlist.Row, 0, n)
+	}
+
+	sc := joinScratchPool.Get().(*joinScratch)
+	defer joinScratchPool.Put(sc)
+	var ar rowArena
 
 	// Hash t2's rows by shared-object-variable key. Wildcard bindings cannot
 	// be hashed to one bucket, so rows with a wildcard in a shared column go
 	// to a probe-all list.
-	type bucket struct{ rows []int }
-	hashed := map[string]*bucket{}
+	hashed := map[string][]int{}
 	var probeAll []int
-	key2 := func(r simlist.Row) (string, bool) {
-		var b strings.Builder
+	for i, r := range t2.Rows {
+		sc.key = sc.key[:0]
+		wild := false
 		for _, p := range s.sharedObj {
 			v := r.Bindings[p[1]]
 			if v == AnyObject {
-				return "", false
+				wild = true
+				break
 			}
-			writeID(&b, v)
+			sc.key = appendID(sc.key, v)
 		}
-		return b.String(), true
-	}
-	for i, r := range t2.Rows {
-		if k, ok := key2(r); ok {
-			bk := hashed[k]
-			if bk == nil {
-				bk = &bucket{}
-				hashed[k] = bk
-			}
-			bk.rows = append(bk.rows, i)
-		} else {
+		if wild {
 			probeAll = append(probeAll, i)
+		} else {
+			hashed[string(sc.key)] = append(hashed[string(sc.key)], i)
 		}
 	}
 
-	matched2 := make([]bool, len(t2.Rows))
+	matched2 := sc.bools(len(t2.Rows))
 	empty1 := simlist.Empty(t1.MaxSim)
 	empty2 := simlist.Empty(t2.MaxSim)
-	allIdx := make([]int, len(t2.Rows))
-	for i := range allIdx {
-		allIdx[i] = i
-	}
 
 	for _, r1 := range t1.Rows {
-		cands := probeAll
 		wild1 := false
 		for _, p := range s.sharedObj {
 			if r1.Bindings[p[0]] == AnyObject {
@@ -117,42 +188,45 @@ func CombineTables(t1, t2 *simlist.Table, op listCombiner, maxSim float64) *siml
 				break
 			}
 		}
+		// Candidate rows of t2: everything for a wildcard on our side;
+		// otherwise the probe-all rows plus our hash bucket. The two slices
+		// are walked in place — no combined candidate list is materialized.
+		var cands [2][]int
 		if wild1 {
-			// A wildcard on our side matches every row of the other table.
-			cands = allIdx
+			cands[0] = sc.iota(len(t2.Rows))
 		} else {
-			var b strings.Builder
+			cands[0] = probeAll
+			sc.key = sc.key[:0]
 			for _, p := range s.sharedObj {
-				writeID(&b, r1.Bindings[p[0]])
+				sc.key = appendID(sc.key, r1.Bindings[p[0]])
 			}
-			if bk := hashed[b.String()]; bk != nil {
-				cands = append(append([]int(nil), probeAll...), bk.rows...)
-			}
+			cands[1] = hashed[string(sc.key)]
 		}
 		matched1 := false
-		for _, i2 := range cands {
-			r2 := t2.Rows[i2]
-			row, ok := joinRows(s, r1, r2, op)
-			if !ok {
-				continue
-			}
-			matched1, matched2[i2] = true, true
-			if keepRow(row) {
-				out.Rows = append(out.Rows, row)
+		for _, idxs := range &cands {
+			for _, i2 := range idxs {
+				row, ok := joinRows(&s, &ar, r1, t2.Rows[i2], op)
+				if !ok {
+					continue
+				}
+				matched1, matched2[i2] = true, true
+				if keepRow(row) {
+					out.Rows = append(out.Rows, row)
+				}
 			}
 		}
 		if !matched1 {
-			row := outerRow(s, r1, nil, op, empty2)
+			row := outerRow(&s, &ar, r1, nil, op, empty2)
 			if keepRow(row) {
 				out.Rows = append(out.Rows, row)
 			}
 		}
 	}
-	for i2, r2 := range t2.Rows {
+	for i2 := range t2.Rows {
 		if matched2[i2] {
 			continue
 		}
-		row := outerRow(s, simlist.Row{}, &r2, op, empty1)
+		row := outerRow(&s, &ar, simlist.Row{}, &t2.Rows[i2], op, empty1)
 		if keepRow(row) {
 			out.Rows = append(out.Rows, row)
 		}
@@ -177,24 +251,25 @@ func keepRow(row simlist.Row) bool {
 	return false
 }
 
-func writeID(b *strings.Builder, v simlist.ObjectID) {
-	// Fixed-width little-endian encoding keeps keys unambiguous.
-	for i := 0; i < 8; i++ {
-		b.WriteByte(byte(v >> (8 * i)))
-	}
+// appendID appends a fixed-width little-endian encoding of v, keeping
+// concatenated keys unambiguous.
+func appendID(b []byte, v simlist.ObjectID) []byte {
+	return append(b,
+		byte(v), byte(v>>8), byte(v>>16), byte(v>>24),
+		byte(v>>32), byte(v>>40), byte(v>>48), byte(v>>56))
 }
 
 // joinRows attempts to join one row from each table; ok is false when the
 // shared bindings conflict or a shared attribute range intersection is
 // empty.
-func joinRows(s joinSchema, r1, r2 simlist.Row, op listCombiner) (simlist.Row, bool) {
+func joinRows(s *joinSchema, ar *rowArena, r1, r2 simlist.Row, op listCombiner) (simlist.Row, bool) {
 	for _, p := range s.sharedObj {
 		a, b := r1.Bindings[p[0]], r2.Bindings[p[1]]
 		if a != AnyObject && b != AnyObject && a != b {
 			return simlist.Row{}, false
 		}
 	}
-	bindings := make([]simlist.ObjectID, len(s.objVars))
+	bindings := ar.bindings(len(s.objVars))
 	for c := range s.objVars {
 		v := AnyObject
 		if s.obj1[c] >= 0 {
@@ -205,7 +280,7 @@ func joinRows(s joinSchema, r1, r2 simlist.Row, op listCombiner) (simlist.Row, b
 		}
 		bindings[c] = v
 	}
-	ranges := make([]simlist.Range, len(s.attrVars))
+	ranges := ar.ranges(len(s.attrVars))
 	for c := range s.attrVars {
 		r := simlist.AnyRange()
 		if s.att1[c] >= 0 {
@@ -225,9 +300,12 @@ func joinRows(s joinSchema, r1, r2 simlist.Row, op listCombiner) (simlist.Row, b
 // outerRow builds the outer-join row for an unmatched r1 (when r2 == nil) or
 // unmatched r2 (when r2 != nil); the other side contributes the given empty
 // list, wildcard bindings and unconstrained ranges.
-func outerRow(s joinSchema, r1 simlist.Row, r2 *simlist.Row, op listCombiner, other simlist.List) simlist.Row {
-	bindings := make([]simlist.ObjectID, len(s.objVars))
-	ranges := make([]simlist.Range, len(s.attrVars))
+func outerRow(s *joinSchema, ar *rowArena, r1 simlist.Row, r2 *simlist.Row, op listCombiner, other simlist.List) simlist.Row {
+	bindings := ar.bindings(len(s.objVars))
+	ranges := ar.ranges(len(s.attrVars))
+	for c := range bindings {
+		bindings[c] = AnyObject
+	}
 	for c := range ranges {
 		ranges[c] = simlist.AnyRange()
 	}
@@ -315,6 +393,7 @@ func FreezeTable(t1 *simlist.Table, y string, vt *ValueTable, qVar string) *siml
 	}
 	groups := map[string]*acc{}
 	var order []string
+	var ar rowArena
 
 	for _, r1 := range t1.Rows {
 		for _, vr := range vt.Rows {
@@ -328,19 +407,21 @@ func FreezeTable(t1 *simlist.Table, y string, vt *ValueTable, qVar string) *siml
 				continue
 			}
 			restricted := ListRestrict(r1.List, vr.Ivs)
-			bindings := make([]simlist.ObjectID, 0, len(objVars))
-			bindings = append(bindings, r1.Bindings...)
+			bindings := ar.bindings(len(objVars))
+			copy(bindings, r1.Bindings)
 			if qVar != "" {
 				if zIdx >= 0 {
 					bindings[zIdx] = vr.Binding
 				} else {
-					bindings = append(bindings, vr.Binding)
+					bindings[len(bindings)-1] = vr.Binding
 				}
 			}
-			ranges := make([]simlist.Range, 0, len(attrVars))
+			ranges := ar.ranges(len(attrVars))
+			j := 0
 			for i, rg := range r1.Ranges {
 				if i != yIdx {
-					ranges = append(ranges, rg)
+					ranges[j] = rg
+					j++
 				}
 			}
 			k := rowKey(bindings, ranges)
@@ -369,15 +450,15 @@ func FreezeTable(t1 *simlist.Table, y string, vt *ValueTable, qVar string) *siml
 
 // rowKey builds a deterministic grouping key for an evaluation.
 func rowKey(bindings []simlist.ObjectID, ranges []simlist.Range) string {
-	var b strings.Builder
+	b := make([]byte, 0, 8*len(bindings)+16*len(ranges))
 	for _, v := range bindings {
-		writeID(&b, v)
+		b = appendID(b, v)
 	}
 	for _, r := range ranges {
-		b.WriteString("|")
-		b.WriteString(r.String())
+		b = append(b, '|')
+		b = append(b, r.String()...)
 	}
-	return b.String()
+	return string(b)
 }
 
 // ProjectMax existentially projects a similarity table onto a single

@@ -1,7 +1,6 @@
 package core
 
 import (
-	"container/heap"
 	"sort"
 
 	"htlvideo/internal/interval"
@@ -34,15 +33,19 @@ func RankEntries(videoID int, l simlist.List) []Ranked {
 func SortRanked(rs []Ranked) { sortRanked(rs) }
 
 func sortRanked(rs []Ranked) {
-	sort.SliceStable(rs, func(i, j int) bool {
-		if rs[i].Sim.Act != rs[j].Sim.Act {
-			return rs[i].Sim.Act > rs[j].Sim.Act
-		}
-		if rs[i].VideoID != rs[j].VideoID {
-			return rs[i].VideoID < rs[j].VideoID
-		}
-		return rs[i].Iv.Beg < rs[j].Iv.Beg
-	})
+	sort.SliceStable(rs, func(i, j int) bool { return rankedLess(rs[i], rs[j]) })
+}
+
+// rankedLess is the single ordering shared by the sort and the heap: best
+// first, deterministic tie-breaks.
+func rankedLess(a, b Ranked) bool {
+	if a.Sim.Act != b.Sim.Act {
+		return a.Sim.Act > b.Sim.Act
+	}
+	if a.VideoID != b.VideoID {
+		return a.VideoID < b.VideoID
+	}
+	return a.Iv.Beg < b.Iv.Beg
 }
 
 // TopK returns the k highest-similarity video segments across per-video
@@ -55,17 +58,21 @@ func TopK(lists map[int]simlist.List, k int) []Ranked {
 	if k <= 0 {
 		return nil
 	}
-	var h rankedHeap
+	n := 0
+	for _, l := range lists {
+		n += len(l.Entries)
+	}
+	h := make(rankedHeap, 0, n)
 	for vid, l := range lists {
 		for _, e := range l.Entries {
 			h = append(h, Ranked{VideoID: vid, Iv: e.Iv, Sim: simlist.Sim{Act: e.Act, Max: l.MaxSim}})
 		}
 	}
-	heap.Init(&h)
+	h.init()
 	var out []Ranked
 	remaining := k
-	for remaining > 0 && h.Len() > 0 {
-		r := heap.Pop(&h).(Ranked)
+	for remaining > 0 && len(h) > 0 {
+		r := h.pop()
 		if r.Iv.Len() > remaining {
 			r.Iv.End = r.Iv.Beg + remaining - 1
 		}
@@ -103,25 +110,46 @@ func TopKBySort(lists map[int]simlist.List, k int) []Ranked {
 	return out
 }
 
-// rankedHeap orders Ranked items best-first with deterministic tie-breaks.
+// rankedHeap is a typed binary min-heap under rankedLess (so the best run is
+// at the root). It is hand-rolled rather than built on container/heap: the
+// interface-based heap boxes every Ranked through `any` on Push/Pop, which
+// costs an allocation per element on the retrieval hot path.
 type rankedHeap []Ranked
 
-func (h rankedHeap) Len() int { return len(h) }
-func (h rankedHeap) Less(i, j int) bool {
-	if h[i].Sim.Act != h[j].Sim.Act {
-		return h[i].Sim.Act > h[j].Sim.Act
+// init establishes the heap invariant in O(n).
+func (h rankedHeap) init() {
+	for i := len(h)/2 - 1; i >= 0; i-- {
+		h.siftDown(i)
 	}
-	if h[i].VideoID != h[j].VideoID {
-		return h[i].VideoID < h[j].VideoID
-	}
-	return h[i].Iv.Beg < h[j].Iv.Beg
 }
-func (h rankedHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *rankedHeap) Push(x any)   { *h = append(*h, x.(Ranked)) }
-func (h *rankedHeap) Pop() any {
-	old := *h
-	n := len(old)
-	x := old[n-1]
-	*h = old[:n-1]
-	return x
+
+// pop removes and returns the best element.
+func (h *rankedHeap) pop() Ranked {
+	s := *h
+	top := s[0]
+	n := len(s) - 1
+	s[0] = s[n]
+	s = s[:n]
+	*h = s
+	s.siftDown(0)
+	return top
+}
+
+func (h rankedHeap) siftDown(i int) {
+	n := len(h)
+	for {
+		l, r := 2*i+1, 2*i+2
+		best := i
+		if l < n && rankedLess(h[l], h[best]) {
+			best = l
+		}
+		if r < n && rankedLess(h[r], h[best]) {
+			best = r
+		}
+		if best == i {
+			return
+		}
+		h[i], h[best] = h[best], h[i]
+		i = best
+	}
 }

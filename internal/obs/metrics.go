@@ -354,6 +354,7 @@ func (r *Registry) Snapshot() RegistrySnapshot {
 type EngineMetrics struct {
 	atomicEvals Counter
 	mergeOps    Counter
+	memoHits    Counter
 }
 
 // AtomicEval counts one atomic (non-temporal) formula evaluation.
@@ -371,10 +372,20 @@ func (m *EngineMetrics) Merge() {
 	}
 }
 
+// MemoHit counts one subformula evaluation avoided entirely because a
+// structurally identical subtree had already been computed in the same
+// evaluation (plan-node memoization).
+func (m *EngineMetrics) MemoHit() {
+	if m != nil {
+		m.memoHits.Inc()
+	}
+}
+
 // EngineSnapshot is a point-in-time copy of one engine's work counters.
 type EngineSnapshot struct {
 	AtomicEvals int64 `json:"atomic_evals"`
 	MergeOps    int64 `json:"merge_ops"`
+	MemoHits    int64 `json:"memo_hits"`
 }
 
 // Snapshot copies the counters.
@@ -382,5 +393,9 @@ func (m *EngineMetrics) Snapshot() EngineSnapshot {
 	if m == nil {
 		return EngineSnapshot{}
 	}
-	return EngineSnapshot{AtomicEvals: m.atomicEvals.Value(), MergeOps: m.mergeOps.Value()}
+	return EngineSnapshot{
+		AtomicEvals: m.atomicEvals.Value(),
+		MergeOps:    m.mergeOps.Value(),
+		MemoHits:    m.memoHits.Value(),
+	}
 }

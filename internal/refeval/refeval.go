@@ -11,6 +11,13 @@
 // outside the extended conjunctive class fall back to this evaluator, at
 // O(n²)-and-worse cost.
 //
+// The recursion runs over compiled plans (core.CompilePlan): structurally
+// identical subtrees share one plan node, and the evaluator memoizes the
+// similarity of every *closed* subformula per segment — a closed subformula
+// is environment-independent, so its value at a segment can be reused across
+// the quantifier assignments and O(n²) temporal rescans that dominate the
+// brute-force cost.
+//
 // Extension semantics beyond the paper: the similarity of ¬f is
 // maxsim(f) − sim(f), consistent with the picture layer's treatment of
 // negated terms inside atomic formulas.
@@ -32,6 +39,19 @@ func errorsAs(err error, target **picture.UnsupportedError) bool {
 	return errors.As(err, target)
 }
 
+// memoKey identifies one (closed subformula, segment) evaluation.
+type memoKey struct {
+	n *core.PNode
+	u int
+}
+
+// childKey identifies one child evaluator: the descendant sequence of
+// segment u at a level.
+type childKey struct {
+	u   int
+	ref htl.LevelRef
+}
+
 // Evaluator evaluates formulas over one proper sequence of segments.
 type Evaluator struct {
 	sys  *picture.System
@@ -40,6 +60,15 @@ type Evaluator struct {
 	// visits a node per (subformula, segment) pair, so checking the context
 	// on every call would dominate small evaluations.
 	ops uint
+	// memo caches the similarity of closed subformulas per segment; their
+	// value cannot depend on the evaluation environment.
+	memo map[memoKey]float64
+	// maxSim caches core.MaxSimOf per plan node — the And/Not/Until cases
+	// consult it on every visit.
+	maxSim map[*core.PNode]float64
+	// children caches one child evaluator per (segment, level), so repeated
+	// level-modal descents reuse the child's memo instead of rebuilding it.
+	children map[childKey]*Evaluator
 }
 
 // New builds an evaluator over the picture system's sequence.
@@ -55,15 +84,22 @@ func (e *Evaluator) List(f htl.Formula) (simlist.List, error) {
 
 // ListCtx is List with cooperative cancellation: the recursion checks ctx at
 // every segment of the outer scan and periodically inside the O(n²) temporal
-// scans, so a deadline stops a brute-force evaluation mid-video.
+// scans, so a deadline stops a brute-force evaluation mid-video. It compiles
+// f on the fly; callers evaluating one formula repeatedly should compile
+// once and use ListPlanCtx.
 func (e *Evaluator) ListCtx(ctx context.Context, f htl.Formula) (simlist.List, error) {
-	maxSim := core.MaxSimOf(e.sys, f)
+	return e.ListPlanCtx(ctx, core.CompilePlan(f))
+}
+
+// ListPlanCtx evaluates a compiled plan over the sequence, id by id.
+func (e *Evaluator) ListPlanCtx(ctx context.Context, p *core.Plan) (simlist.List, error) {
+	maxSim := e.maxSimOf(p.Root)
 	dense := make([]float64, e.sys.Len())
 	for u := 1; u <= e.sys.Len(); u++ {
 		if err := ctx.Err(); err != nil {
 			return simlist.List{}, err
 		}
-		a, err := e.simAt(ctx, f, u, picture.Env{})
+		a, err := e.simAt(ctx, p.Root, u, picture.Env{})
 		if err != nil {
 			return simlist.List{}, err
 		}
@@ -74,18 +110,56 @@ func (e *Evaluator) ListCtx(ctx context.Context, f htl.Formula) (simlist.List, e
 
 // SimAt returns the actual similarity of f at segment u under env.
 func (e *Evaluator) SimAt(f htl.Formula, u int, env picture.Env) (float64, error) {
-	return e.simAt(context.Background(), f, u, env)
+	return e.simAt(context.Background(), core.CompilePlan(f).Root, u, env)
 }
 
-func (e *Evaluator) simAt(ctx context.Context, f htl.Formula, u int, env picture.Env) (float64, error) {
+// maxSimOf caches core.MaxSimOf per node.
+func (e *Evaluator) maxSimOf(n *core.PNode) float64 {
+	if v, ok := e.maxSim[n]; ok {
+		return v
+	}
+	v := core.MaxSimOf(e.sys, n.F)
+	if e.maxSim == nil {
+		e.maxSim = map[*core.PNode]float64{}
+	}
+	e.maxSim[n] = v
+	return v
+}
+
+func (e *Evaluator) simAt(ctx context.Context, n *core.PNode, u int, env picture.Env) (float64, error) {
 	if e.ops++; e.ops&0xff == 0 {
 		if err := ctx.Err(); err != nil {
 			return 0, err
 		}
 	}
-	if htl.NonTemporal(f) {
+	// A closed subformula's value is independent of env: memoize per
+	// segment. This collapses the repeated rescans of the quantifier
+	// enumeration and the O(n²) temporal loops onto one computation per
+	// (subformula, segment).
+	useMemo := n.Closed
+	if useMemo {
+		if v, ok := e.memo[memoKey{n, u}]; ok {
+			e.opts.Obs.MemoHit()
+			return v, nil
+		}
+	}
+	v, err := e.simAtUncached(ctx, n, u, env)
+	if err != nil {
+		return 0, err
+	}
+	if useMemo {
+		if e.memo == nil {
+			e.memo = map[memoKey]float64{}
+		}
+		e.memo[memoKey{n, u}] = v
+	}
+	return v, nil
+}
+
+func (e *Evaluator) simAtUncached(ctx context.Context, n *core.PNode, u int, env picture.Env) (float64, error) {
+	if n.NonTemporal {
 		e.opts.Obs.AtomicEval()
-		sim, err := e.sys.ScoreAtomicAt(f, u, env)
+		sim, err := e.sys.ScoreAtomicAt(n.F, u, env)
 		var unsup *picture.UnsupportedError
 		switch {
 		case err == nil:
@@ -99,25 +173,25 @@ func (e *Evaluator) simAt(ctx context.Context, f htl.Formula, u int, env picture
 			return 0, err
 		}
 	}
-	switch n := f.(type) {
+	switch x := n.F.(type) {
 	case htl.True, htl.Present, htl.Cmp, htl.Pred:
 		e.opts.Obs.AtomicEval()
-		sim, err := e.sys.ScoreAtomicAt(f, u, env)
+		sim, err := e.sys.ScoreAtomicAt(n.F, u, env)
 		if err != nil {
 			return 0, err
 		}
 		return sim.Act, nil
 	case htl.And:
-		a, err := e.simAt(ctx, n.L, u, env)
+		a, err := e.simAt(ctx, n.Kids[0], u, env)
 		if err != nil {
 			return 0, err
 		}
-		b, err := e.simAt(ctx, n.R, u, env)
+		b, err := e.simAt(ctx, n.Kids[1], u, env)
 		if err != nil {
 			return 0, err
 		}
 		if e.opts.And == core.AndMin {
-			ma, mb := core.MaxSimOf(e.sys, n.L), core.MaxSimOf(e.sys, n.R)
+			ma, mb := e.maxSimOf(n.Kids[0]), e.maxSimOf(n.Kids[1])
 			if ma <= 0 || mb <= 0 {
 				return 0, nil
 			}
@@ -125,21 +199,21 @@ func (e *Evaluator) simAt(ctx context.Context, f htl.Formula, u int, env picture
 		}
 		return a + b, nil
 	case htl.Not:
-		a, err := e.simAt(ctx, n.F, u, env)
+		a, err := e.simAt(ctx, n.Kids[0], u, env)
 		if err != nil {
 			return 0, err
 		}
-		return core.MaxSimOf(e.sys, n.F) - a, nil
+		return e.maxSimOf(n.Kids[0]) - a, nil
 	case htl.Next:
 		if u+1 > e.sys.Len() {
 			return 0, nil
 		}
-		return e.simAt(ctx, n.F, u+1, env)
+		return e.simAt(ctx, n.Kids[0], u+1, env)
 	case htl.Eventually:
 		e.opts.Obs.Merge()
 		best := 0.0
 		for j := u; j <= e.sys.Len(); j++ {
-			a, err := e.simAt(ctx, n.F, j, env)
+			a, err := e.simAt(ctx, n.Kids[0], j, env)
 			if err != nil {
 				return 0, err
 			}
@@ -148,15 +222,15 @@ func (e *Evaluator) simAt(ctx context.Context, f htl.Formula, u int, env picture
 		return best, nil
 	case htl.Until:
 		e.opts.Obs.Merge()
-		gMax := core.MaxSimOf(e.sys, n.L)
+		gMax := e.maxSimOf(n.Kids[0])
 		best := 0.0
 		for j := u; j <= e.sys.Len(); j++ {
-			a, err := e.simAt(ctx, n.R, j, env)
+			a, err := e.simAt(ctx, n.Kids[1], j, env)
 			if err != nil {
 				return 0, err
 			}
 			best = max(best, a)
-			g, err := e.simAt(ctx, n.L, j, env)
+			g, err := e.simAt(ctx, n.Kids[0], j, env)
 			if err != nil {
 				return 0, err
 			}
@@ -168,52 +242,77 @@ func (e *Evaluator) simAt(ctx context.Context, f htl.Formula, u int, env picture
 	case htl.Exists:
 		return e.evalExists(ctx, n, u, env)
 	case htl.Freeze:
-		val := e.sys.AttrValueAt(n.Attr, u, env)
+		val := e.sys.AttrValueAt(x.Attr, u, env)
 		if !val.Defined {
 			// The §3.3 value-table join has no row where the attribute is
 			// undefined, so the freeze yields similarity 0 there.
 			return 0, nil
 		}
-		return e.simAt(ctx, n.F, u, env.WithAttr(n.Var, val))
+		return e.simAt(ctx, n.Kids[0], u, env.WithAttr(x.Var, val))
 	case htl.AtLevel:
-		src, err := e.sys.ChildSource(u, n.Level)
+		child, err := e.childAt(u, x.Level)
 		if err != nil {
 			return 0, err
 		}
-		if src == nil {
+		if child == nil {
 			return 0, nil
 		}
-		child, ok := src.(*picture.System)
-		if !ok {
-			return 0, fmt.Errorf("refeval: child source is %T, not a picture system", src)
-		}
-		return New(child, e.opts).simAt(ctx, n.F, 1, env)
+		return child.simAt(ctx, n.Kids[0], 1, env)
 	default:
-		return 0, fmt.Errorf("refeval: unsupported formula node %T", f)
+		return 0, fmt.Errorf("refeval: unsupported formula node %T", n.F)
 	}
+}
+
+// childAt returns (building and caching if needed) the evaluator over
+// segment u's descendant sequence at the given level, or nil when there is
+// none. Caching the evaluator keeps the child's memo alive across the
+// repeated descents of enclosing temporal scans.
+func (e *Evaluator) childAt(u int, ref htl.LevelRef) (*Evaluator, error) {
+	k := childKey{u: u, ref: ref}
+	if child, ok := e.children[k]; ok {
+		return child, nil
+	}
+	src, err := e.sys.ChildSource(u, ref)
+	if err != nil {
+		return nil, err
+	}
+	var child *Evaluator
+	if src != nil {
+		cs, ok := src.(*picture.System)
+		if !ok {
+			return nil, fmt.Errorf("refeval: child source is %T, not a picture system", src)
+		}
+		child = New(cs, e.opts)
+	}
+	if e.children == nil {
+		e.children = map[childKey]*Evaluator{}
+	}
+	e.children[k] = child
+	return child, nil
 }
 
 // evalExists maximizes over assignments of the quantified variables to the
 // sequence's object ids (plus the absent wildcard; objects outside the
 // sequence are indistinguishable from absent ones).
-func (e *Evaluator) evalExists(ctx context.Context, n htl.Exists, u int, env picture.Env) (float64, error) {
+func (e *Evaluator) evalExists(ctx context.Context, n *core.PNode, u int, env picture.Env) (float64, error) {
+	x := n.F.(htl.Exists)
 	domain := e.sys.ObjectIDs()
 	best := 0.0
 	var assign func(i int, cur picture.Env) error
 	assign = func(i int, cur picture.Env) error {
-		if i == len(n.Vars) {
-			a, err := e.simAt(ctx, n.F, u, cur)
+		if i == len(x.Vars) {
+			a, err := e.simAt(ctx, n.Kids[0], u, cur)
 			if err != nil {
 				return err
 			}
 			best = max(best, a)
 			return nil
 		}
-		if err := assign(i+1, cur.WithObj(n.Vars[i], core.AnyObject)); err != nil {
+		if err := assign(i+1, cur.WithObj(x.Vars[i], core.AnyObject)); err != nil {
 			return err
 		}
 		for _, id := range domain {
-			if err := assign(i+1, cur.WithObj(n.Vars[i], id)); err != nil {
+			if err := assign(i+1, cur.WithObj(x.Vars[i], id)); err != nil {
 				return err
 			}
 		}

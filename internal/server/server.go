@@ -55,6 +55,9 @@ type config struct {
 	drainTimeout time.Duration
 	// parallelism bounds one request's concurrent per-video evaluations.
 	parallelism int
+	// resultCache, when Capacity > 0, enables the store's result cache and
+	// is re-applied to every reloaded store.
+	resultCache htlvideo.ResultCacheConfig
 	now         func() time.Time
 	rand        func(n int64) int64
 	logger      obs.Logger
@@ -83,6 +86,13 @@ func WithDrainTimeout(d time.Duration) Option { return func(c *config) { c.drain
 // WithParallelism bounds one request's concurrent per-video evaluations
 // (default GOMAXPROCS).
 func WithParallelism(n int) Option { return func(c *config) { c.parallelism = n } }
+
+// WithResultCache enables the store's query-result cache (see
+// htlvideo.Store.EnableResultCache) on the served store and on every store
+// swapped in by Reload. A Capacity of 0 leaves caching off.
+func WithResultCache(rc htlvideo.ResultCacheConfig) Option {
+	return func(c *config) { c.resultCache = rc }
+}
 
 // WithClock injects the time source (tests).
 func WithClock(now func() time.Time) Option { return func(c *config) { c.now = now } }
@@ -115,6 +125,7 @@ type serverMetrics struct {
 	brSkipped  *obs.Counter
 	reloads    *obs.Counter
 	reloadErrs *obs.Counter
+	cacheInval *obs.Counter
 	drains     *obs.Counter
 	drainForce *obs.Counter
 }
@@ -137,6 +148,7 @@ func newServerMetrics() *serverMetrics {
 		brSkipped:  reg.Counter("server.breaker.videos_skipped"),
 		reloads:    reg.Counter("server.reloads"),
 		reloadErrs: reg.Counter("server.reload_errors"),
+		cacheInval: reg.Counter("server.result_cache.invalidations"),
 		drains:     reg.Counter("server.drains"),
 		drainForce: reg.Counter("server.drains_forced"),
 	}
@@ -192,6 +204,9 @@ func New(st *htlvideo.Store, opts ...Option) *Server {
 	}
 	m := newServerMetrics()
 	s := &Server{cfg: cfg, m: m}
+	if cfg.resultCache.Capacity > 0 {
+		st.EnableResultCache(cfg.resultCache)
+	}
 	s.store.Store(st)
 	s.limiter = newLimiter(cfg.admission)
 	s.limiter.waiting, s.limiter.shed = m.queued, m.shed
@@ -236,6 +251,12 @@ func (s *Server) Metrics() *obs.Registry { return s.m.reg }
 // Reload re-reads the store file, validates it fully, and atomically swaps
 // it in. In-flight queries finish on the old snapshot; a failed load leaves
 // the serving store untouched. It fails for in-memory servers.
+//
+// The swap is also the result-cache invalidation point: the new store starts
+// with an empty cache (re-enabled with the configured limits before it
+// becomes visible), and queries that raced the reload either completed on
+// the old snapshot — old store, old cache — or start on the new one. A
+// cached result can therefore never mix contents across a reload.
 func (s *Server) Reload() error {
 	s.reloadMu.Lock()
 	defer s.reloadMu.Unlock()
@@ -248,6 +269,10 @@ func (s *Server) Reload() error {
 		s.m.reloadErrs.Inc()
 		s.logf("server: reload %s failed: %v", s.storePath, err)
 		return fmt.Errorf("server: reloading %s: %w", s.storePath, err)
+	}
+	if s.cfg.resultCache.Capacity > 0 {
+		st.EnableResultCache(s.cfg.resultCache)
+		s.m.cacheInval.Inc()
 	}
 	s.store.Store(st)
 	s.m.reloads.Inc()

@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 
 	"htlvideo/internal/interval"
 )
@@ -148,12 +149,43 @@ func (l List) Canonical() List {
 	return out
 }
 
+// sweepEvent is one boundary of Normalize's sweep line.
+type sweepEvent struct {
+	pos   int
+	act   float64
+	enter bool
+}
+
+// sweepScratch pools Normalize's transient state (the event list, the
+// lazy-deletion heap, the alive multiset). Normalize sits under every merge
+// and level-modal aggregation, so these buffers churn hard; nothing in the
+// scratch escapes into the returned list.
+type sweepScratch struct {
+	events []sweepEvent
+	heap   maxHeap
+	alive  map[float64]int
+}
+
+var sweepPool = sync.Pool{New: func() any {
+	return &sweepScratch{alive: map[float64]int{}}
+}}
+
 // Normalize builds a valid list from arbitrary entries: it drops non-positive
 // similarities, sorts by beginning id, resolves overlaps by keeping the
 // maximum similarity on the overlap, clamps Act to maxSim, and merges equal
 // adjacent runs. It is intended for ingesting untrusted or generator data.
 func Normalize(maxSim float64, entries []Entry) List {
-	pts := make([]Entry, 0, len(entries))
+	// Sweep line over entry boundaries, keeping the maximum similarity among
+	// the entries covering each elementary run. Overlap resolution uses a
+	// lazy-deletion max-heap, so the whole pass is O(k log k).
+	sc := sweepPool.Get().(*sweepScratch)
+	defer func() {
+		sc.events = sc.events[:0]
+		sc.heap = sc.heap[:0]
+		clear(sc.alive)
+		sweepPool.Put(sc)
+	}()
+	events := sc.events[:0]
 	for _, e := range entries {
 		if e.Act <= 0 || !e.Iv.Valid() {
 			continue
@@ -161,26 +193,16 @@ func Normalize(maxSim float64, entries []Entry) List {
 		if e.Act > maxSim {
 			e.Act = maxSim
 		}
-		pts = append(pts, e)
-	}
-	// Sweep line over entry boundaries, keeping the maximum similarity among
-	// the entries covering each elementary run. Overlap resolution uses a
-	// lazy-deletion max-heap, so the whole pass is O(k log k).
-	type event struct {
-		pos   int
-		act   float64
-		enter bool
-	}
-	events := make([]event, 0, 2*len(pts))
-	for _, e := range pts {
 		events = append(events,
-			event{pos: e.Iv.Beg, act: e.Act, enter: true},
-			event{pos: e.Iv.End + 1, act: e.Act, enter: false})
+			sweepEvent{pos: e.Iv.Beg, act: e.Act, enter: true},
+			sweepEvent{pos: e.Iv.End + 1, act: e.Act, enter: false})
 	}
+	sc.events = events
 	sort.Slice(events, func(i, j int) bool { return events[i].pos < events[j].pos })
 
-	var heap maxHeap
-	alive := map[float64]int{}
+	sc.heap = sc.heap[:0]
+	heap := &sc.heap
+	alive := sc.alive
 	out := List{MaxSim: maxSim}
 	i := 0
 	for i < len(events) {

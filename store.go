@@ -12,6 +12,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"htlvideo/internal/cache"
 	"htlvideo/internal/core"
 	"htlvideo/internal/htl"
 	"htlvideo/internal/metadata"
@@ -38,6 +39,16 @@ type Store struct {
 	mu sync.Mutex
 	// systems caches one picture-system build slot per (video, level).
 	systems map[[2]int]*sysEntry
+
+	// plans caches compiled queries by text (see store_compile.go).
+	plans *cache.LRU[string, *CompiledQuery]
+	// results is the opt-in whole-result cache (see store_cache.go); nil
+	// until EnableResultCache.
+	results atomic.Pointer[resultCache]
+	// gen is the store's content generation: bumped by Add, part of every
+	// result-cache key, so cached results can never outlive the contents
+	// they were computed over.
+	gen atomic.Int64
 }
 
 // sysEntry is one singleflight-style slot of the picture-system cache:
@@ -64,11 +75,19 @@ func NewStore(tax *Taxonomy, w Weights) *Store {
 		weights: w,
 		obs:     newStoreObs(),
 		systems: map[[2]int]*sysEntry{},
+		plans:   cache.New[string, *CompiledQuery](DefaultPlanCacheCapacity, 0),
 	}
 }
 
-// Add validates and inserts a video.
-func (s *Store) Add(v *Video) error { return s.meta.Add(v) }
+// Add validates and inserts a video. A successful insert bumps the store's
+// generation, invalidating every cached query result.
+func (s *Store) Add(v *Video) error {
+	if err := s.meta.Add(v); err != nil {
+		return err
+	}
+	s.gen.Add(1)
+	return nil
+}
 
 // Video returns a stored video by id, or nil.
 func (s *Store) Video(id int) *Video { return s.meta.Video(id) }
@@ -183,7 +202,20 @@ type queryConfig struct {
 	andMode        core.AndMode
 	parallelism    int
 	partial        bool
+	noCache        bool
 	sink           obs.TraceSink
+}
+
+// newQueryConfig applies the options over the defaults.
+func newQueryConfig(opts []QueryOption) queryConfig {
+	cfg := queryConfig{level: 2, untilThreshold: core.DefaultUntilThreshold}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if cfg.atRoot {
+		cfg.level = 1
+	}
+	return cfg
 }
 
 // AtLevel asserts the formula on each video's proper sequence at the given
@@ -297,16 +329,26 @@ func (s *Store) Query(query string, opts ...QueryOption) (*Results, error) {
 // QueryCtx is Query with a context: cancellation and deadlines propagate
 // into the evaluation engines and stop work mid-video, not just between
 // videos. On cancellation the query fails with an error wrapping ctx.Err().
+//
+// The query is compiled through the store's plan cache: a repeated query
+// skips parsing, classification and plan construction (the parse span is
+// kept, tagged plan_cache=hit, so trace structure is stable).
 func (s *Store) QueryCtx(ctx context.Context, query string, opts ...QueryOption) (*Results, error) {
+	cfg := newQueryConfig(opts)
 	tr := obs.NewTrace(query)
 	sp := tr.StartSpan("parse")
-	f, err := htl.Parse(query)
+	cq, hit, err := s.compile(query, cfg.noCache)
+	if hit {
+		sp.SetTag("plan_cache", "hit")
+	} else {
+		sp.SetTag("plan_cache", "miss")
+	}
 	sp.End()
 	if err != nil {
 		s.obs.endQuery(tr, "", "", err, nil)
 		return nil, err
 	}
-	return s.queryFormulaCtx(ctx, tr, f, opts...)
+	return s.queryCompiledCtx(ctx, tr, cq, cfg)
 }
 
 // QueryFormula evaluates a parsed HTL formula.
@@ -323,28 +365,32 @@ func (s *Store) QueryFormula(f Formula, opts ...QueryOption) (*Results, error) {
 // WithPartialResults, failed videos are skipped and reported in
 // Results.Errors instead.
 func (s *Store) QueryFormulaCtx(ctx context.Context, f Formula, opts ...QueryOption) (*Results, error) {
-	return s.queryFormulaCtx(ctx, obs.NewTrace(f.String()), f, opts...)
+	cfg := newQueryConfig(opts)
+	cq := s.compileFormula(f, cfg.noCache)
+	return s.queryCompiledCtx(ctx, obs.NewTrace(f.String()), cq, cfg)
 }
 
-// queryFormulaCtx runs a query under an already-started trace (QueryCtx adds
-// the parse stage before calling it). Whatever path the query takes, the
-// deferred endQuery settles the per-query accounting: totals, per-engine and
-// per-class counters and latency, the slow log, and the trace sinks.
-func (s *Store) queryFormulaCtx(ctx context.Context, tr *obs.Trace, f Formula, opts ...QueryOption) (res *Results, err error) {
-	cfg := queryConfig{level: 2, untilThreshold: core.DefaultUntilThreshold}
-	for _, o := range opts {
-		o(&cfg)
-	}
-	if cfg.atRoot {
-		cfg.level = 1
-	}
-	class := htl.Classify(f)
+// queryCompiledCtx runs a compiled query under an already-started trace
+// (QueryCtx adds the parse stage before calling it). Whatever path the query
+// takes — including a result-cache hit — the deferred endQuery settles the
+// per-query accounting: totals, per-engine and per-class counters and
+// latency, the slow log, and the trace sinks.
+func (s *Store) queryCompiledCtx(ctx context.Context, tr *obs.Trace, cq *CompiledQuery, cfg queryConfig) (res *Results, err error) {
 	engine := engineKey(cfg.engine)
+	class := classKey(cq.class)
 	tr.SetTag("engine", engine)
-	tr.SetTag("class", classKey(class))
+	tr.SetTag("class", class)
 	tr.SetTag("level", strconv.Itoa(cfg.level))
-	defer func() { s.obs.endQuery(tr, engine, classKey(class), err, cfg.sink) }()
+	defer func() { s.obs.endQuery(tr, engine, class, err, cfg.sink) }()
 
+	if rc := s.results.Load(); rc != nil && !cfg.noCache {
+		return s.queryCached(ctx, rc, tr, cq, &cfg)
+	}
+	return s.runQuery(ctx, tr, cq, &cfg)
+}
+
+// runQuery evaluates a compiled query over the store's videos, uncached.
+func (s *Store) runQuery(ctx context.Context, tr *obs.Trace, cq *CompiledQuery, cfg *queryConfig) (*Results, error) {
 	videos := s.meta.Videos()
 	if cfg.videoID != nil {
 		v := s.meta.Video(*cfg.videoID)
@@ -368,7 +414,7 @@ func (s *Store) queryFormulaCtx(ctx context.Context, tr *obs.Trace, f Formula, o
 		work = append(work, v)
 	}
 	tr.SetTag("videos", strconv.Itoa(len(work)))
-	res = &Results{Formula: f, Class: class, PerVideo: map[int]SimList{}}
+	res := &Results{Formula: cq.f, Class: cq.class, PerVideo: map[int]SimList{}}
 	if len(work) == 0 {
 		return res, nil
 	}
@@ -399,7 +445,7 @@ func (s *Store) queryFormulaCtx(ctx context.Context, tr *obs.Trace, f Formula, o
 				vsp := evalStage.StartSpan("video")
 				vsp.SetTag("video", strconv.Itoa(v.ID))
 				start := time.Now()
-				l, err := s.queryVideoIsolated(obs.ContextWithSpan(ctx, vsp), v, f, cfg)
+				l, err := s.queryVideoIsolated(obs.ContextWithSpan(ctx, vsp), v, cq, cfg)
 				elapsed := time.Since(start)
 				vsp.End()
 				o.poolInFlight.Dec()
@@ -453,20 +499,20 @@ feed:
 
 // queryVideoIsolated evaluates one video, containing panics so a poisoned
 // video fails alone instead of crashing every caller of the store.
-func (s *Store) queryVideoIsolated(ctx context.Context, v *Video, f Formula, cfg queryConfig) (l SimList, err error) {
+func (s *Store) queryVideoIsolated(ctx context.Context, v *Video, cq *CompiledQuery, cfg *queryConfig) (l SimList, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			s.obs.panicsRecovered.Inc()
 			err = &PanicError{Value: r, Stack: debug.Stack()}
 		}
 	}()
-	return s.queryVideo(ctx, v, f, cfg)
+	return s.queryVideo(ctx, v, cq, cfg)
 }
 
 // queryVideo evaluates the formula over one video: the picture-system
 // build/cache-lookup stage, then the engine stage, each under its own span of
 // the per-video trace.
-func (s *Store) queryVideo(ctx context.Context, v *Video, f Formula, cfg queryConfig) (SimList, error) {
+func (s *Store) queryVideo(ctx context.Context, v *Video, cq *CompiledQuery, cfg *queryConfig) (SimList, error) {
 	vsp := obs.SpanFromContext(ctx)
 	ssp := vsp.StartSpan("system")
 	sys, err := s.system(obs.ContextWithSpan(ctx, ssp), v, cfg.level)
@@ -476,37 +522,39 @@ func (s *Store) queryVideo(ctx context.Context, v *Video, f Formula, cfg queryCo
 	}
 	esp := vsp.StartSpan("engine")
 	defer esp.End()
-	return s.evalOne(obs.ContextWithSpan(ctx, esp), sys, f, cfg, esp)
+	return s.evalOne(obs.ContextWithSpan(ctx, esp), sys, cq, cfg, esp)
 }
 
-// evalOne evaluates the formula over one video's sequence with the selected
-// engine, tagging sp with the engine that actually ran (the auto engine may
-// fall back to the reference evaluator).
-func (s *Store) evalOne(ctx context.Context, sys *picture.System, f Formula, cfg queryConfig, sp *obs.Span) (SimList, error) {
+// evalOne evaluates the compiled query over one video's sequence with the
+// selected engine, tagging sp with the engine that actually ran (the auto
+// engine may fall back to the reference evaluator). The direct and reference
+// engines evaluate the compiled plan, so duplicated subformulas are computed
+// once per video.
+func (s *Store) evalOne(ctx context.Context, sys *picture.System, cq *CompiledQuery, cfg *queryConfig, sp *obs.Span) (SimList, error) {
 	coreOpts := core.Options{UntilThreshold: cfg.untilThreshold, And: cfg.andMode, Obs: &s.obs.coreM}
 	refOpts := coreOpts
 	refOpts.Obs = &s.obs.refM
 	switch cfg.engine {
 	case EngineDirect:
 		sp.SetTag("engine", "core")
-		return core.EvalCtx(ctx, sys, f, coreOpts)
+		return core.EvalPlanCtx(ctx, sys, cq.plan, coreOpts)
 	case EngineReference:
 		sp.SetTag("engine", "refeval")
-		return refeval.New(sys, refOpts).ListCtx(ctx, f)
+		return refeval.New(sys, refOpts).ListPlanCtx(ctx, cq.plan)
 	case EngineSQL:
 		sp.SetTag("engine", "sqlgen")
 		if cfg.andMode != core.AndSum {
 			return SimList{}, errors.New("htlvideo: the SQL baseline supports only the additive conjunction semantics")
 		}
-		return s.evalSQL(ctx, sys, f, cfg)
+		return s.evalSQL(ctx, sys, cq.f, cfg)
 	default:
-		l, err := core.EvalCtx(ctx, sys, f, coreOpts)
+		l, err := core.EvalPlanCtx(ctx, sys, cq.plan, coreOpts)
 		var notConj *core.ErrNotConjunctive
 		if errors.As(err, &notConj) {
 			s.obs.fallbacks.Inc()
 			sp.SetTag("engine", "refeval")
 			sp.SetTag("fallback", "true")
-			return refeval.New(sys, refOpts).ListCtx(ctx, f)
+			return refeval.New(sys, refOpts).ListPlanCtx(ctx, cq.plan)
 		}
 		sp.SetTag("engine", "core")
 		return l, err
@@ -516,7 +564,7 @@ func (s *Store) evalOne(ctx context.Context, sys *picture.System, f Formula, cfg
 // evalSQL runs the §4 SQL baseline: atomic units are evaluated by the
 // picture system, loaded as interval relations, and the formula's temporal
 // skeleton is translated into a SQL statement sequence.
-func (s *Store) evalSQL(ctx context.Context, sys *picture.System, f Formula, cfg queryConfig) (SimList, error) {
+func (s *Store) evalSQL(ctx context.Context, sys *picture.System, f Formula, cfg *queryConfig) (SimList, error) {
 	tr, err := sqlgen.New(sys.Len(), cfg.untilThreshold)
 	if err != nil {
 		return SimList{}, err

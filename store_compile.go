@@ -1,0 +1,131 @@
+package htlvideo
+
+// Query compilation: parsing, classification and plan construction are pulled
+// out of the per-query path so a formula evaluated repeatedly pays them once.
+// A CompiledQuery is immutable and safe for concurrent use; the store keeps a
+// bounded LRU of them keyed by query text, so even callers that re-submit raw
+// strings through Store.Query hit the compiled form transparently. Textual
+// variants of one formula ("a and  b" vs "a and b") converge on a single
+// CompiledQuery through the plan's canonical key.
+
+import (
+	"context"
+
+	"htlvideo/internal/core"
+	"htlvideo/internal/htl"
+	"htlvideo/internal/obs"
+)
+
+// DefaultPlanCacheCapacity bounds the store's compiled-query cache.
+const DefaultPlanCacheCapacity = 256
+
+// CompiledQuery is a parsed, classified and planned HTL query bound to its
+// store. Compile once, evaluate many times: structurally identical subtrees of
+// the formula share one plan node, so the engines memoize duplicated
+// subformulas, and repeated evaluations skip the parse/classify/plan work
+// entirely.
+type CompiledQuery struct {
+	store *Store
+	text  string
+	f     htl.Formula
+	class htl.Class
+	plan  *core.Plan
+}
+
+// Formula returns the parsed formula.
+func (cq *CompiledQuery) Formula() Formula { return cq.f }
+
+// Class returns the formula's class (fixed at compile time; queries skip
+// re-classification).
+func (cq *CompiledQuery) Class() Class { return cq.class }
+
+// Key returns the formula's canonical text — the identity under which the
+// plan and result caches index this query.
+func (cq *CompiledQuery) Key() string { return cq.plan.Key }
+
+// Query evaluates the compiled query over the store (see Store.Query).
+func (cq *CompiledQuery) Query(opts ...QueryOption) (*Results, error) {
+	return cq.QueryCtx(context.Background(), opts...)
+}
+
+// QueryCtx evaluates the compiled query under a context. The trace still
+// carries a parse span (tagged plan_cache=hit) so traces from compiled and
+// uncompiled queries have the same stage structure.
+func (cq *CompiledQuery) QueryCtx(ctx context.Context, opts ...QueryOption) (*Results, error) {
+	cfg := newQueryConfig(opts)
+	tr := obs.NewTrace(cq.text)
+	sp := tr.StartSpan("parse")
+	sp.SetTag("plan_cache", "hit")
+	sp.End()
+	return cq.store.queryCompiledCtx(ctx, tr, cq, cfg)
+}
+
+// Compile parses, classifies and plans a query, reusing the store's plan
+// cache. The returned CompiledQuery is immutable and safe for concurrent use.
+func (s *Store) Compile(query string) (*CompiledQuery, error) {
+	cq, _, err := s.compile(query, false)
+	return cq, err
+}
+
+// CompileFormula compiles an already-parsed formula (see Compile).
+func (s *Store) CompileFormula(f Formula) *CompiledQuery {
+	return s.compileFormula(f, false)
+}
+
+// compile resolves query text to a compiled query, through the plan cache
+// unless noCache. The boolean reports a cache hit (the parse was skipped).
+// Parse errors are returned uncached: a store hammered with malformed input
+// must not evict live plans.
+func (s *Store) compile(query string, noCache bool) (*CompiledQuery, bool, error) {
+	if !noCache {
+		if cq, ok := s.plans.Get(query); ok {
+			s.obs.planHits.Inc()
+			return cq, true, nil
+		}
+	}
+	f, err := htl.Parse(query)
+	if err != nil {
+		return nil, false, err
+	}
+	if noCache {
+		p := core.CompilePlan(f)
+		return &CompiledQuery{store: s, text: query, f: f, class: p.Class, plan: p}, false, nil
+	}
+	s.obs.planMisses.Inc()
+	cq := s.intern(query, f)
+	return cq, false, nil
+}
+
+// compileFormula is compile for pre-parsed formulas; the cache key is the
+// formula's canonical text, so it converges with text-keyed entries.
+func (s *Store) compileFormula(f Formula, noCache bool) *CompiledQuery {
+	if noCache {
+		p := core.CompilePlan(f)
+		return &CompiledQuery{store: s, text: p.Key, f: f, class: p.Class, plan: p}
+	}
+	key := f.String()
+	if cq, ok := s.plans.Get(key); ok {
+		s.obs.planHits.Inc()
+		return cq
+	}
+	s.obs.planMisses.Inc()
+	return s.intern(key, f)
+}
+
+// intern plans f and publishes it in the plan cache under both the submitted
+// text and the plan's canonical key, so later textual variants of the same
+// formula share one CompiledQuery. Concurrent compiles of the same formula
+// may race to insert; plans are pure, so the last write winning is harmless.
+func (s *Store) intern(text string, f htl.Formula) *CompiledQuery {
+	p := core.CompilePlan(f)
+	cq, ok := s.plans.Get(p.Key)
+	if !ok {
+		cq = &CompiledQuery{store: s, text: text, f: f, class: p.Class, plan: p}
+		s.plans.Add(p.Key, cq)
+	}
+	if text != p.Key {
+		s.plans.Add(text, cq)
+	}
+	s.obs.planSize.Set(int64(s.plans.Len()))
+	return cq
+}

@@ -41,6 +41,16 @@ type storeObs struct {
 	cacheEvicted *obs.Counter
 	cacheSize    *obs.Gauge
 
+	planHits   *obs.Counter
+	planMisses *obs.Counter
+	planSize   *obs.Gauge
+
+	resHits    *obs.Counter
+	resMisses  *obs.Counter
+	resDeduped *obs.Counter
+	resEvicted *obs.Counter
+	resSize    *obs.Gauge
+
 	poolInFlight    *obs.Gauge
 	poolQueued      *obs.Gauge
 	panicsRecovered *obs.Counter
@@ -70,6 +80,16 @@ func newStoreObs() *storeObs {
 		cacheDeduped: reg.Counter("cache.deduped"),
 		cacheEvicted: reg.Counter("cache.evicted"),
 		cacheSize:    reg.Gauge("cache.size"),
+
+		planHits:   reg.Counter("query.plan_cache.hits"),
+		planMisses: reg.Counter("query.plan_cache.misses"),
+		planSize:   reg.Gauge("query.plan_cache.size"),
+
+		resHits:    reg.Counter("query.cache.hits"),
+		resMisses:  reg.Counter("query.cache.misses"),
+		resDeduped: reg.Counter("query.cache.deduped"),
+		resEvicted: reg.Counter("query.cache.evicted"),
+		resSize:    reg.Gauge("query.cache.size"),
 
 		poolInFlight:    reg.Gauge("pool.in_flight"),
 		poolQueued:      reg.Gauge("pool.queued"),
@@ -165,11 +185,13 @@ func classKey(c Class) string {
 
 // Stats is a typed point-in-time snapshot of a store's instrumentation.
 type Stats struct {
-	Queries QueryStats  `json:"queries"`
-	Cache   CacheStats  `json:"cache"`
-	Pool    PoolStats   `json:"pool"`
-	SQL     SQLStats    `json:"sql"`
-	Engines EngineStats `json:"engines"`
+	Queries     QueryStats       `json:"queries"`
+	Cache       CacheStats       `json:"cache"`
+	PlanCache   PlanCacheStats   `json:"plan_cache"`
+	ResultCache ResultCacheStats `json:"result_cache"`
+	Pool        PoolStats        `json:"pool"`
+	SQL         SQLStats         `json:"sql"`
+	Engines     EngineStats      `json:"engines"`
 }
 
 // QueryStats aggregates whole-query accounting.
@@ -199,6 +221,32 @@ type CacheStats struct {
 	Deduped int64 `json:"deduped"`
 	Evicted int64 `json:"evicted"`
 	// Size is the current number of cached (video, level) systems.
+	Size int64 `json:"size"`
+}
+
+// PlanCacheStats describes the compiled-query (plan) cache.
+type PlanCacheStats struct {
+	// Hits are queries that skipped parse/classify/plan entirely; Misses
+	// compiled fresh (parse failures are not counted — nothing is cached for
+	// them).
+	Hits   int64 `json:"hits"`
+	Misses int64 `json:"misses"`
+	// Size is the current number of cached entries (textual aliases of one
+	// formula each count).
+	Size int64 `json:"size"`
+}
+
+// ResultCacheStats describes the opt-in whole-result cache (all zero until
+// EnableResultCache).
+type ResultCacheStats struct {
+	// Hits served a cached result; Misses evaluated and (if fully
+	// successful) cached; Deduped joined a concurrent identical evaluation
+	// (singleflight); Evicted left by capacity or TTL.
+	Hits    int64 `json:"hits"`
+	Misses  int64 `json:"misses"`
+	Deduped int64 `json:"deduped"`
+	Evicted int64 `json:"evicted"`
+	// Size is the current number of cached results.
 	Size int64 `json:"size"`
 }
 
@@ -247,6 +295,18 @@ func (s *Store) Stats() Stats {
 			Deduped: o.cacheDeduped.Value(),
 			Evicted: o.cacheEvicted.Value(),
 			Size:    o.cacheSize.Value(),
+		},
+		PlanCache: PlanCacheStats{
+			Hits:   o.planHits.Value(),
+			Misses: o.planMisses.Value(),
+			Size:   o.planSize.Value(),
+		},
+		ResultCache: ResultCacheStats{
+			Hits:    o.resHits.Value(),
+			Misses:  o.resMisses.Value(),
+			Deduped: o.resDeduped.Value(),
+			Evicted: o.resEvicted.Value(),
+			Size:    o.resSize.Value(),
 		},
 		Pool: PoolStats{
 			InFlight:        o.poolInFlight.Value(),

@@ -20,7 +20,7 @@ import (
 
 // resilienceStore builds n small videos, each with three tagged shots at
 // level 2, so M1/M2 queries have non-trivial answers on every video.
-func resilienceStore(t *testing.T, n int) *Store {
+func resilienceStore(t testing.TB, n int) *Store {
 	t.Helper()
 	s := NewStore(nil, DefaultWeights())
 	for id := 1; id <= n; id++ {
