@@ -4,12 +4,22 @@
 
 GO ?= go
 
-.PHONY: check vet build test race chaos fuzz fuzz-store bench bench-short
+.PHONY: check vet staticcheck build test race chaos explain-smoke fuzz fuzz-store bench bench-short
 
-check: vet build race chaos
+check: vet staticcheck build race chaos explain-smoke
 
 vet:
 	$(GO) vet ./...
+
+# staticcheck is optional locally (it is not vendored; CI installs it with
+# `go install honnef.co/go/tools/cmd/staticcheck@latest`). The target is a
+# no-op with a notice when the binary is absent.
+staticcheck:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping (go install honnef.co/go/tools/cmd/staticcheck@latest)"; \
+	fi
 
 build:
 	$(GO) build ./...
@@ -26,6 +36,14 @@ race:
 # process-wide.
 chaos:
 	$(GO) test -race -run '^TestServerChaos$$' -count=1 -v ./internal/server/
+
+# Explain smoke: `htlquery -explain` on the Fig. 2 until example must print a
+# non-empty annotated plan tree (a panic or an empty tree fails the target).
+explain-smoke:
+	@out=$$($(GO) run ./cmd/htlquery -demo -explain "M1 until M2") || exit 1; \
+	echo "$$out"; \
+	echo "$$out" | grep -q '^until' || { echo "explain-smoke: no until node in output" >&2; exit 1; }; \
+	echo "$$out" | grep -q 'visits=' || { echo "explain-smoke: no per-node stats in output" >&2; exit 1; }
 
 # Short parser fuzz session (FuzzParse: parse → print → re-parse is total).
 fuzz:

@@ -12,6 +12,7 @@
 //	htlquery -store videos.json -level 3 -k 5 "M1 until M2"
 //	htlquery -demo -engine sql "..."
 //	htlquery -demo -trace -metrics-addr :8080 "..."   # trace to stderr, then serve /metrics
+//	htlquery -demo -explain "M1 until M2"             # annotated plan tree with per-node stats
 package main
 
 import (
@@ -41,7 +42,8 @@ func main() {
 	partial := flag.Bool("partial", false, "return partial results: failed videos are skipped and summarized")
 	trace := flag.Bool("trace", false, "print the query's structured trace as JSON on stderr")
 	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /debug/slowlog and /debug/pprof on this address; the process then stays alive until interrupted")
-	explain := flag.Bool("explain", false, "print the parsed formula and its class, then exit")
+	explain := flag.Bool("explain", false, "evaluate the query with per-plan-node profiling and print the annotated plan tree")
+	exact := flag.Bool("exact", false, "with -explain: exact per-visit time attribution (slower; affects the reference evaluator)")
 	flag.Parse()
 
 	if flag.NArg() != 1 {
@@ -50,15 +52,6 @@ func main() {
 		os.Exit(2)
 	}
 	query := flag.Arg(0)
-
-	if *explain {
-		f, err := htlvideo.Parse(query)
-		if err != nil {
-			fatalf("%v", err)
-		}
-		fmt.Printf("parsed:  %s\nclass:   %v\n", f, htlvideo.Classify(f))
-		return
-	}
 
 	store, err := buildStore(*storePath, *demo)
 	if err != nil {
@@ -76,6 +69,9 @@ func main() {
 	}
 	if *partial {
 		opts = append(opts, htlvideo.WithPartialResults())
+	}
+	if *exact {
+		opts = append(opts, htlvideo.WithExactProfile())
 	}
 	var traces htlvideo.TraceCollector
 	if *trace {
@@ -98,6 +94,15 @@ func main() {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
+	}
+	if *explain {
+		er, err := store.ExplainCtx(ctx, query, opts...)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		er.Render(os.Stdout, true)
+		serveForever(srv, *metricsAddr)
+		return
 	}
 	res, err := store.QueryCtx(ctx, query, opts...)
 	if *trace {
@@ -170,6 +175,9 @@ func serveMetrics(store *htlvideo.Store, addr string) *http.Server {
 	if addr == "" {
 		return nil
 	}
+	// Scrapes of this listener identify the binary: build_info, start time,
+	// uptime, pid.
+	htlvideo.RegisterProcessMetrics(store.Metrics())
 	srv := server.NewHTTPServer(addr, store.DebugHandler())
 	go func() {
 		fmt.Fprintf(os.Stderr, "htlquery: serving /metrics, /debug/slowlog, /debug/pprof on %s\n", addr)

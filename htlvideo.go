@@ -100,6 +100,11 @@ type (
 	Logger = obs.Logger
 	// LoggerFunc adapts a printf-style function to Logger.
 	LoggerFunc = obs.LoggerFunc
+	// ExplainNode is one plan node of an ExplainResult, annotated with its
+	// execution statistics.
+	ExplainNode = obs.ExplainNode
+	// NodeStats is one plan node's execution accounting.
+	NodeStats = obs.NodeStats
 
 	// Frame is one synthetic video frame for the analyzer pipeline.
 	Frame = videogen.Frame
@@ -142,6 +147,12 @@ func NewTaxonomy() *Taxonomy { return picture.NewTaxonomy() }
 
 // DefaultWeights weights every scoring term kind equally.
 func DefaultWeights() Weights { return picture.DefaultWeights() }
+
+// RegisterProcessMetrics adds the standard process-identification gauges
+// (build_info with module/go/vcs versions, start time, uptime, pid) to a
+// metrics registry; long-running listeners call it once so every scrape
+// identifies the serving binary.
+func RegisterProcessMetrics(reg *MetricsRegistry) { obs.RegisterProcessMetrics(reg) }
 
 // Parse parses an HTL query.
 func Parse(query string) (Formula, error) { return htl.Parse(query) }

@@ -26,7 +26,19 @@ type Plan struct {
 	Class htl.Class
 	// Nodes counts distinct subformulas (the DAG's size, not the tree's).
 	Nodes int
+
+	// nodes lists every PNode in ID order; byKey indexes them by canonical
+	// text. Both back the per-node execution profiler (profile.go).
+	nodes []*PNode
+	byKey map[string]*PNode
 }
+
+// NodeList returns every plan node in ID order (the profiler's index order).
+func (p *Plan) NodeList() []*PNode { return p.nodes }
+
+// Node returns the plan node whose canonical text is key, or nil. The SQL
+// translator attributes statements to nodes through it.
+func (p *Plan) Node(key string) *PNode { return p.byKey[key] }
 
 // PNode is one interned subformula. Two structurally identical subtrees of
 // a plan share one PNode, so evaluators can memoize by node pointer.
@@ -35,6 +47,9 @@ type PNode struct {
 	F htl.Formula
 	// Key is F's canonical text.
 	Key string
+	// ID is the node's dense index within its plan (0 ≤ ID < Plan.Nodes),
+	// the profiler's slot number.
+	ID int
 	// NonTemporal marks atomic units: subformulas the picture layer scores
 	// whole (no temporal or level-modal operator inside).
 	NonTemporal bool
@@ -55,13 +70,22 @@ type PNode struct {
 func CompilePlan(f htl.Formula) *Plan {
 	c := planCompiler{seen: map[string]*PNode{}}
 	root := c.node(f)
-	return &Plan{Root: root, Key: root.Key, Class: htl.Classify(f), Nodes: len(c.seen)}
+	return &Plan{
+		Root:  root,
+		Key:   root.Key,
+		Class: htl.Classify(f),
+		Nodes: len(c.seen),
+		nodes: c.list,
+		byKey: c.seen,
+	}
 }
 
 type planCompiler struct {
 	// seen interns nodes by canonical text. Formula nodes themselves are
 	// not comparable (argument slices), so text is the identity.
 	seen map[string]*PNode
+	// list collects the nodes in creation (ID) order.
+	list []*PNode
 }
 
 func (c *planCompiler) node(f htl.Formula) *PNode {
@@ -69,10 +93,11 @@ func (c *planCompiler) node(f htl.Formula) *PNode {
 	if n, ok := c.seen[key]; ok {
 		return n
 	}
-	n := &PNode{F: f, Key: key, NonTemporal: htl.NonTemporal(f)}
+	n := &PNode{F: f, Key: key, ID: len(c.list), NonTemporal: htl.NonTemporal(f)}
 	n.ObjVars, n.AttrVars = htl.FreeVars(f)
 	n.Closed = len(n.ObjVars) == 0 && len(n.AttrVars) == 0
 	c.seen[key] = n
+	c.list = append(c.list, n)
 	switch x := f.(type) {
 	case htl.And:
 		n.Kids = []*PNode{c.node(x.L), c.node(x.R)}

@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"fmt"
+	"time"
 
 	"htlvideo/internal/htl"
 	"htlvideo/internal/interval"
@@ -22,6 +23,11 @@ type Options struct {
 	// Obs receives per-operation work counts (atomic evaluations, temporal
 	// merges, memo hits); nil disables the accounting at no cost.
 	Obs *obs.EngineMetrics
+	// Prof receives per-plan-node accounting (visits, memo hits, rows,
+	// inclusive wall time) for EXPLAIN ANALYZE; nil disables it. Prof must
+	// have been built for the plan under evaluation (NewPlanProfile) — nodes
+	// of other plans are ignored.
+	Prof *PlanProfile
 }
 
 // DefaultOptions returns the library defaults.
@@ -69,16 +75,32 @@ func EvalPlanCtx(ctx context.Context, src Source, p *Plan, opts Options) (simlis
 	// Strip the existential prefix; the final projection maximizes over all
 	// evaluations regardless of the prefix variables (§3.2 part two).
 	g := p.Root
+	var prefix []*PNode
 	for {
 		if _, ok := g.F.(htl.Exists); !ok {
 			break
 		}
+		prefix = append(prefix, g)
 		g = g.Kids[0]
 	}
 	e := newPlanEval(src, opts)
+	var start time.Time
+	if opts.Prof != nil && len(prefix) > 0 {
+		start = time.Now()
+	}
 	t, err := e.eval(ctx, g)
 	if err != nil {
 		return simlist.List{}, err
+	}
+	// The prefix nodes are identities at evaluation time, but the profile
+	// still owes them a visit and the inclusive time of their scope —
+	// otherwise an explain tree shows an unvisited root over a busy child.
+	if opts.Prof != nil && len(prefix) > 0 {
+		d := time.Since(start)
+		for _, n := range prefix {
+			opts.Prof.Visit(n)
+			opts.Prof.AddTime(n, d)
+		}
 	}
 	return ProjectMax(t), nil
 }
@@ -141,21 +163,35 @@ func (e *planEval) eval(ctx context.Context, n *PNode) (*simlist.Table, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	e.opts.Prof.Visit(n)
 	if t, ok := e.memo[n]; ok {
 		e.opts.Obs.MemoHit()
+		e.opts.Prof.MemoHit(n)
 		return t, nil
+	}
+	// Inclusive timing: children evaluate inside this window, memo hits on
+	// shared children cost (and attribute) nothing. Two clock reads per
+	// computed node per video — each node computes at most once per video —
+	// keep always-on profiling in the noise.
+	var start time.Time
+	if e.opts.Prof != nil {
+		start = time.Now()
 	}
 	t, err := e.evalNode(ctx, n)
 	if err != nil {
 		return nil, err
 	}
 	e.memo[n] = t
+	if e.opts.Prof != nil {
+		e.opts.Prof.Record(n, time.Since(start), t)
+	}
 	return t, nil
 }
 
 func (e *planEval) evalNode(ctx context.Context, n *PNode) (*simlist.Table, error) {
 	if n.NonTemporal {
 		e.opts.Obs.AtomicEval()
+		e.opts.Prof.AtomicEval(n)
 		return e.src.EvalAtomic(n.F)
 	}
 	switch n.F.(type) {
@@ -170,6 +206,7 @@ func (e *planEval) evalNode(ctx context.Context, n *PNode) (*simlist.Table, erro
 		}
 		and := func(l1, l2 simlist.List) simlist.List {
 			e.opts.Obs.Merge()
+			e.opts.Prof.Merge(n)
 			return AndListsMode(l1, l2, e.opts.And)
 		}
 		return CombineTables(t1, t2, and, t1.MaxSim+t2.MaxSim), nil
@@ -184,13 +221,14 @@ func (e *planEval) evalNode(ctx context.Context, n *PNode) (*simlist.Table, erro
 		}
 		until := func(l1, l2 simlist.List) simlist.List {
 			e.opts.Obs.Merge()
+			e.opts.Prof.Merge(n)
 			return UntilLists(l1, l2, e.opts.UntilThreshold)
 		}
 		return CombineTables(t1, t2, until, t2.MaxSim), nil
 	case htl.Next:
-		return e.mapRows(ctx, n.Kids[0], NextList)
+		return e.mapRows(ctx, n, NextList)
 	case htl.Eventually:
-		return e.mapRows(ctx, n.Kids[0], EventuallyList)
+		return e.mapRows(ctx, n, EventuallyList)
 	case htl.Freeze:
 		x := n.F.(htl.Freeze)
 		t1, err := e.eval(ctx, n.Kids[0])
@@ -213,10 +251,10 @@ func (e *planEval) evalNode(ctx context.Context, n *PNode) (*simlist.Table, erro
 	}
 }
 
-// mapRows evaluates the operand node and applies a per-list operator
+// mapRows evaluates n's operand node and applies a per-list operator
 // (`next`, `eventually`) to every row, dropping rows that become empty.
-func (e *planEval) mapRows(ctx context.Context, kid *PNode, op func(simlist.List) simlist.List) (*simlist.Table, error) {
-	t, err := e.eval(ctx, kid)
+func (e *planEval) mapRows(ctx context.Context, n *PNode, op func(simlist.List) simlist.List) (*simlist.Table, error) {
+	t, err := e.eval(ctx, n.Kids[0])
 	if err != nil {
 		return nil, err
 	}
@@ -224,6 +262,7 @@ func (e *planEval) mapRows(ctx context.Context, kid *PNode, op func(simlist.List
 	out.Rows = make([]simlist.Row, 0, len(t.Rows))
 	for _, r := range t.Rows {
 		e.opts.Obs.Merge()
+		e.opts.Prof.Merge(n)
 		row := simlist.Row{Bindings: r.Bindings, Ranges: r.Ranges, List: op(r.List)}
 		if keepRow(row) {
 			out.Rows = append(out.Rows, row)
@@ -291,6 +330,7 @@ func (e *planEval) evalAtLevel(ctx context.Context, n *PNode) (*simlist.Table, e
 	for _, k := range order {
 		g := groups[k]
 		e.opts.Obs.Merge()
+		e.opts.Prof.Merge(n)
 		row := simlist.Row{
 			Bindings: g.bindings,
 			Ranges:   g.ranges,

@@ -9,7 +9,9 @@ import (
 // Handler serves the observability endpoints over reg and slow:
 //
 //	/metrics        expvar-style JSON: every counter, gauge and histogram,
-//	                plus the stats() value under "stats" when non-nil
+//	                plus the stats() value under "stats" when non-nil.
+//	                Content-negotiates the Prometheus text format (0.0.4)
+//	                via Accept or ?format=prometheus (see WantsPrometheus).
 //	/debug/slowlog  the retained slowest queries with their full traces
 //	/debug/pprof/   the standard runtime profiles
 //
@@ -18,6 +20,10 @@ import (
 func Handler(reg *Registry, slow *SlowLog, stats func() any) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		if WantsPrometheus(r) {
+			PrometheusHandler(w, reg)
+			return
+		}
 		doc := struct {
 			Metrics RegistrySnapshot `json:"metrics"`
 			Stats   any              `json:"stats,omitempty"`

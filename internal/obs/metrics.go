@@ -242,6 +242,7 @@ type Registry struct {
 	mu         sync.Mutex
 	counters   map[string]*Counter
 	gauges     map[string]*Gauge
+	gaugeFuncs map[string]func() int64
 	histograms map[string]*Histogram
 }
 
@@ -250,6 +251,7 @@ func NewRegistry() *Registry {
 	return &Registry{
 		counters:   map[string]*Counter{},
 		gauges:     map[string]*Gauge{},
+		gaugeFuncs: map[string]func() int64{},
 		histograms: map[string]*Histogram{},
 	}
 }
@@ -283,6 +285,18 @@ func (r *Registry) Gauge(name string) *Gauge {
 		r.gauges[name] = g
 	}
 	return g
+}
+
+// GaugeFunc registers a gauge whose value is computed at snapshot time (e.g.
+// process uptime). f must be safe for concurrent use; registering the same
+// name again replaces the function.
+func (r *Registry) GaugeFunc(name string, f func() int64) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.gaugeFuncs[name] = f
+	r.mu.Unlock()
 }
 
 // Histogram returns (creating if needed) the named histogram over the given
@@ -329,6 +343,10 @@ func (r *Registry) Snapshot() RegistrySnapshot {
 	for k, v := range r.gauges {
 		gauges[k] = v
 	}
+	funcs := make(map[string]func() int64, len(r.gaugeFuncs))
+	for k, v := range r.gaugeFuncs {
+		funcs[k] = v
+	}
 	hists := make(map[string]*Histogram, len(r.histograms))
 	for k, v := range r.histograms {
 		hists[k] = v
@@ -339,6 +357,9 @@ func (r *Registry) Snapshot() RegistrySnapshot {
 	}
 	for k, v := range gauges {
 		out.Gauges[k] = v.Value()
+	}
+	for k, f := range funcs {
+		out.Gauges[k] = f()
 	}
 	for k, v := range hists {
 		out.Histograms[k] = v.Snapshot()

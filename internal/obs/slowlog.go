@@ -11,7 +11,14 @@ type SlowEntry struct {
 	Query    string        `json:"query"`
 	Duration time.Duration `json:"duration_ns"`
 	When     time.Time     `json:"when"`
-	Trace    TraceSnapshot `json:"trace"`
+	// TraceID joins the entry to the query's trace wherever else it surfaced
+	// (explain output, a per-query sink, log lines).
+	TraceID string `json:"trace_id,omitempty"`
+	// PlanKey is the query's plan-cache key (the formula's canonical text,
+	// from the trace's plan_key tag): the identity under which explain output
+	// and the plan cache index the same query.
+	PlanKey string        `json:"plan_key,omitempty"`
+	Trace   TraceSnapshot `json:"trace"`
 }
 
 // SlowLog retains the N slowest queries seen, with their full traces — the
@@ -61,7 +68,15 @@ func (l *SlowLog) ObserveTrace(t *Trace) {
 	if len(l.entries) == l.cap && d <= l.entries[len(l.entries)-1].Duration {
 		l.mu.Unlock()
 	} else {
-		e := SlowEntry{Query: t.Name(), Duration: d, When: time.Now(), Trace: t.Snapshot()}
+		snap := t.Snapshot()
+		e := SlowEntry{
+			Query:    t.Name(),
+			Duration: d,
+			When:     time.Now(),
+			TraceID:  snap.ID,
+			PlanKey:  snap.Tags["plan_key"],
+			Trace:    snap,
+		}
 		i := sort.Search(len(l.entries), func(i int) bool { return l.entries[i].Duration < d })
 		l.entries = append(l.entries, SlowEntry{})
 		copy(l.entries[i+1:], l.entries[i:])

@@ -2,7 +2,9 @@ package obs
 
 import (
 	"context"
+	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -15,12 +17,39 @@ import (
 // immune to wall-clock steps.
 type Trace struct {
 	mu    sync.Mutex
+	id    string
 	name  string
 	begin time.Time
 	total time.Duration
 	done  bool
 	tags  map[string]string
 	roots []*Span
+}
+
+// traceEpoch and traceSeq make trace ids unique within a process run:
+// the epoch distinguishes runs, the sequence traces within one.
+var (
+	traceEpoch = time.Now().UnixNano()
+	traceSeq   atomic.Int64
+)
+
+// ID returns the trace's process-unique identifier, assigned lazily on first
+// request. Slow-log entries, explain results and log lines carry it, so the
+// three views of one query can be joined.
+func (t *Trace) ID() string {
+	if t == nil {
+		return ""
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.idLocked()
+}
+
+func (t *Trace) idLocked() string {
+	if t.id == "" {
+		t.id = fmt.Sprintf("%x-%x", traceEpoch, traceSeq.Add(1))
+	}
+	return t.id
 }
 
 // NewTrace starts a trace; name is the query text (shown by the slow log).
@@ -141,6 +170,7 @@ func (s *Span) End() time.Duration {
 
 // TraceSnapshot is the JSON-ready copy of a finished trace.
 type TraceSnapshot struct {
+	ID       string            `json:"id"`
 	Name     string            `json:"name"`
 	Tags     map[string]string `json:"tags,omitempty"`
 	Duration time.Duration     `json:"duration_ns"`
@@ -163,7 +193,7 @@ func (t *Trace) Snapshot() TraceSnapshot {
 	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	out := TraceSnapshot{Name: t.name, Tags: copyTags(t.tags), Duration: t.total}
+	out := TraceSnapshot{ID: t.idLocked(), Name: t.name, Tags: copyTags(t.tags), Duration: t.total}
 	if !t.done {
 		out.Duration = time.Since(t.begin)
 	}

@@ -27,6 +27,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"time"
 
 	"htlvideo/internal/core"
 	"htlvideo/internal/htl"
@@ -136,17 +137,32 @@ func (e *Evaluator) simAt(ctx context.Context, n *core.PNode, u int, env picture
 	// segment. This collapses the repeated rescans of the quantifier
 	// enumeration and the O(n²) temporal loops onto one computation per
 	// (subformula, segment).
+	e.opts.Prof.Visit(n)
 	useMemo := n.Closed
 	if useMemo {
 		if v, ok := e.memo[memoKey{n, u}]; ok {
 			e.opts.Obs.MemoHit()
+			e.opts.Prof.MemoHit(n)
 			return v, nil
 		}
+	}
+	// The brute-force recursion visits a node once per (segment, scan
+	// position, assignment) — too often for always-on per-visit clock reads.
+	// Count-based stats stay on; inclusive wall time is recorded only in
+	// exact-attribution mode.
+	var start time.Time
+	exact := e.opts.Prof.Exact()
+	if exact {
+		start = time.Now()
 	}
 	v, err := e.simAtUncached(ctx, n, u, env)
 	if err != nil {
 		return 0, err
 	}
+	if exact {
+		e.opts.Prof.AddTime(n, time.Since(start))
+	}
+	e.opts.Prof.AddSim(n)
 	if useMemo {
 		if e.memo == nil {
 			e.memo = map[memoKey]float64{}
@@ -159,6 +175,7 @@ func (e *Evaluator) simAt(ctx context.Context, n *core.PNode, u int, env picture
 func (e *Evaluator) simAtUncached(ctx context.Context, n *core.PNode, u int, env picture.Env) (float64, error) {
 	if n.NonTemporal {
 		e.opts.Obs.AtomicEval()
+		e.opts.Prof.AtomicEval(n)
 		sim, err := e.sys.ScoreAtomicAt(n.F, u, env)
 		var unsup *picture.UnsupportedError
 		switch {
@@ -176,6 +193,7 @@ func (e *Evaluator) simAtUncached(ctx context.Context, n *core.PNode, u int, env
 	switch x := n.F.(type) {
 	case htl.True, htl.Present, htl.Cmp, htl.Pred:
 		e.opts.Obs.AtomicEval()
+		e.opts.Prof.AtomicEval(n)
 		sim, err := e.sys.ScoreAtomicAt(n.F, u, env)
 		if err != nil {
 			return 0, err
@@ -211,6 +229,7 @@ func (e *Evaluator) simAtUncached(ctx context.Context, n *core.PNode, u int, env
 		return e.simAt(ctx, n.Kids[0], u+1, env)
 	case htl.Eventually:
 		e.opts.Obs.Merge()
+		e.opts.Prof.Merge(n)
 		best := 0.0
 		for j := u; j <= e.sys.Len(); j++ {
 			a, err := e.simAt(ctx, n.Kids[0], j, env)
@@ -222,6 +241,7 @@ func (e *Evaluator) simAtUncached(ctx context.Context, n *core.PNode, u int, env
 		return best, nil
 	case htl.Until:
 		e.opts.Obs.Merge()
+		e.opts.Prof.Merge(n)
 		gMax := e.maxSimOf(n.Kids[0])
 		best := 0.0
 		for j := u; j <= e.sys.Len(); j++ {

@@ -83,10 +83,15 @@ type errorDoc struct {
 //
 //	GET  /query          evaluate an HTL query (q, level, root, engine, tau,
 //	                     k, timeout, partial parameters)
+//	POST /explain        evaluate with per-plan-node profiling and return the
+//	                     annotated plan (q plus the /query parameters, and
+//	                     exact=true for exact time attribution)
 //	GET  /healthz        liveness: 200 while the process runs
 //	GET  /readyz         readiness: 200 while serving, 503 once draining
 //	POST /-/reload       re-read and swap the store file
-//	GET  /metrics        server + current-store metrics and stats
+//	GET  /metrics        server + current-store metrics and stats (JSON by
+//	                     default; Prometheus text format via Accept or
+//	                     ?format=prometheus)
 //	GET  /debug/slowlog  the current store's slow-query log
 //	GET  /debug/pprof/*  runtime profiles
 //
@@ -95,6 +100,7 @@ type errorDoc struct {
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/query", s.handleQuery)
+	mux.HandleFunc("/explain", s.handleExplain)
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.WriteHeader(http.StatusOK)
 		fmt.Fprintln(w, "ok")
@@ -124,6 +130,16 @@ func (s *Server) Handler() http.Handler {
 	})
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		st := s.Store()
+		if obs.WantsPrometheus(r) {
+			// Server and store registries share one exposition; their metric
+			// namespaces (server.*, query.*, process/build) are disjoint.
+			regs := []*obs.Registry{s.m.reg}
+			if st != nil {
+				regs = append(regs, st.Metrics())
+			}
+			obs.PrometheusHandler(w, regs...)
+			return
+		}
 		doc := struct {
 			Server obs.RegistrySnapshot `json:"server"`
 			Store  obs.RegistrySnapshot `json:"store"`
@@ -214,6 +230,74 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	default:
 		writeJSON(w, http.StatusOK, out)
 	}
+}
+
+// handleExplain evaluates one query with per-plan-node profiling and returns
+// the annotated plan tree as JSON (htlvideo.ExplainResult). It runs under the
+// same admission control as /query — an explain is a full evaluation, only
+// with attribution switched on — and requires POST: it always executes the
+// query against the store, caches bypassed.
+func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		writeJSON(w, http.StatusMethodNotAllowed, errorDoc{Error: "POST required"})
+		return
+	}
+	st := s.Store()
+	if st == nil {
+		writeJSON(w, http.StatusServiceUnavailable, errorDoc{Error: "no store loaded"})
+		return
+	}
+	if err := s.limiter.acquire(r.Context()); err != nil {
+		if errors.Is(err, errShed) {
+			w.Header().Set("Retry-After", strconv.Itoa(int(s.limiter.retryAfter().Seconds())))
+			writeJSON(w, http.StatusTooManyRequests, errorDoc{Error: "overloaded, retry later"})
+			return
+		}
+		writeJSON(w, http.StatusRequestTimeout, errorDoc{Error: err.Error()})
+		return
+	}
+	defer s.limiter.release()
+
+	p, status, err := s.parseQueryRequest(r)
+	if err != nil {
+		writeJSON(w, status, errorDoc{Error: err.Error()})
+		return
+	}
+	exact := false
+	if v := r.FormValue("exact"); v != "" {
+		if exact, err = strconv.ParseBool(v); err != nil {
+			writeJSON(w, http.StatusBadRequest, errorDoc{Error: fmt.Sprintf("invalid exact %q", v)})
+			return
+		}
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), p.timeout)
+	defer cancel()
+
+	opts := []htlvideo.QueryOption{
+		htlvideo.AtLevel(p.level),
+		htlvideo.WithUntilThreshold(p.tau),
+		htlvideo.WithEngine(p.engine),
+	}
+	if p.atRoot {
+		opts = append(opts, htlvideo.AtRoot())
+	}
+	if p.partial {
+		opts = append(opts, htlvideo.WithPartialResults())
+	}
+	if exact {
+		opts = append(opts, htlvideo.WithExactProfile())
+	}
+	er, err := st.ExplainCtx(ctx, p.query, opts...)
+	if err != nil {
+		code := http.StatusInternalServerError
+		if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+			code = http.StatusGatewayTimeout
+		}
+		writeJSON(w, code, errorDoc{Error: truncate(err.Error(), 300)})
+		return
+	}
+	writeJSON(w, http.StatusOK, er)
 }
 
 // queryParams is one parsed /query request.

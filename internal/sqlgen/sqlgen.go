@@ -26,6 +26,7 @@ import (
 	"fmt"
 	"strconv"
 	"strings"
+	"time"
 
 	"htlvideo/internal/htl"
 	"htlvideo/internal/interval"
@@ -41,7 +42,18 @@ type Translator struct {
 	N   int
 	Tau float64
 
+	// OnNode, when set, observes each translated subformula after its
+	// statement sequence completes: key is the subformula's canonical text;
+	// stmts and rows count the statements issued and the rows they returned
+	// or affected while computing it (nested subformulas included); d is the
+	// inclusive wall time. Explain output joins key against the compiled
+	// plan's nodes.
+	OnNode func(key string, stmts, rows int64, d time.Duration)
+
 	next int
+	// stmts and rows accumulate per-statement accounting (via a chained
+	// DB.OnStmt) so OnNode can report inclusive deltas per subformula.
+	stmts, rows int64
 	// Script accumulates the generated SQL of the most recent Eval, for
 	// inspection and tests.
 	Script strings.Builder
@@ -103,6 +115,19 @@ func (tr *Translator) EvalCtx(ctx context.Context, f htl.Formula, atoms map[stri
 		return simlist.List{}, fmt.Errorf("sqlgen: formula %q is %v; the SQL baseline implements type (1)", f, c)
 	}
 	tr.Script.Reset()
+	if tr.OnNode != nil {
+		// Chain (don't replace) any DB.OnStmt the caller installed for
+		// whole-query metrics; restore it when the evaluation ends.
+		prev := tr.DB.OnStmt
+		tr.DB.OnStmt = func(info relational.StmtInfo) {
+			tr.stmts++
+			tr.rows += int64(info.Rows)
+			if prev != nil {
+				prev(info)
+			}
+		}
+		defer func() { tr.DB.OnStmt = prev }()
+	}
 	name, maxSim, err := tr.translate(ctx, f, atoms)
 	if err != nil {
 		return simlist.List{}, err
@@ -150,12 +175,30 @@ func (tr *Translator) fresh(prefix string) string {
 	return fmt.Sprintf("%s_%d", prefix, tr.next)
 }
 
-// translate returns the per-id relation holding f's similarity values and
+// translate wraps translateNode with per-subformula accounting for OnNode:
+// the statement/row counters and the clock are read before and after, so the
+// reported deltas are inclusive of nested subformulas — mirroring the
+// inclusive per-node times of the direct engines.
+func (tr *Translator) translate(ctx context.Context, f htl.Formula, atoms map[string]Atom) (string, float64, error) {
+	if tr.OnNode == nil {
+		return tr.translateNode(ctx, f, atoms)
+	}
+	s0, r0 := tr.stmts, tr.rows
+	start := time.Now()
+	name, maxSim, err := tr.translateNode(ctx, f, atoms)
+	if err != nil {
+		return "", 0, err
+	}
+	tr.OnNode(f.String(), tr.stmts-s0, tr.rows-r0, time.Since(start))
+	return name, maxSim, nil
+}
+
+// translateNode returns the per-id relation holding f's similarity values and
 // f's maximum similarity. A subformula present in the atoms map is treated
 // as atomic even when a larger enclosing subformula is also non-temporal, so
 // callers control the unit granularity (the paper's §4.2 experiments feed
 // P1 ∧ P2 the tables of P1 and P2).
-func (tr *Translator) translate(ctx context.Context, f htl.Formula, atoms map[string]Atom) (string, float64, error) {
+func (tr *Translator) translateNode(ctx context.Context, f htl.Formula, atoms map[string]Atom) (string, float64, error) {
 	if a, ok := atoms[f.String()]; ok {
 		out := tr.fresh("exp")
 		if _, err := tr.run(ctx, fmt.Sprintf("CREATE TABLE %s (id INT, act FLOAT)", out)); err != nil {

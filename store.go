@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"runtime"
 	"runtime/debug"
+	"runtime/pprof"
 	"sort"
 	"strconv"
 	"sync"
@@ -204,6 +205,13 @@ type queryConfig struct {
 	partial        bool
 	noCache        bool
 	sink           obs.TraceSink
+	// prof is the query's per-plan-node profile. runQuery allocates one per
+	// evaluated query (always-on explain accounting); ExplainCtx pre-sets it
+	// to keep the handle for rendering.
+	prof *core.PlanProfile
+	// exactProf turns on exact per-visit time attribution in engines whose
+	// always-on timing is count-based (the reference evaluator).
+	exactProf bool
 }
 
 // newQueryConfig applies the options over the defaults.
@@ -263,6 +271,14 @@ const (
 // WithAndSemantics selects the conjunction similarity function (default:
 // the paper's additive AndSum). The SQL baseline supports only AndSum.
 func WithAndSemantics(m AndMode) QueryOption { return func(c *queryConfig) { c.andMode = m } }
+
+// WithExactProfile turns on exact per-node time attribution for this query's
+// explain profile. The always-on profiler times each plan node inclusively in
+// the similarity-list and SQL engines (cheap: nodes evaluate once per video);
+// the reference evaluator visits nodes once per scan position, so its
+// per-visit timing is off unless this option is set. Expect measurable
+// slowdown on reference-engine queries.
+func WithExactProfile() QueryOption { return func(c *queryConfig) { c.exactProf = true } }
 
 // OnVideo restricts the query to a single video.
 func OnVideo(id int) QueryOption { return func(c *queryConfig) { c.videoID = &id } }
@@ -381,6 +397,7 @@ func (s *Store) queryCompiledCtx(ctx context.Context, tr *obs.Trace, cq *Compile
 	tr.SetTag("engine", engine)
 	tr.SetTag("class", class)
 	tr.SetTag("level", strconv.Itoa(cfg.level))
+	tr.SetTag("plan_key", cq.plan.Key)
 	defer func() { s.obs.endQuery(tr, engine, class, err, cfg.sink) }()
 
 	if rc := s.results.Load(); rc != nil && !cfg.noCache {
@@ -426,6 +443,12 @@ func (s *Store) runQuery(ctx context.Context, tr *obs.Trace, cq *CompiledQuery, 
 	if workers > len(work) {
 		workers = len(work)
 	}
+	// Always-on explain accounting: one profile per evaluated query, shared
+	// by all video workers (per-node atomic slots, no merging). Result-cache
+	// hits never reach runQuery, so warm repeated queries pay nothing.
+	if cfg.prof == nil {
+		cfg.prof = core.NewPlanProfile(cq.plan, cfg.exactProf)
+	}
 	o := s.obs
 	evalStage := tr.StartSpan("eval")
 	o.poolQueued.Add(int64(len(work)))
@@ -435,52 +458,65 @@ func (s *Store) runQuery(ctx context.Context, tr *obs.Trace, cq *CompiledQuery, 
 		resMu sync.Mutex
 		errs  []error
 	)
-	wg.Add(workers)
-	for i := 0; i < workers; i++ {
-		go func() {
-			defer wg.Done()
-			for v := range jobs {
-				o.poolQueued.Dec()
-				o.poolInFlight.Inc()
-				vsp := evalStage.StartSpan("video")
-				vsp.SetTag("video", strconv.Itoa(v.ID))
-				start := time.Now()
-				l, err := s.queryVideoIsolated(obs.ContextWithSpan(ctx, vsp), v, cq, cfg)
-				elapsed := time.Since(start)
-				vsp.End()
-				o.poolInFlight.Dec()
-				o.videoLat.Observe(elapsed)
-				resMu.Lock()
-				if err != nil {
-					o.videosFailed.Inc()
-					errs = append(errs, &VideoError{VideoID: v.ID, Elapsed: elapsed, Err: err})
-				} else {
-					o.videosEvaluated.Inc()
-					res.PerVideo[v.ID] = l
+	// The pprof labels make CPU profiles from /debug/pprof/profile
+	// attributable to query shape: samples inside evaluation carry the
+	// engine, the formula class, and the plan's canonical key. Workers are
+	// spawned inside the labeled region so they inherit the labels.
+	pprof.Do(ctx, pprof.Labels(
+		"engine", engineKey(cfg.engine),
+		"class", classKey(cq.class),
+		"query_key", cq.plan.Key,
+	), func(ctx context.Context) {
+		wg.Add(workers)
+		for i := 0; i < workers; i++ {
+			go func() {
+				defer wg.Done()
+				for v := range jobs {
+					o.poolQueued.Dec()
+					o.poolInFlight.Inc()
+					vsp := evalStage.StartSpan("video")
+					vsp.SetTag("video", strconv.Itoa(v.ID))
+					start := time.Now()
+					l, err := s.queryVideoIsolated(obs.ContextWithSpan(ctx, vsp), v, cq, cfg)
+					elapsed := time.Since(start)
+					vsp.End()
+					o.poolInFlight.Dec()
+					o.videoLat.Observe(elapsed)
+					resMu.Lock()
+					if err != nil {
+						o.videosFailed.Inc()
+						errs = append(errs, &VideoError{VideoID: v.ID, Elapsed: elapsed, Err: err})
+					} else {
+						o.videosEvaluated.Inc()
+						res.PerVideo[v.ID] = l
+					}
+					resMu.Unlock()
 				}
-				resMu.Unlock()
-			}
-		}()
-	}
-	fed := 0
-feed:
-	for _, v := range work {
-		select {
-		case jobs <- v:
-			fed++
-		case <-ctx.Done():
-			break feed
+			}()
 		}
-	}
-	close(jobs)
-	// Workers exit promptly on cancellation: every engine checkpoints the
-	// context inside its main loop, so this wait is bounded by one
-	// checkpoint interval rather than by a full video evaluation.
-	wg.Wait()
-	// Videos never fed to a worker (cancellation cut the feed short) leave
-	// the queue gauge with the pool.
-	o.poolQueued.Add(int64(fed - len(work)))
+		fed := 0
+	feed:
+		for _, v := range work {
+			select {
+			case jobs <- v:
+				fed++
+			case <-ctx.Done():
+				break feed
+			}
+		}
+		close(jobs)
+		// Workers exit promptly on cancellation: every engine checkpoints the
+		// context inside its main loop, so this wait is bounded by one
+		// checkpoint interval rather than by a full video evaluation.
+		wg.Wait()
+		// Videos never fed to a worker (cancellation cut the feed short) leave
+		// the queue gauge with the pool.
+		o.poolQueued.Add(int64(fed - len(work)))
+	})
 	evalStage.End()
+	// Fold the profile's memo hits into the registry so explain output and
+	// /metrics tell one story (the golden tests assert they match).
+	o.planMemoHits.Add(cfg.prof.MemoHits())
 
 	if err := ctx.Err(); err != nil {
 		return nil, fmt.Errorf("htlvideo: query aborted: %w", err)
@@ -531,7 +567,7 @@ func (s *Store) queryVideo(ctx context.Context, v *Video, cq *CompiledQuery, cfg
 // engines evaluate the compiled plan, so duplicated subformulas are computed
 // once per video.
 func (s *Store) evalOne(ctx context.Context, sys *picture.System, cq *CompiledQuery, cfg *queryConfig, sp *obs.Span) (SimList, error) {
-	coreOpts := core.Options{UntilThreshold: cfg.untilThreshold, And: cfg.andMode, Obs: &s.obs.coreM}
+	coreOpts := core.Options{UntilThreshold: cfg.untilThreshold, And: cfg.andMode, Obs: &s.obs.coreM, Prof: cfg.prof}
 	refOpts := coreOpts
 	refOpts.Obs = &s.obs.refM
 	switch cfg.engine {
@@ -546,7 +582,7 @@ func (s *Store) evalOne(ctx context.Context, sys *picture.System, cq *CompiledQu
 		if cfg.andMode != core.AndSum {
 			return SimList{}, errors.New("htlvideo: the SQL baseline supports only the additive conjunction semantics")
 		}
-		return s.evalSQL(ctx, sys, cq.f, cfg)
+		return s.evalSQL(ctx, sys, cq, cfg)
 	default:
 		l, err := core.EvalPlanCtx(ctx, sys, cq.plan, coreOpts)
 		var notConj *core.ErrNotConjunctive
@@ -564,7 +600,8 @@ func (s *Store) evalOne(ctx context.Context, sys *picture.System, cq *CompiledQu
 // evalSQL runs the §4 SQL baseline: atomic units are evaluated by the
 // picture system, loaded as interval relations, and the formula's temporal
 // skeleton is translated into a SQL statement sequence.
-func (s *Store) evalSQL(ctx context.Context, sys *picture.System, f Formula, cfg *queryConfig) (SimList, error) {
+func (s *Store) evalSQL(ctx context.Context, sys *picture.System, cq *CompiledQuery, cfg *queryConfig) (SimList, error) {
+	f := cq.f
 	tr, err := sqlgen.New(sys.Len(), cfg.untilThreshold)
 	if err != nil {
 		return SimList{}, err
@@ -577,14 +614,34 @@ func (s *Store) evalSQL(ctx context.Context, sys *picture.System, f Formula, cfg
 		o.sqlRows.Add(int64(info.Rows))
 		o.sqlStmtLat.Observe(info.Duration)
 	}
+	// Per-subformula attribution: the translator reports inclusive statement
+	// and row deltas per subformula; its canonical-text keys join against the
+	// compiled plan's interned nodes.
+	if p := cfg.prof; p != nil {
+		tr.OnNode = func(key string, stmts, rows int64, d time.Duration) {
+			n := cq.plan.Node(key)
+			p.Visit(n)
+			p.AddSQL(n, stmts, rows)
+			p.AddTime(n, d)
+		}
+	}
 	atoms := map[string]sqlgen.Atom{}
 	for i, unit := range sqlgen.AtomicUnits(f) {
 		if err := ctx.Err(); err != nil {
 			return SimList{}, err
 		}
+		start := time.Now()
 		tb, err := sys.EvalAtomic(unit)
 		if err != nil {
 			return SimList{}, err
+		}
+		if p := cfg.prof; p != nil {
+			// The atomic relation loads are the baseline's picture-layer
+			// inputs; attribute their evaluation to the matching plan node.
+			n := cq.plan.Node(unit.String())
+			p.Visit(n)
+			p.AtomicEval(n)
+			p.Record(n, time.Since(start), tb)
 		}
 		list := core.ProjectMax(tb)
 		name := fmt.Sprintf("atom_%d", i)

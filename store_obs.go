@@ -41,9 +41,10 @@ type storeObs struct {
 	cacheEvicted *obs.Counter
 	cacheSize    *obs.Gauge
 
-	planHits   *obs.Counter
-	planMisses *obs.Counter
-	planSize   *obs.Gauge
+	planHits     *obs.Counter
+	planMisses   *obs.Counter
+	planSize     *obs.Gauge
+	planMemoHits *obs.Counter
 
 	resHits    *obs.Counter
 	resMisses  *obs.Counter
@@ -81,9 +82,10 @@ func newStoreObs() *storeObs {
 		cacheEvicted: reg.Counter("cache.evicted"),
 		cacheSize:    reg.Gauge("cache.size"),
 
-		planHits:   reg.Counter("query.plan_cache.hits"),
-		planMisses: reg.Counter("query.plan_cache.misses"),
-		planSize:   reg.Gauge("query.plan_cache.size"),
+		planHits:     reg.Counter("query.plan_cache.hits"),
+		planMisses:   reg.Counter("query.plan_cache.misses"),
+		planSize:     reg.Gauge("query.plan_cache.size"),
+		planMemoHits: reg.Counter("query.plan.memo_hits"),
 
 		resHits:    reg.Counter("query.cache.hits"),
 		resMisses:  reg.Counter("query.cache.misses"),
@@ -234,6 +236,10 @@ type PlanCacheStats struct {
 	// Size is the current number of cached entries (textual aliases of one
 	// formula each count).
 	Size int64 `json:"size"`
+	// MemoHits counts plan-node evaluations answered from the per-video memo
+	// across all queries — the evaluation-time payoff of subformula interning
+	// (explain output shows the per-node breakdown).
+	MemoHits int64 `json:"memo_hits"`
 }
 
 // ResultCacheStats describes the opt-in whole-result cache (all zero until
@@ -297,9 +303,10 @@ func (s *Store) Stats() Stats {
 			Size:    o.cacheSize.Value(),
 		},
 		PlanCache: PlanCacheStats{
-			Hits:   o.planHits.Value(),
-			Misses: o.planMisses.Value(),
-			Size:   o.planSize.Value(),
+			Hits:     o.planHits.Value(),
+			Misses:   o.planMisses.Value(),
+			Size:     o.planSize.Value(),
+			MemoHits: o.planMemoHits.Value(),
 		},
 		ResultCache: ResultCacheStats{
 			Hits:    o.resHits.Value(),
