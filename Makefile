@@ -4,9 +4,9 @@
 
 GO ?= go
 
-.PHONY: check vet staticcheck build test race chaos explain-smoke fuzz fuzz-store bench bench-short
+.PHONY: check vet staticcheck build test race chaos chaos-shard explain-smoke fuzz fuzz-store bench bench-short
 
-check: vet staticcheck build race chaos explain-smoke
+check: vet staticcheck build race chaos chaos-shard explain-smoke
 
 vet:
 	$(GO) vet ./...
@@ -36,6 +36,14 @@ race:
 # process-wide.
 chaos:
 	$(GO) test -race -run '^TestServerChaos$$' -count=1 -v ./internal/server/
+
+# Multi-process scatter-gather chaos test: N shard server processes (one
+# under fault injection, one killed outright) behind the coordinator, driven
+# by 32 concurrent clients. Asserts no dropped responses, a breaker open on
+# the dead shard, partials from the survivors, quorum refusal, and a merged
+# ranking byte-identical to a single store while healthy.
+chaos-shard:
+	$(GO) test -race -run '^TestShardChaosMultiProcess$$' -count=1 -v ./internal/shard/
 
 # Explain smoke: `htlquery -explain` on the Fig. 2 until example must print a
 # non-empty annotated plan tree (a panic or an empty tree fails the target).

@@ -4,10 +4,16 @@
 // breaking and transient-error retries, hot-reloads the store on SIGHUP or
 // POST /-/reload, and drains gracefully on SIGINT/SIGTERM.
 //
+// With -shards it runs as a scatter-gather coordinator (internal/shard)
+// instead: no local store, queries fan out to the listed shard servers —
+// each itself an htlserve over one document of htlvideo.SplitDoc — and the
+// ranked partials are merged.
+//
 // Usage:
 //
 //	htlserve -store videos.json -addr :8321
 //	htlserve -demo -addr :8321 -max-concurrent 16 -queue 32
+//	htlserve -shards http://s0:8321,http://s1:8321 -min-shards 1 -addr :8320
 //
 // Endpoints:
 //
@@ -18,6 +24,11 @@
 //	POST /-/reload  re-read and atomically swap the store file
 //	GET  /metrics   server + store metrics and stats
 //	GET  /debug/slowlog, /debug/pprof/*
+//
+// Coordinator mode replaces /-/reload and the debug endpoints with:
+//
+//	GET  /shards    membership with per-shard breaker states
+//	POST /-/shards  graceful join/leave ({"op":"add","name":...,"url":...})
 package main
 
 import (
@@ -29,6 +40,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -36,6 +48,7 @@ import (
 	"htlvideo/internal/casablanca"
 	"htlvideo/internal/obs"
 	"htlvideo/internal/server"
+	"htlvideo/internal/shard"
 )
 
 func main() {
@@ -52,9 +65,23 @@ func main() {
 	breakerOpenFor := flag.Duration("breaker-open", time.Second, "cool-down before an open per-video breaker probes again")
 	resultCache := flag.Int("result-cache", 1024, "query results cached per store snapshot (0 disables; invalidated atomically on reload)")
 	resultCacheTTL := flag.Duration("result-cache-ttl", time.Minute, "age limit on cached query results (0 = no expiry)")
+	shards := flag.String("shards", "", "comma-separated shard base URLs; non-empty switches to scatter-gather coordinator mode (no local store)")
+	minShards := flag.Int("min-shards", 1, "coordinator quorum: shards that must answer for a query to succeed")
+	hedgeDelay := flag.Duration("hedge-delay", 100*time.Millisecond, "coordinator: quiet period before a straggling shard is sent a duplicate request (0 disables)")
 	flag.Parse()
 
 	logger := obs.LoggerFunc(log.New(os.Stderr, "htlserve: ", log.LstdFlags).Printf)
+
+	if *shards != "" {
+		runCoordinator(coordinatorConfig{
+			addr: *addr, shardURLs: strings.Split(*shards, ","),
+			minShards: *minShards, hedgeDelay: *hedgeDelay,
+			defaultTimeout: *defaultTimeout, maxTimeout: *maxTimeout,
+			drainTimeout: *drainTimeout, retries: *retries,
+			breakerOpenFor: *breakerOpenFor, logger: logger,
+		})
+		return
+	}
 
 	retryCfg := server.DefaultRetryConfig()
 	retryCfg.MaxAttempts = *retries
@@ -125,6 +152,73 @@ func main() {
 			os.Exit(1)
 		}
 		<-done // Serve returns ErrServerClosed after Shutdown
+	case err := <-done:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fatalf("serve: %v", err)
+		}
+	}
+}
+
+// coordinatorConfig carries the flag subset coordinator mode uses.
+type coordinatorConfig struct {
+	addr           string
+	shardURLs      []string
+	minShards      int
+	hedgeDelay     time.Duration
+	defaultTimeout time.Duration
+	maxTimeout     time.Duration
+	drainTimeout   time.Duration
+	retries        int
+	breakerOpenFor time.Duration
+	logger         obs.LoggerFunc
+}
+
+// runCoordinator serves scatter-gather retrieval over the configured shards
+// until SIGINT/SIGTERM, then drains: readiness flips first so load balancers
+// stop routing, then in-flight queries get drainTimeout to finish.
+func runCoordinator(cfg coordinatorConfig) {
+	urls := make([]string, 0, len(cfg.shardURLs))
+	for _, u := range cfg.shardURLs {
+		if u = strings.TrimSpace(u); u != "" {
+			urls = append(urls, strings.TrimRight(u, "/"))
+		}
+	}
+	if len(urls) == 0 {
+		fatalf("-shards given but no shard URLs parsed")
+	}
+	retryCfg := server.DefaultRetryConfig()
+	retryCfg.MaxAttempts = cfg.retries
+	breakerCfg := server.DefaultBreakerConfig()
+	breakerCfg.OpenFor = cfg.breakerOpenFor
+	coord := shard.New(urls,
+		shard.WithMinShards(cfg.minShards),
+		shard.WithHedgeDelay(cfg.hedgeDelay),
+		shard.WithDefaultTimeout(cfg.defaultTimeout),
+		shard.WithMaxTimeout(cfg.maxTimeout),
+		shard.WithRetryConfig(retryCfg),
+		shard.WithBreakerConfig(breakerCfg),
+		shard.WithLogger(cfg.logger.Logf),
+	)
+	hs := server.NewHTTPServer(cfg.addr, coord.Handler())
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	done := make(chan error, 1)
+	go func() {
+		cfg.logger.Logf("coordinating %d shards on %s (quorum %d)", len(urls), cfg.addr, cfg.minShards)
+		done <- hs.ListenAndServe()
+	}()
+	select {
+	case sig := <-stop:
+		cfg.logger.Logf("received %v, draining (up to %v)", sig, cfg.drainTimeout)
+		coord.Drain()
+		ctx, cancel := context.WithTimeout(context.Background(), cfg.drainTimeout)
+		defer cancel()
+		if err := hs.Shutdown(ctx); err != nil {
+			cfg.logger.Logf("shutdown: %v", err)
+			os.Exit(1)
+		}
+		<-done
 	case err := <-done:
 		if err != nil && !errors.Is(err, http.ErrServerClosed) {
 			fatalf("serve: %v", err)

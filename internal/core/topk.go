@@ -36,6 +36,12 @@ func sortRanked(rs []Ranked) {
 	sort.SliceStable(rs, func(i, j int) bool { return rankedLess(rs[i], rs[j]) })
 }
 
+// RankedLess reports whether a orders before b under the retrieval ordering
+// — the comparison SortRanked and the top-k heap share. The scatter-gather
+// coordinator merges per-shard ranked streams with this same function, which
+// is what makes a merged ranking identical to a single-store run.
+func RankedLess(a, b Ranked) bool { return rankedLess(a, b) }
+
 // rankedLess is the single ordering shared by the sort and the heap: best
 // first, deterministic tie-breaks.
 func rankedLess(a, b Ranked) bool {

@@ -1,17 +1,25 @@
-package server
+// Package resilience holds the fault-tolerance primitives shared by every
+// serving layer in the repo: keyed circuit breakers and a full-jitter
+// exponential-backoff retry loop. internal/server uses them per video (a
+// repeatedly failing video is skipped instead of stalling every query);
+// internal/shard uses the same machinery per shard server (a dead shard
+// degrades into a skipped partial result instead of a failed query). Both
+// state machines take injected clocks/random sources so they are pure units
+// under test.
+package resilience
 
 import (
 	"sync"
 	"time"
 )
 
-// BreakerConfig tunes the per-video circuit breakers.
+// BreakerConfig tunes the keyed circuit breakers.
 type BreakerConfig struct {
 	// Window is how many recent outcomes each circuit remembers (a ring).
 	Window int
 	// MinVolume is the minimum number of recorded outcomes before the
 	// failure rate is evaluated; below it the circuit never opens, so a
-	// single failure on a cold video cannot trip it.
+	// single failure on a cold key cannot trip it.
 	MinVolume int
 	// FailureRate opens the circuit when failures/outcomes within the
 	// window reaches it (0 < rate <= 1).
@@ -59,10 +67,11 @@ func (s BreakerState) String() string {
 	}
 }
 
-// Breaker is a keyed set of circuit breakers — one circuit per video id. A
-// repeatedly failing video trips its circuit and is skipped (reported as
-// such in partial results) instead of stalling every query; after OpenFor
-// the circuit probes the video again and closes on success.
+// Breaker is a keyed set of circuit breakers — one circuit per key (a video
+// id in internal/server, a shard ordinal in internal/shard). A repeatedly
+// failing key trips its circuit and is skipped (reported as such in partial
+// results) instead of stalling every query; after OpenFor the circuit probes
+// the key again and closes on success.
 //
 // All methods are safe for concurrent use. Time comes from the injected
 // clock, so the state machine is a pure unit under test.
@@ -186,7 +195,7 @@ func (b *Breaker) Report(key int64, failure bool) {
 }
 
 // Cancel un-reserves an Allow whose work never ran to an outcome (the
-// request was cancelled before the video was attempted).
+// request was cancelled before the key was attempted).
 func (b *Breaker) Cancel(key int64) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
@@ -223,7 +232,7 @@ func (b *Breaker) record(c *circuit, failure bool) {
 	c.idx = (c.idx + 1) % len(c.outcomes)
 }
 
-// reset clears the ring after a close, so recovery starts from a clean
+// resetRing clears the ring after a close, so recovery starts from a clean
 // window instead of the failures that opened the circuit.
 func (c *circuit) resetRing() {
 	for i := range c.outcomes {

@@ -1,4 +1,4 @@
-package server
+package resilience
 
 // Pure unit tests for the circuit-breaker state machine: a fake clock, no
 // sleeps, every transition asserted deterministically.
@@ -13,8 +13,8 @@ type fakeClock struct{ t time.Time }
 
 func newFakeClock() *fakeClock { return &fakeClock{t: time.Unix(1000, 0)} }
 
-func (c *fakeClock) now() time.Time            { return c.t }
-func (c *fakeClock) advance(d time.Duration)   { c.t = c.t.Add(d) }
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
 
 // transitionLog records breaker transitions for assertion.
 type transitionLog struct {
@@ -79,10 +79,10 @@ func TestBreakerKeysAreIndependent(t *testing.T) {
 		b.Report(7, true)
 	}
 	if b.Allow(7) {
-		t.Fatal("video 7 should be open")
+		t.Fatal("key 7 should be open")
 	}
 	if !b.Allow(8) {
-		t.Fatal("video 8 tripped by video 7's failures")
+		t.Fatal("key 8 tripped by key 7's failures")
 	}
 }
 

@@ -1,14 +1,10 @@
-package server
+package resilience
 
 import (
 	"context"
-	"errors"
 	"math/rand"
 	"sync"
 	"time"
-
-	"htlvideo"
-	"htlvideo/internal/faultinject"
 )
 
 // RetryConfig tunes the transient-error retry loop.
@@ -29,34 +25,20 @@ func DefaultRetryConfig() RetryConfig {
 	return RetryConfig{MaxAttempts: 3, BaseDelay: 5 * time.Millisecond, MaxDelay: 100 * time.Millisecond}
 }
 
-// IsTransient classifies an error as retryable. Transient failures are the
-// ones a fresh attempt can plausibly clear: picture-system build failures
-// (evicted from the cache, so a retry rebuilds), injected faults, and
-// contained evaluation panics. Context cancellation/deadline errors and
-// everything else — parse errors never reach the retry loop, validation and
-// engine-capability errors are deterministic — are not retried.
-func IsTransient(err error) bool {
-	if err == nil || errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
-		return false
-	}
-	var pe *htlvideo.PanicError
-	return errors.Is(err, htlvideo.ErrPictureBuild) ||
-		errors.Is(err, faultinject.ErrInjected) ||
-		errors.As(err, &pe)
-}
-
-// retrier runs a function with exponential backoff and full jitter. The
+// Retrier runs a function with exponential backoff and full jitter. The
 // random source and the sleep function are injected so the loop is a
-// deterministic unit under test (the server wires a seeded lockedRand and a
+// deterministic unit under test (servers wire a seeded locked rand and a
 // context-aware timer sleep).
-type retrier struct {
+type Retrier struct {
 	cfg       RetryConfig
 	rand      func(n int64) int64 // uniform in [0, n)
 	sleep     func(ctx context.Context, d time.Duration) error
 	onAttempt func(attempt int, err error) // called before each re-attempt
 }
 
-func newRetrier(cfg RetryConfig, rnd func(n int64) int64, onAttempt func(int, error)) *retrier {
+// NewRetrier builds a retry loop. rnd may be nil (a time-seeded locked
+// source); onAttempt may be nil.
+func NewRetrier(cfg RetryConfig, rnd func(n int64) int64, onAttempt func(int, error)) *Retrier {
 	if cfg.MaxAttempts < 1 {
 		cfg.MaxAttempts = 1
 	}
@@ -67,14 +49,20 @@ func newRetrier(cfg RetryConfig, rnd func(n int64) int64, onAttempt func(int, er
 		cfg.MaxDelay = cfg.BaseDelay
 	}
 	if rnd == nil {
-		rnd = newLockedRand(time.Now().UnixNano()).int63n
+		rnd = SeededRand(time.Now().UnixNano())
 	}
-	return &retrier{cfg: cfg, rand: rnd, sleep: timerSleep, onAttempt: onAttempt}
+	return &Retrier{cfg: cfg, rand: rnd, sleep: timerSleep, onAttempt: onAttempt}
 }
 
-// do runs fn until it succeeds, fails permanently, exhausts MaxAttempts, or
+// SetSleep replaces the backoff sleep (tests record delays instead of
+// sleeping).
+func (r *Retrier) SetSleep(sleep func(ctx context.Context, d time.Duration) error) {
+	r.sleep = sleep
+}
+
+// Do runs fn until it succeeds, fails permanently, exhausts MaxAttempts, or
 // the context dies while backing off. The last error is returned.
-func (r *retrier) do(ctx context.Context, fn func() error, transient func(error) bool) error {
+func (r *Retrier) Do(ctx context.Context, fn func() error, transient func(error) bool) error {
 	var err error
 	for attempt := 1; ; attempt++ {
 		err = fn()
@@ -84,7 +72,7 @@ func (r *retrier) do(ctx context.Context, fn func() error, transient func(error)
 		if r.onAttempt != nil {
 			r.onAttempt(attempt, err)
 		}
-		if serr := r.sleep(ctx, r.delay(attempt)); serr != nil {
+		if serr := r.sleep(ctx, r.Delay(attempt)); serr != nil {
 			// The deadline died while backing off; the caller sees the
 			// failure that prompted the retry, not the backoff's demise.
 			return err
@@ -92,8 +80,8 @@ func (r *retrier) do(ctx context.Context, fn func() error, transient func(error)
 	}
 }
 
-// delay draws the full-jitter backoff for the given (1-based) attempt.
-func (r *retrier) delay(attempt int) time.Duration {
+// Delay draws the full-jitter backoff for the given (1-based) attempt.
+func (r *Retrier) Delay(attempt int) time.Duration {
 	ceil := r.cfg.BaseDelay
 	for i := 1; i < attempt && ceil < r.cfg.MaxDelay; i++ {
 		ceil *= 2
@@ -122,15 +110,17 @@ func timerSleep(ctx context.Context, d time.Duration) error {
 	}
 }
 
-// lockedRand is a mutex-guarded rand.Rand: math/rand's global source would
-// be shared process state, and per-request sources would defeat seeding.
+// SeededRand returns a mutex-guarded seeded uniform source (math/rand's
+// global source would be shared process state, and per-request sources would
+// defeat seeding).
+func SeededRand(seed int64) func(n int64) int64 {
+	l := &lockedRand{r: rand.New(rand.NewSource(seed))}
+	return l.int63n
+}
+
 type lockedRand struct {
 	mu sync.Mutex
 	r  *rand.Rand
-}
-
-func newLockedRand(seed int64) *lockedRand {
-	return &lockedRand{r: rand.New(rand.NewSource(seed))}
 }
 
 func (l *lockedRand) int63n(n int64) int64 {

@@ -1,7 +1,9 @@
-package server
+package resilience
 
 // Pure unit tests for the retry/backoff loop: a recording fake sleeper and a
-// seeded random source, no real sleeps.
+// seeded random source, no real sleeps. Error classification lives with the
+// callers (internal/server's IsTransient, internal/shard's HTTP classifier);
+// here a local sentinel stands in.
 
 import (
 	"context"
@@ -9,9 +11,6 @@ import (
 	"fmt"
 	"testing"
 	"time"
-
-	"htlvideo"
-	"htlvideo/internal/faultinject"
 )
 
 // fakeSleeper records requested backoff delays instead of sleeping.
@@ -30,19 +29,28 @@ func (f *fakeSleeper) sleep(ctx context.Context, d time.Duration) error {
 	return nil
 }
 
-func testRetrier(cfg RetryConfig, seed int64) (*retrier, *fakeSleeper) {
-	r := newRetrier(cfg, newLockedRand(seed).int63n, nil)
-	fs := &fakeSleeper{}
-	r.sleep = fs.sleep
-	return r, fs
+var errFlaky = errors.New("flaky")
+
+// transient mirrors the callers' classifiers: the sentinel retries, context
+// errors and everything else do not.
+func transient(err error) bool {
+	if err == nil || errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return false
+	}
+	return errors.Is(err, errFlaky)
 }
 
-var errTransient = fmt.Errorf("%w: flaky", faultinject.ErrInjected)
+func testRetrier(cfg RetryConfig, seed int64) (*Retrier, *fakeSleeper) {
+	r := NewRetrier(cfg, SeededRand(seed), nil)
+	fs := &fakeSleeper{}
+	r.SetSleep(fs.sleep)
+	return r, fs
+}
 
 func TestRetrySucceedsFirstTry(t *testing.T) {
 	r, fs := testRetrier(RetryConfig{MaxAttempts: 3, BaseDelay: time.Millisecond, MaxDelay: 8 * time.Millisecond}, 1)
 	calls := 0
-	err := r.do(context.Background(), func() error { calls++; return nil }, IsTransient)
+	err := r.Do(context.Background(), func() error { calls++; return nil }, transient)
 	if err != nil || calls != 1 || len(fs.delays) != 0 {
 		t.Fatalf("err=%v calls=%d sleeps=%d, want nil/1/0", err, calls, len(fs.delays))
 	}
@@ -51,13 +59,13 @@ func TestRetrySucceedsFirstTry(t *testing.T) {
 func TestRetryTransientUntilSuccess(t *testing.T) {
 	r, fs := testRetrier(RetryConfig{MaxAttempts: 4, BaseDelay: time.Millisecond, MaxDelay: 8 * time.Millisecond}, 1)
 	calls := 0
-	err := r.do(context.Background(), func() error {
+	err := r.Do(context.Background(), func() error {
 		calls++
 		if calls < 3 {
-			return errTransient
+			return errFlaky
 		}
 		return nil
-	}, IsTransient)
+	}, transient)
 	if err != nil || calls != 3 || len(fs.delays) != 2 {
 		t.Fatalf("err=%v calls=%d sleeps=%d, want nil/3/2", err, calls, len(fs.delays))
 	}
@@ -66,22 +74,22 @@ func TestRetryTransientUntilSuccess(t *testing.T) {
 func TestRetryExhaustsAttempts(t *testing.T) {
 	r, fs := testRetrier(RetryConfig{MaxAttempts: 3, BaseDelay: time.Millisecond, MaxDelay: 8 * time.Millisecond}, 1)
 	calls := 0
-	err := r.do(context.Background(), func() error { calls++; return errTransient }, IsTransient)
-	if !errors.Is(err, faultinject.ErrInjected) || calls != 3 || len(fs.delays) != 2 {
-		t.Fatalf("err=%v calls=%d sleeps=%d, want injected/3/2", err, calls, len(fs.delays))
+	err := r.Do(context.Background(), func() error { calls++; return errFlaky }, transient)
+	if !errors.Is(err, errFlaky) || calls != 3 || len(fs.delays) != 2 {
+		t.Fatalf("err=%v calls=%d sleeps=%d, want flaky/3/2", err, calls, len(fs.delays))
 	}
 }
 
 func TestRetryNeverRetriesPermanentErrors(t *testing.T) {
 	for name, err := range map[string]error{
-		"validation": errors.New("htlvideo: the SQL baseline supports only the additive conjunction semantics"),
+		"validation": errors.New("unknown engine"),
 		"cancel":     context.Canceled,
 		"deadline":   context.DeadlineExceeded,
 		"wrapped":    fmt.Errorf("video 3: %w", context.DeadlineExceeded),
 	} {
 		r, fs := testRetrier(RetryConfig{MaxAttempts: 5, BaseDelay: time.Millisecond, MaxDelay: time.Millisecond}, 1)
 		calls := 0
-		got := r.do(context.Background(), func() error { calls++; return err }, IsTransient)
+		got := r.Do(context.Background(), func() error { calls++; return err }, transient)
 		if got != err || calls != 1 || len(fs.delays) != 0 {
 			t.Errorf("%s: err=%v calls=%d sleeps=%d, want the error once with no sleeps", name, got, calls, len(fs.delays))
 		}
@@ -91,7 +99,7 @@ func TestRetryNeverRetriesPermanentErrors(t *testing.T) {
 func TestRetryBackoffIsBoundedFullJitter(t *testing.T) {
 	cfg := RetryConfig{MaxAttempts: 6, BaseDelay: 4 * time.Millisecond, MaxDelay: 10 * time.Millisecond}
 	r, fs := testRetrier(cfg, 42)
-	_ = r.do(context.Background(), func() error { return errTransient }, IsTransient)
+	_ = r.Do(context.Background(), func() error { return errFlaky }, transient)
 	if len(fs.delays) != 5 {
 		t.Fatalf("sleeps = %d, want 5", len(fs.delays))
 	}
@@ -107,7 +115,7 @@ func TestRetryBackoffIsBoundedFullJitter(t *testing.T) {
 func TestRetryDeterministicUnderSeed(t *testing.T) {
 	run := func() []time.Duration {
 		r, fs := testRetrier(RetryConfig{MaxAttempts: 5, BaseDelay: time.Millisecond, MaxDelay: 64 * time.Millisecond}, 7)
-		_ = r.do(context.Background(), func() error { return errTransient }, IsTransient)
+		_ = r.Do(context.Background(), func() error { return errFlaky }, transient)
 		return fs.delays
 	}
 	a, b := run(), run()
@@ -125,31 +133,10 @@ func TestRetryStopsWhenContextDiesDuringBackoff(t *testing.T) {
 	r, fs := testRetrier(RetryConfig{MaxAttempts: 5, BaseDelay: time.Millisecond, MaxDelay: time.Millisecond}, 1)
 	fs.err, fs.errAt = context.DeadlineExceeded, 2
 	calls := 0
-	err := r.do(context.Background(), func() error { calls++; return errTransient }, IsTransient)
+	err := r.Do(context.Background(), func() error { calls++; return errFlaky }, transient)
 	// The loop surfaces the failure that prompted the retry, not the
 	// backoff's own demise, and stops immediately.
-	if !errors.Is(err, faultinject.ErrInjected) || calls != 2 || len(fs.delays) != 2 {
-		t.Fatalf("err=%v calls=%d sleeps=%d, want injected/2/2", err, calls, len(fs.delays))
-	}
-}
-
-func TestIsTransientClassification(t *testing.T) {
-	pe := &htlvideo.PanicError{Value: "boom"}
-	for _, tc := range []struct {
-		name string
-		err  error
-		want bool
-	}{
-		{"nil", nil, false},
-		{"injected", errTransient, true},
-		{"build", fmt.Errorf("%w: disk hiccup", htlvideo.ErrPictureBuild), true},
-		{"panic", fmt.Errorf("video 2: %w", pe), true},
-		{"cancel", context.Canceled, false},
-		{"deadline", fmt.Errorf("aborted: %w", context.DeadlineExceeded), false},
-		{"validation", errors.New("unknown engine"), false},
-	} {
-		if got := IsTransient(tc.err); got != tc.want {
-			t.Errorf("%s: IsTransient(%v) = %v, want %v", tc.name, tc.err, got, tc.want)
-		}
+	if !errors.Is(err, errFlaky) || calls != 2 || len(fs.delays) != 2 {
+		t.Fatalf("err=%v calls=%d sleeps=%d, want flaky/2/2", err, calls, len(fs.delays))
 	}
 }

@@ -215,7 +215,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, status, errorDoc{Error: err.Error()})
 		return
 	}
-	ctx, cancel := context.WithTimeout(r.Context(), p.timeout)
+	ctx, cancel := context.WithTimeout(r.Context(), p.Timeout)
 	defer cancel()
 
 	out := s.evaluate(ctx, st, p)
@@ -225,7 +225,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	case ctx.Err() != nil && out.Evaluated == 0:
 		// The deadline consumed the whole request.
 		writeJSON(w, http.StatusGatewayTimeout, out)
-	case !p.partial && len(out.Failed) > 0:
+	case !p.Partial && len(out.Failed) > 0:
 		writeJSON(w, http.StatusInternalServerError, out)
 	default:
 		writeJSON(w, http.StatusOK, out)
@@ -271,24 +271,24 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	ctx, cancel := context.WithTimeout(r.Context(), p.timeout)
+	ctx, cancel := context.WithTimeout(r.Context(), p.Timeout)
 	defer cancel()
 
 	opts := []htlvideo.QueryOption{
-		htlvideo.AtLevel(p.level),
-		htlvideo.WithUntilThreshold(p.tau),
-		htlvideo.WithEngine(p.engine),
+		htlvideo.AtLevel(p.Level),
+		htlvideo.WithUntilThreshold(p.Tau),
+		htlvideo.WithEngine(p.Engine),
 	}
-	if p.atRoot {
+	if p.AtRoot {
 		opts = append(opts, htlvideo.AtRoot())
 	}
-	if p.partial {
+	if p.Partial {
 		opts = append(opts, htlvideo.WithPartialResults())
 	}
 	if exact {
 		opts = append(opts, htlvideo.WithExactProfile())
 	}
-	er, err := st.ExplainCtx(ctx, p.query, opts...)
+	er, err := st.ExplainCtx(ctx, p.Query, opts...)
 	if err != nil {
 		code := http.StatusInternalServerError
 		if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
@@ -300,78 +300,114 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, er)
 }
 
-// queryParams is one parsed /query request.
-type queryParams struct {
-	query   string
-	formula htlvideo.Formula
-	level   int
-	atRoot  bool
-	engine  htlvideo.Engine
-	tau     float64
-	k       int
-	timeout time.Duration
-	partial bool
+// QueryParams is one parsed and validated /query request. The coordinator
+// (internal/shard) parses with the same function, so validation — including
+// the hard 400 on malformed ?timeout= — behaves identically at every layer.
+type QueryParams struct {
+	Query   string
+	Formula htlvideo.Formula
+	Level   int
+	AtRoot  bool
+	Engine  htlvideo.Engine
+	Tau     float64
+	K       int
+	Timeout time.Duration
+	Partial bool
 }
 
-// parseQueryRequest validates the request. Parse and validation failures are
-// terminal — they are deterministic and are never retried.
-func (s *Server) parseQueryRequest(r *http.Request) (p queryParams, status int, err error) {
-	p = queryParams{level: 2, tau: 0.5, k: 10, timeout: s.cfg.defaultTimeout, partial: true}
-	q := r.FormValue("q")
+// ParseDefaults are the knobs ParseQueryRequest needs from the serving
+// configuration.
+type ParseDefaults struct {
+	// DefaultTimeout bounds a request that names no ?timeout=; MaxTimeout
+	// caps what a client may ask for.
+	DefaultTimeout time.Duration
+	MaxTimeout     time.Duration
+}
+
+// parseQueryRequest validates the request against the server's configuration.
+func (s *Server) parseQueryRequest(r *http.Request) (QueryParams, int, error) {
+	return ParseQueryRequest(r, ParseDefaults{
+		DefaultTimeout: s.cfg.defaultTimeout,
+		MaxTimeout:     s.cfg.maxTimeout,
+	})
+}
+
+// ParseQueryRequest validates a /query-shaped request. Parse and validation
+// failures are terminal — they are deterministic and are never retried — and
+// answer 400.
+//
+// Unlike http.Request.FormValue, a malformed query string (a broken percent
+// escape, say) or a present-but-unparseable ?timeout= is a hard 400, never a
+// silent fall-back to defaults: a client that asked for a 250ms budget and
+// mistyped it must hear about it rather than run under the server's default
+// deadline.
+func ParseQueryRequest(r *http.Request, d ParseDefaults) (p QueryParams, status int, err error) {
+	p = QueryParams{Level: 2, Tau: 0.5, K: 10, Timeout: d.DefaultTimeout, Partial: true}
+	// ParseForm is what FormValue calls underneath, except its error — a
+	// malformed query string or body — is surfaced instead of swallowed.
+	if err := r.ParseForm(); err != nil {
+		return p, http.StatusBadRequest, fmt.Errorf("malformed request parameters: %v", err)
+	}
+	q := r.Form.Get("q")
 	if q == "" {
 		return p, http.StatusBadRequest, errors.New("missing q parameter")
 	}
-	p.query = q
-	if p.formula, err = htlvideo.Parse(q); err != nil {
+	p.Query = q
+	if p.Formula, err = htlvideo.Parse(q); err != nil {
 		return p, http.StatusBadRequest, fmt.Errorf("parsing query: %w", err)
 	}
-	if v := r.FormValue("level"); v != "" {
-		if p.level, err = strconv.Atoi(v); err != nil || p.level < 1 {
+	if v := r.Form.Get("level"); v != "" {
+		if p.Level, err = strconv.Atoi(v); err != nil || p.Level < 1 {
 			return p, http.StatusBadRequest, fmt.Errorf("invalid level %q", v)
 		}
 	}
-	if v := r.FormValue("root"); v != "" {
-		if p.atRoot, err = strconv.ParseBool(v); err != nil {
+	if v := r.Form.Get("root"); v != "" {
+		if p.AtRoot, err = strconv.ParseBool(v); err != nil {
 			return p, http.StatusBadRequest, fmt.Errorf("invalid root %q", v)
 		}
 	}
-	if p.atRoot {
-		p.level = 1
+	if p.AtRoot {
+		p.Level = 1
 	}
-	switch v := r.FormValue("engine"); v {
+	switch v := r.Form.Get("engine"); v {
 	case "", "auto":
-		p.engine = htlvideo.EngineAuto
+		p.Engine = htlvideo.EngineAuto
 	case "direct":
-		p.engine = htlvideo.EngineDirect
+		p.Engine = htlvideo.EngineDirect
 	case "sql":
-		p.engine = htlvideo.EngineSQL
+		p.Engine = htlvideo.EngineSQL
 	case "reference":
-		p.engine = htlvideo.EngineReference
+		p.Engine = htlvideo.EngineReference
 	default:
 		return p, http.StatusBadRequest, fmt.Errorf("unknown engine %q", v)
 	}
-	if v := r.FormValue("tau"); v != "" {
-		if p.tau, err = strconv.ParseFloat(v, 64); err != nil || p.tau < 0 || p.tau > 1 {
+	if v := r.Form.Get("tau"); v != "" {
+		if p.Tau, err = strconv.ParseFloat(v, 64); err != nil || p.Tau < 0 || p.Tau > 1 {
 			return p, http.StatusBadRequest, fmt.Errorf("invalid tau %q", v)
 		}
 	}
-	if v := r.FormValue("k"); v != "" {
-		if p.k, err = strconv.Atoi(v); err != nil || p.k < 1 {
+	if v := r.Form.Get("k"); v != "" {
+		if p.K, err = strconv.Atoi(v); err != nil || p.K < 1 {
 			return p, http.StatusBadRequest, fmt.Errorf("invalid k %q", v)
 		}
 	}
-	if v := r.FormValue("timeout"); v != "" {
-		d, err := time.ParseDuration(v)
-		if err != nil || d <= 0 {
+	if raw, ok := r.Form["timeout"]; ok {
+		// Present but empty is as much a client bug as an unparseable value.
+		v := ""
+		if len(raw) > 0 {
+			v = raw[0]
+		}
+		d2, perr := time.ParseDuration(v)
+		if perr != nil || d2 <= 0 {
 			return p, http.StatusBadRequest, fmt.Errorf("invalid timeout %q", v)
 		}
-		if d > s.cfg.maxTimeout {
-			d = s.cfg.maxTimeout
+		if d2 > d.MaxTimeout {
+			d2 = d.MaxTimeout
 		}
-		p.timeout = d
+		p.Timeout = d2
 	}
-	if v := r.FormValue("partial"); v != "" {
-		if p.partial, err = strconv.ParseBool(v); err != nil {
+	if v := r.Form.Get("partial"); v != "" {
+		if p.Partial, err = strconv.ParseBool(v); err != nil {
 			return p, http.StatusBadRequest, fmt.Errorf("invalid partial %q", v)
 		}
 	}
@@ -383,11 +419,11 @@ func (s *Server) parseQueryRequest(r *http.Request) (p queryParams, status int, 
 // reports its outcome back to the breaker. The merge mirrors the store's
 // partial-result semantics at the serving layer — a failing or tripped
 // video costs its own results only.
-func (s *Server) evaluate(ctx context.Context, st *htlvideo.Store, p queryParams) *QueryResponse {
-	out := &QueryResponse{Class: fmt.Sprint(htlvideo.Classify(p.formula))}
+func (s *Server) evaluate(ctx context.Context, st *htlvideo.Store, p QueryParams) *QueryResponse {
+	out := &QueryResponse{Class: fmt.Sprint(htlvideo.Classify(p.Formula))}
 	var eligible []int
 	for _, v := range st.Videos() {
-		if len(v.Sequence(p.level)) == 0 {
+		if len(v.Sequence(p.Level)) == 0 {
 			continue
 		}
 		eligible = append(eligible, v.ID)
@@ -395,11 +431,11 @@ func (s *Server) evaluate(ctx context.Context, st *htlvideo.Store, p queryParams
 	out.Videos = len(eligible)
 
 	opts := []htlvideo.QueryOption{
-		htlvideo.AtLevel(p.level),
-		htlvideo.WithUntilThreshold(p.tau),
-		htlvideo.WithEngine(p.engine),
+		htlvideo.AtLevel(p.Level),
+		htlvideo.WithUntilThreshold(p.Tau),
+		htlvideo.WithEngine(p.Engine),
 	}
-	if p.atRoot {
+	if p.AtRoot {
 		opts = append(opts, htlvideo.AtRoot())
 	}
 
@@ -432,9 +468,9 @@ func (s *Server) evaluate(ctx context.Context, st *htlvideo.Store, p queryParams
 				return
 			}
 			var list htlvideo.SimList
-			err := s.retry.do(ctx, func() error {
+			err := s.retry.Do(ctx, func() error {
 				attempts.Add(1)
-				res, e := st.QueryFormulaCtx(ctx, p.formula, append(opts, htlvideo.OnVideo(id))...)
+				res, e := st.QueryFormulaCtx(ctx, p.Formula, append(opts, htlvideo.OnVideo(id))...)
 				if e != nil {
 					return e
 				}
@@ -466,7 +502,7 @@ func (s *Server) evaluate(ctx context.Context, st *htlvideo.Store, p queryParams
 		out.Retries = 0
 	}
 	res := &htlvideo.Results{PerVideo: lists}
-	for _, rk := range res.TopK(p.k) {
+	for _, rk := range res.TopK(p.K) {
 		out.Top = append(out.Top, RankedDoc{
 			Video: rk.VideoID, Beg: rk.Iv.Beg, End: rk.Iv.End,
 			Sim: rk.Sim.Act, Frac: rk.Sim.Frac(),

@@ -1,0 +1,62 @@
+package server
+
+import (
+	"context"
+	"errors"
+
+	"htlvideo"
+	"htlvideo/internal/faultinject"
+	"htlvideo/internal/resilience"
+)
+
+// The breaker and retry state machines are shared with the shard coordinator
+// (internal/shard) and live in internal/resilience; the aliases below keep
+// this package's configuration surface where serving users expect it. What
+// stays here is the serving-specific part: the transient-error classifier,
+// which knows the store's error taxonomy.
+
+type (
+	// BreakerConfig tunes the per-video circuit breakers.
+	BreakerConfig = resilience.BreakerConfig
+	// BreakerState is one circuit's state.
+	BreakerState = resilience.BreakerState
+	// Breaker is a keyed set of circuit breakers — one circuit per video id.
+	Breaker = resilience.Breaker
+	// RetryConfig tunes the transient-error retry loop.
+	RetryConfig = resilience.RetryConfig
+)
+
+const (
+	// StateClosed admits everything and tracks the failure rate.
+	StateClosed = resilience.StateClosed
+	// StateOpen rejects everything until OpenFor elapses.
+	StateOpen = resilience.StateOpen
+	// StateHalfOpen admits a bounded number of probes to test recovery.
+	StateHalfOpen = resilience.StateHalfOpen
+)
+
+// DefaultBreakerConfig returns the serving defaults.
+func DefaultBreakerConfig() BreakerConfig { return resilience.DefaultBreakerConfig() }
+
+// DefaultRetryConfig returns the serving defaults.
+func DefaultRetryConfig() RetryConfig { return resilience.DefaultRetryConfig() }
+
+// NewBreaker builds a keyed breaker. now may be nil (time.Now); onTransition
+// may be nil.
+var NewBreaker = resilience.NewBreaker
+
+// IsTransient classifies an error as retryable. Transient failures are the
+// ones a fresh attempt can plausibly clear: picture-system build failures
+// (evicted from the cache, so a retry rebuilds), injected faults, and
+// contained evaluation panics. Context cancellation/deadline errors and
+// everything else — parse errors never reach the retry loop, validation and
+// engine-capability errors are deterministic — are not retried.
+func IsTransient(err error) bool {
+	if err == nil || errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return false
+	}
+	var pe *htlvideo.PanicError
+	return errors.Is(err, htlvideo.ErrPictureBuild) ||
+		errors.Is(err, faultinject.ErrInjected) ||
+		errors.As(err, &pe)
+}

@@ -38,6 +38,7 @@ import (
 
 	"htlvideo"
 	"htlvideo/internal/obs"
+	"htlvideo/internal/resilience"
 )
 
 // Option tweaks the server's configuration.
@@ -99,7 +100,7 @@ func WithClock(now func() time.Time) Option { return func(c *config) { c.now = n
 
 // WithRandSeed seeds the retry jitter deterministically (tests).
 func WithRandSeed(seed int64) Option {
-	return func(c *config) { c.rand = newLockedRand(seed).int63n }
+	return func(c *config) { c.rand = resilience.SeededRand(seed) }
 }
 
 // WithLogger installs a logger for reload, drain and shed events.
@@ -163,7 +164,7 @@ type Server struct {
 	m       *serverMetrics
 	limiter *limiter
 	breaker *Breaker
-	retry   *retrier
+	retry   *resilience.Retrier
 
 	// storePath enables Reload; empty for in-memory servers.
 	storePath string
@@ -224,7 +225,7 @@ func New(st *htlvideo.Store, opts ...Option) *Server {
 		}
 		s.logf("server: breaker video %d: %v -> %v", key, from, to)
 	})
-	s.retry = newRetrier(cfg.retry, cfg.rand, func(attempt int, err error) {
+	s.retry = resilience.NewRetrier(cfg.retry, cfg.rand, func(attempt int, err error) {
 		m.retries.Inc()
 	})
 	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())

@@ -1,0 +1,35 @@
+package server
+
+// The retry/backoff loop itself is unit-tested in internal/resilience; what
+// belongs to the serving layer is the error classification feeding it.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+
+	"htlvideo"
+	"htlvideo/internal/faultinject"
+)
+
+func TestIsTransientClassification(t *testing.T) {
+	pe := &htlvideo.PanicError{Value: "boom"}
+	for _, tc := range []struct {
+		name string
+		err  error
+		want bool
+	}{
+		{"nil", nil, false},
+		{"injected", fmt.Errorf("%w: flaky", faultinject.ErrInjected), true},
+		{"build", fmt.Errorf("%w: disk hiccup", htlvideo.ErrPictureBuild), true},
+		{"panic", fmt.Errorf("video 2: %w", pe), true},
+		{"cancel", context.Canceled, false},
+		{"deadline", fmt.Errorf("aborted: %w", context.DeadlineExceeded), false},
+		{"validation", errors.New("unknown engine"), false},
+	} {
+		if got := IsTransient(tc.err); got != tc.want {
+			t.Errorf("%s: IsTransient(%v) = %v, want %v", tc.name, tc.err, got, tc.want)
+		}
+	}
+}

@@ -1,0 +1,214 @@
+package shard
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"htlvideo/internal/obs"
+	"htlvideo/internal/server"
+)
+
+// QueryDoc is the coordinator's /query payload: the single-server response
+// shape plus a shard-level section. The video-level fields (class, top,
+// skipped, failed, ...) are wire-compatible with internal/server's /query,
+// so clients need not know whether they talk to one store or a fleet.
+type QueryDoc struct {
+	Class     string             `json:"class"`
+	Videos    int                `json:"videos"`
+	Evaluated int                `json:"evaluated"`
+	Top       []server.RankedDoc `json:"top"`
+	Skipped   []server.SkipDoc   `json:"skipped,omitempty"`
+	Failed    []server.FailDoc   `json:"failed,omitempty"`
+	Retries   int64              `json:"retries,omitempty"`
+	Shards    ShardsDoc          `json:"shards"`
+	ElapsedMS float64            `json:"elapsed_ms"`
+}
+
+// ShardsDoc summarizes the fan-out behind one response.
+type ShardsDoc struct {
+	Total       int             `json:"total"`
+	OK          int             `json:"ok"`
+	MinRequired int             `json:"min_required"`
+	Errors      []ShardErrorDoc `json:"errors,omitempty"`
+}
+
+// ShardErrorDoc is one lost shard.
+type ShardErrorDoc struct {
+	Shard string `json:"shard"`
+	Error string `json:"error"`
+}
+
+// errorDoc is the JSON error body.
+type errorDoc struct {
+	Error string `json:"error"`
+}
+
+// Draining reports whether Drain was called.
+func (c *Coordinator) Draining() bool { return c.draining.Load() }
+
+// Drain flips /readyz to 503 so load balancers stop sending new work;
+// in-flight queries finish normally.
+func (c *Coordinator) Drain() { c.draining.Store(true) }
+
+// Handler returns the coordinator's endpoint set:
+//
+//	GET  /query      scatter-gather an HTL query (same parameters as a
+//	                 single server's /query)
+//	GET  /healthz    liveness: 200 while the process runs
+//	GET  /readyz     readiness: 200 while shards are attached and not
+//	                 draining
+//	GET  /metrics    shard.* metrics (JSON; Prometheus via Accept or
+//	                 ?format=prometheus)
+//	GET  /shards     current membership with breaker states
+//	POST /-/shards   graceful join/leave: {"op":"add","name":...,"url":...}
+//	                 or {"op":"remove","name":...}
+//
+// Handlers are panic-isolated like the single server's.
+func (c *Coordinator) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/query", c.handleQuery)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, r *http.Request) {
+		if c.Draining() {
+			writeJSON(w, http.StatusServiceUnavailable, errorDoc{Error: "draining"})
+			return
+		}
+		if len(c.Shards()) == 0 {
+			writeJSON(w, http.StatusServiceUnavailable, errorDoc{Error: "no shards attached"})
+			return
+		}
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprintln(w, "ready")
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		if obs.WantsPrometheus(r) {
+			obs.PrometheusHandler(w, c.reg)
+			return
+		}
+		writeJSON(w, http.StatusOK, struct {
+			Coordinator obs.RegistrySnapshot `json:"coordinator"`
+			Shards      []ShardInfo          `json:"shards"`
+		}{c.reg.Snapshot(), c.Shards()})
+	})
+	mux.HandleFunc("/shards", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, c.Shards())
+	})
+	mux.HandleFunc("/-/shards", c.handleMembership)
+	return c.isolate(mux)
+}
+
+// isolate contains handler panics: counted, logged, answered with 500.
+func (c *Coordinator) isolate(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			if rec := recover(); rec != nil {
+				c.reg.Counter("shard.panics").Inc()
+				c.cfg.logf("shard: panic serving %s: %v", r.URL.Path, rec)
+				writeJSON(w, http.StatusInternalServerError, errorDoc{Error: "internal error"})
+			}
+		}()
+		next.ServeHTTP(w, r)
+	})
+}
+
+// handleQuery parses with the shared validator (identical 400 semantics to a
+// single server, including the hard 400 on malformed ?timeout=), runs the
+// scatter-gather, and maps quorum to status: below MinShards the query
+// failed as a whole.
+func (c *Coordinator) handleQuery(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	p, status, err := server.ParseQueryRequest(r, server.ParseDefaults{
+		DefaultTimeout: c.cfg.defaultTimeout,
+		MaxTimeout:     c.cfg.maxTimeout,
+	})
+	if err != nil {
+		writeJSON(w, status, errorDoc{Error: err.Error()})
+		return
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), p.Timeout)
+	defer cancel()
+
+	res := c.Query(ctx, p)
+	doc := QueryDoc{
+		Class: res.Class, Videos: res.Videos, Evaluated: res.Evaluated,
+		Top: res.Top, Skipped: res.Skipped, Failed: res.Failed,
+		Retries: res.Retries,
+		Shards: ShardsDoc{
+			Total: res.ShardsTotal, OK: res.ShardsOK,
+			MinRequired: c.cfg.minShards,
+		},
+		ElapsedMS: float64(time.Since(start)) / float64(time.Millisecond),
+	}
+	for _, se := range res.ShardErrors {
+		d := ShardErrorDoc{Error: se.Error()}
+		var sh *shardError
+		if errors.As(se, &sh) {
+			d.Shard = sh.shard
+			d.Error = sh.err.Error()
+		}
+		doc.Shards.Errors = append(doc.Shards.Errors, d)
+	}
+	switch {
+	case !res.QuorumMet(c.cfg.minShards):
+		writeJSON(w, http.StatusServiceUnavailable, doc)
+	case !p.Partial && (len(res.Failed) > 0 || len(res.ShardErrors) > 0):
+		writeJSON(w, http.StatusInternalServerError, doc)
+	default:
+		writeJSON(w, http.StatusOK, doc)
+	}
+}
+
+// handleMembership serves graceful join/leave.
+func (c *Coordinator) handleMembership(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		writeJSON(w, http.StatusMethodNotAllowed, errorDoc{Error: "POST required"})
+		return
+	}
+	var req struct {
+		Op   string `json:"op"`
+		Name string `json:"name"`
+		URL  string `json:"url"`
+	}
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 64<<10)).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorDoc{Error: fmt.Sprintf("decoding body: %v", err)})
+		return
+	}
+	if req.Name == "" {
+		writeJSON(w, http.StatusBadRequest, errorDoc{Error: "missing name"})
+		return
+	}
+	var changed bool
+	switch req.Op {
+	case "add":
+		if req.URL == "" {
+			writeJSON(w, http.StatusBadRequest, errorDoc{Error: "missing url"})
+			return
+		}
+		changed = c.AddShard(req.Name, req.URL)
+	case "remove":
+		changed = c.RemoveShard(req.Name)
+	default:
+		writeJSON(w, http.StatusBadRequest, errorDoc{Error: fmt.Sprintf("unknown op %q", req.Op)})
+		return
+	}
+	writeJSON(w, http.StatusOK, struct {
+		Changed bool        `json:"changed"`
+		Shards  []ShardInfo `json:"shards"`
+	}{changed, c.Shards()})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}

@@ -1,0 +1,397 @@
+package shard
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"htlvideo"
+	"htlvideo/internal/core"
+	"htlvideo/internal/interval"
+	"htlvideo/internal/obs"
+	"htlvideo/internal/server"
+	"htlvideo/internal/simlist"
+)
+
+// ErrBreakerOpen marks a shard skipped without an attempt because its
+// circuit breaker is open.
+var ErrBreakerOpen = errors.New("breaker open")
+
+// ErrQuorum marks a query whose successful shard count fell below the
+// configured MinShards.
+var ErrQuorum = errors.New("quorum not met")
+
+// Results is one scatter-gather query's outcome. Video-level fields
+// aggregate what the surviving shards reported; shard-level fields describe
+// the fan-out itself.
+type Results struct {
+	Class     string
+	Videos    int
+	Evaluated int
+	Top       []server.RankedDoc
+	Skipped   []server.SkipDoc
+	Failed    []server.FailDoc
+	// Retries counts video-level re-attempts inside the shards; the
+	// coordinator's own shard-level retries are in the shard.retries metric
+	// and per-query in ShardRetries.
+	Retries      int64
+	ShardsTotal  int
+	ShardsOK     int
+	ShardRetries int64
+	// ShardErrors itemizes each shard that contributed nothing, mirroring
+	// htlvideo Results.Errors one level up: one error per lost shard, each
+	// naming the shard. A query meeting quorum still lists its losses here.
+	ShardErrors []error
+}
+
+// QuorumMet reports whether at least min shards answered; min is clamped to
+// at least 1.
+func (r *Results) QuorumMet(min int) bool {
+	if min < 1 {
+		min = 1
+	}
+	return r.ShardsOK >= min
+}
+
+// shardError is one failed shard sub-query.
+type shardError struct {
+	shard string
+	err   error
+}
+
+func (e *shardError) Error() string { return fmt.Sprintf("shard %s: %v", e.shard, e.err) }
+func (e *shardError) Unwrap() error { return e.err }
+
+// httpError is a non-200 shard response.
+type httpError struct {
+	status int
+	msg    string
+}
+
+func (e *httpError) Error() string { return fmt.Sprintf("status %d: %s", e.status, e.msg) }
+
+// transientShardError classifies coordinator-level failures for the retry
+// loop: network-level errors and overload/server-side statuses (429, 5xx)
+// are transient; client errors (4xx) are deterministic and final; the
+// requesting context's own death is never retried.
+func transientShardError(err error) bool {
+	if err == nil {
+		return false
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return false
+	}
+	var he *httpError
+	if errors.As(err, &he) {
+		return he.status == http.StatusTooManyRequests || he.status >= 500
+	}
+	return true // transport-level: connection refused, reset, EOF, ...
+}
+
+// Query runs one scatter-gather retrieval: fan p out to every shard on the
+// ring, each behind its breaker with retries and hedging, then merge the
+// ranked partials. If ctx carries no deadline, p.Timeout is applied.
+func (c *Coordinator) Query(ctx context.Context, p server.QueryParams) *Results {
+	c.m.queries.Inc()
+	start := time.Now()
+	defer func() { c.m.latency.Observe(time.Since(start)) }()
+
+	if _, ok := ctx.Deadline(); !ok && p.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, p.Timeout)
+		defer cancel()
+	}
+
+	tr := obs.NewTrace(p.Query)
+	tr.SetTag("layer", "coordinator")
+	defer func() {
+		tr.Finish()
+		if c.cfg.sink != nil {
+			c.cfg.sink.ObserveTrace(tr)
+		}
+	}()
+
+	members := c.snapshotMembers()
+	out := &Results{ShardsTotal: len(members)}
+
+	type partial struct {
+		shard string
+		resp  *server.QueryResponse
+		err   error
+	}
+	parts := make([]partial, len(members))
+	var wg sync.WaitGroup
+	for i, mb := range members {
+		parts[i].shard = mb.name
+		if !c.breaker.Allow(mb.ord) {
+			c.m.skipped.Inc()
+			parts[i].err = ErrBreakerOpen
+			sp := tr.StartSpan("shard " + mb.name)
+			sp.SetTag("outcome", "skipped")
+			sp.End()
+			continue
+		}
+		wg.Add(1)
+		go func(i int, mb member) {
+			defer wg.Done()
+			sp := tr.StartSpan("shard " + mb.name)
+			sp.SetTag("url", mb.url)
+			resp, err := c.queryShard(ctx, mb, p, sp)
+			switch {
+			case err == nil:
+				c.breaker.Report(mb.ord, false)
+				sp.SetTag("outcome", "ok")
+				parts[i].resp = resp
+			case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+				// The request's own budget died; that says nothing about the
+				// shard's health.
+				c.breaker.Cancel(mb.ord)
+				c.m.errors.Inc()
+				sp.SetTag("outcome", "timeout")
+				parts[i].err = err
+			default:
+				c.breaker.Report(mb.ord, true)
+				c.m.errors.Inc()
+				sp.SetTag("outcome", "error")
+				parts[i].err = err
+			}
+			sp.End()
+		}(i, mb)
+	}
+	wg.Wait()
+
+	var entries []mergeEntry
+	for _, pt := range parts {
+		if pt.err != nil {
+			out.ShardErrors = append(out.ShardErrors, &shardError{shard: pt.shard, err: pt.err})
+			continue
+		}
+		out.ShardsOK++
+		r := pt.resp
+		out.Videos += r.Videos
+		out.Evaluated += r.Evaluated
+		out.Retries += r.Retries
+		out.Skipped = append(out.Skipped, r.Skipped...)
+		out.Failed = append(out.Failed, r.Failed...)
+		for _, d := range r.Top {
+			entries = append(entries, mergeEntry{
+				r: core.Ranked{
+					VideoID: d.Video,
+					Iv:      interval.I{Beg: d.Beg, End: d.End},
+					Sim:     simlist.Sim{Act: d.Sim},
+				},
+				doc: d,
+			})
+		}
+	}
+	// Scatter order is name-sorted, so ShardErrors is already deterministic;
+	// the video-level aggregates need a sort because they interleave shards.
+	sort.Slice(out.Skipped, func(i, j int) bool { return out.Skipped[i].Video < out.Skipped[j].Video })
+	sort.Slice(out.Failed, func(i, j int) bool { return out.Failed[i].Video < out.Failed[j].Video })
+
+	out.Top = mergeRanked(entries, p.K)
+	for i := range parts {
+		if parts[i].resp != nil {
+			out.Class = parts[i].resp.Class
+			break
+		}
+	}
+	if !out.QuorumMet(c.cfg.minShards) {
+		c.m.quorumFailures.Inc()
+	}
+	return out
+}
+
+// mergeEntry pairs a core.Ranked (for ordering) with the shard's document
+// (carrying frac, which depends on the shard-local max similarity).
+type mergeEntry struct {
+	r   core.Ranked
+	doc server.RankedDoc
+}
+
+// mergeRanked k-way-merges per-shard ranked streams into the global top k
+// segments. The ordering is core.RankedLess and the truncation mirrors
+// core.TopK (k counts segments; the last run is cut to fit), which together
+// make the merge of per-shard top-k prefixes identical to a single-store
+// top-k: an entry among the global top k has fewer than k segments ahead of
+// it globally, hence fewer than k ahead of it on its own shard — so every
+// needed entry, and enough of every needed run, is present in the partials.
+func mergeRanked(entries []mergeEntry, k int) []server.RankedDoc {
+	if k <= 0 || len(entries) == 0 {
+		return nil
+	}
+	sort.SliceStable(entries, func(i, j int) bool { return core.RankedLess(entries[i].r, entries[j].r) })
+	var out []server.RankedDoc
+	remaining := k
+	for _, e := range entries {
+		if remaining <= 0 {
+			break
+		}
+		d := e.doc
+		if n := d.End - d.Beg + 1; n > remaining {
+			d.End = d.Beg + remaining - 1
+		}
+		remaining -= d.End - d.Beg + 1
+		out = append(out, d)
+	}
+	return out
+}
+
+// queryShard runs one shard sub-query under the retry loop; each attempt is
+// hedged. The shard's budget is a fraction of the time remaining on ctx,
+// forwarded as its own ?timeout= so the shard self-bounds too.
+func (c *Coordinator) queryShard(ctx context.Context, mb member, p server.QueryParams, sp *obs.Span) (*server.QueryResponse, error) {
+	var resp *server.QueryResponse
+	err := c.retry.Do(ctx, func() error {
+		q := shardQuery(p)
+		sctx := ctx
+		var cancel context.CancelFunc
+		if dl, ok := ctx.Deadline(); ok {
+			budget := time.Duration(float64(time.Until(dl)) * c.cfg.budgetFraction)
+			if budget <= 0 {
+				return context.DeadlineExceeded
+			}
+			q.Set("timeout", budget.String())
+			sctx, cancel = context.WithTimeout(ctx, budget)
+		}
+		if cancel != nil {
+			defer cancel()
+		}
+		r, e := c.callHedged(sctx, mb, q, sp)
+		if e != nil {
+			return e
+		}
+		resp = r
+		return nil
+	}, transientShardError)
+	if err != nil {
+		return nil, err
+	}
+	return resp, nil
+}
+
+// shardQuery re-encodes validated parameters for the shard request. Shards
+// evaluate the same k as the coordinator: per-shard top-k prefixes are
+// exactly what the merge needs for an exact global top k.
+func shardQuery(p server.QueryParams) url.Values {
+	q := url.Values{}
+	q.Set("q", p.Query)
+	q.Set("level", strconv.Itoa(p.Level))
+	if p.AtRoot {
+		q.Set("root", "true")
+	}
+	q.Set("engine", engineName(p.Engine))
+	q.Set("tau", strconv.FormatFloat(p.Tau, 'g', -1, 64))
+	q.Set("k", strconv.Itoa(p.K))
+	q.Set("partial", strconv.FormatBool(p.Partial))
+	return q
+}
+
+// callHedged issues the request, and if the shard stays quiet past the
+// hedge delay, a duplicate; the first success wins and the loser is
+// cancelled. A failure of the only outstanding request returns immediately
+// (the retry loop owns backoff); with a hedge in flight, the last failure
+// wins only after both lose.
+func (c *Coordinator) callHedged(ctx context.Context, mb member, q url.Values, sp *obs.Span) (*server.QueryResponse, error) {
+	hctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	type result struct {
+		resp *server.QueryResponse
+		err  error
+	}
+	ch := make(chan result, 2)
+	launch := func() {
+		go func() {
+			r, err := c.doRequest(hctx, mb, q)
+			ch <- result{r, err}
+		}()
+	}
+	launch()
+	pending := 1
+
+	var hedge <-chan time.Time
+	if c.cfg.hedgeDelay > 0 {
+		t := time.NewTimer(c.cfg.hedgeDelay)
+		defer t.Stop()
+		hedge = t.C
+	}
+	var firstErr error
+	for {
+		select {
+		case <-hedge:
+			hedge = nil
+			c.m.hedges.Inc()
+			if sp != nil {
+				sp.SetTag("hedged", "true")
+			}
+			launch()
+			pending++
+		case r := <-ch:
+			if r.err == nil {
+				return r.resp, nil
+			}
+			if firstErr == nil {
+				firstErr = r.err
+			}
+			pending--
+			if pending == 0 {
+				return nil, firstErr
+			}
+		}
+	}
+}
+
+// doRequest is one HTTP attempt against one shard.
+func (c *Coordinator) doRequest(ctx context.Context, mb member, q url.Values) (*server.QueryResponse, error) {
+	c.m.requests.Inc()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, mb.url+"/query?"+q.Encode(), nil)
+	if err != nil {
+		return nil, err
+	}
+	hr, err := c.client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer hr.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(hr.Body, 16<<20))
+	if err != nil {
+		return nil, err
+	}
+	if hr.StatusCode != http.StatusOK {
+		var ed struct {
+			Error string `json:"error"`
+		}
+		_ = json.Unmarshal(body, &ed)
+		if ed.Error == "" {
+			ed.Error = http.StatusText(hr.StatusCode)
+		}
+		return nil, &httpError{status: hr.StatusCode, msg: ed.Error}
+	}
+	var resp server.QueryResponse
+	if err := json.Unmarshal(body, &resp); err != nil {
+		return nil, fmt.Errorf("decoding shard response: %w", err)
+	}
+	return &resp, nil
+}
+
+// engineName inverts the ?engine= parsing in server.ParseQueryRequest.
+func engineName(e htlvideo.Engine) string {
+	switch e {
+	case htlvideo.EngineDirect:
+		return "direct"
+	case htlvideo.EngineSQL:
+		return "sql"
+	case htlvideo.EngineReference:
+		return "reference"
+	default:
+		return "auto"
+	}
+}
