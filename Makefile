@@ -63,14 +63,19 @@ fuzz-store:
 	$(GO) test -run '^$$' -fuzz=FuzzLoadStore -fuzztime=30s .
 
 # Benchmarks plus BENCH_obs.json (per-engine query latency from the store's
-# own metrics histograms) and BENCH_perf.json (compilation/caching ns/op,
-# B/op, allocs/op, and the warm-vs-cold repeated-query speedup).
+# own metrics histograms), BENCH_perf.json (compilation/caching ns/op,
+# B/op, allocs/op, and the warm-vs-cold repeated-query speedup), and the
+# trace-propagation gate (always-on trace context within 5% of the warm
+# repeated-query path).
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ .
 	BENCH_OBS_OUT=BENCH_obs.json $(GO) test -run '^TestWriteBenchObs$$' -count=1 -v .
 	BENCH_PERF_OUT=BENCH_perf.json $(GO) test -run '^TestWriteBenchPerf$$' -count=1 -v .
+	BENCH_TRACE_GATE=1 $(GO) test -run '^TestTracePropagationOverhead$$' -count=1 -v .
 
 # Fast allocation-aware bench smoke (CI): every benchmark once at reduced
-# short-mode sizes, with allocs/op visible.
+# short-mode sizes, with allocs/op visible, plus the trace-propagation gate
+# at a tolerance wide enough for noisy shared runners.
 bench-short:
 	$(GO) test -short -run '^$$' -bench=. -benchtime=1x -benchmem ./...
+	BENCH_TRACE_GATE=1 BENCH_TRACE_TOLERANCE=0.5 $(GO) test -run '^TestTracePropagationOverhead$$' -count=1 -v .

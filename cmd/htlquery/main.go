@@ -21,13 +21,19 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"net/http"
+	"net/url"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
+	"time"
 
 	"htlvideo"
 	"htlvideo/internal/casablanca"
 	"htlvideo/internal/server"
+	"htlvideo/internal/shard"
 )
 
 func main() {
@@ -40,10 +46,11 @@ func main() {
 	tau := flag.Float64("tau", 0.5, "until threshold on fractional similarity")
 	timeout := flag.Duration("timeout", 0, "overall query deadline, e.g. 200ms or 2s (0 = none)")
 	partial := flag.Bool("partial", false, "return partial results: failed videos are skipped and summarized")
-	trace := flag.Bool("trace", false, "print the query's structured trace as JSON on stderr")
-	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /debug/slowlog and /debug/pprof on this address; the process then stays alive until interrupted")
+	trace := flag.Bool("trace", false, "render the query's span tree on stderr (with -remote: the stitched cross-process tree)")
+	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /debug/slowlog, /debug/traces and /debug/pprof on this address; the process then stays alive until interrupted")
 	explain := flag.Bool("explain", false, "evaluate the query with per-plan-node profiling and print the annotated plan tree")
 	exact := flag.Bool("exact", false, "with -explain: exact per-visit time attribution (slower; affects the reference evaluator)")
+	remote := flag.String("remote", "", "base URL of a running htlserve (single server or coordinator); the query runs there instead of locally")
 	flag.Parse()
 
 	if flag.NArg() != 1 {
@@ -52,6 +59,15 @@ func main() {
 		os.Exit(2)
 	}
 	query := flag.Arg(0)
+
+	if *remote != "" {
+		runRemote(remoteParams{
+			base: *remote, query: query, level: *level, atRoot: *atRoot,
+			k: *k, engine: *engine, tau: *tau, timeout: *timeout,
+			partial: *partial, trace: *trace, explain: *explain, exact: *exact,
+		})
+		return
+	}
 
 	store, err := buildStore(*storePath, *demo)
 	if err != nil {
@@ -107,9 +123,7 @@ func main() {
 	res, err := store.QueryCtx(ctx, query, opts...)
 	if *trace {
 		if t := traces.Last(); t != nil {
-			enc := json.NewEncoder(os.Stderr)
-			enc.SetIndent("", "  ")
-			_ = enc.Encode(t.Snapshot())
+			htlvideo.RenderTraceTree(os.Stderr, t.Snapshot())
 		}
 	}
 	if err != nil {
@@ -148,6 +162,165 @@ func main() {
 		fmt.Printf("%-7d %-12s %-12.6g %-9.3f %s\n", r.VideoID, r.Iv.String(), r.Sim.Act, r.Sim.Frac(), frames)
 	}
 	serveForever(srv, *metricsAddr)
+}
+
+// remoteParams carries the flag subset remote mode uses.
+type remoteParams struct {
+	base    string
+	query   string
+	level   int
+	atRoot  bool
+	k       int
+	engine  string
+	tau     float64
+	timeout time.Duration
+	partial bool
+	trace   bool
+	explain bool
+	exact   bool
+}
+
+// remoteQueryDoc decodes both response shapes: a single server's /query and
+// a coordinator's (whose extra shards section is nil for the former).
+type remoteQueryDoc struct {
+	Class     string             `json:"class"`
+	Videos    int                `json:"videos"`
+	Evaluated int                `json:"evaluated"`
+	Top       []server.RankedDoc `json:"top"`
+	Skipped   []server.SkipDoc   `json:"skipped"`
+	Failed    []server.FailDoc   `json:"failed"`
+	Shards    *shard.ShardsDoc   `json:"shards"`
+	ElapsedMS float64            `json:"elapsed_ms"`
+	TraceID   string             `json:"trace_id"`
+	Trace     *htlvideo.TraceSnapshot
+}
+
+// runRemote sends the query to a running htlserve — single server or
+// coordinator, the response shapes line up — and renders the result; with
+// -trace the server's span tree (for a coordinator: the stitched
+// cross-process trace, every shard subtree under the coordinator's trace id)
+// renders on stderr.
+func runRemote(p remoteParams) {
+	vals := url.Values{}
+	vals.Set("q", p.query)
+	vals.Set("level", strconv.Itoa(p.level))
+	if p.atRoot {
+		vals.Set("root", "true")
+	}
+	if p.engine != "auto" {
+		vals.Set("engine", p.engine)
+	}
+	vals.Set("tau", strconv.FormatFloat(p.tau, 'g', -1, 64))
+	vals.Set("k", strconv.Itoa(p.k))
+	if p.timeout != 0 {
+		vals.Set("timeout", p.timeout.String())
+	}
+	if p.partial {
+		vals.Set("partial", "true")
+	}
+	base := strings.TrimRight(p.base, "/")
+
+	if p.explain {
+		remoteExplain(base, vals, p.exact)
+		return
+	}
+
+	if p.trace {
+		vals.Set("trace", "true")
+	}
+	resp, err := http.Get(base + "/query?" + vals.Encode())
+	if err != nil {
+		fatalf("remote query: %v", err)
+	}
+	body := readBody(resp)
+	if resp.StatusCode != http.StatusOK {
+		fatalf("remote query: %s: %s", resp.Status, errorOf(body))
+	}
+	var doc remoteQueryDoc
+	if err := json.Unmarshal(body, &doc); err != nil {
+		fatalf("decoding remote response: %v", err)
+	}
+	fmt.Printf("query class: %s\n", doc.Class)
+	fmt.Printf("videos: %d eligible, %d evaluated, %d skipped, %d failed\n",
+		doc.Videos, doc.Evaluated, len(doc.Skipped), len(doc.Failed))
+	if doc.Shards != nil {
+		fmt.Printf("shards: %d/%d answered (min %d)\n", doc.Shards.OK, doc.Shards.Total, doc.Shards.MinRequired)
+		for _, se := range doc.Shards.Errors {
+			fmt.Fprintf(os.Stderr, "htlquery: shard %s: %s\n", se.Shard, se.Error)
+		}
+	}
+	if doc.TraceID != "" {
+		fmt.Printf("trace: %s\n", doc.TraceID)
+	}
+	if len(doc.Top) == 0 {
+		fmt.Println("no segments with non-zero similarity")
+	} else {
+		fmt.Printf("%-7s %-12s %-12s %s\n", "video", "segments", "similarity", "fraction")
+		for _, d := range doc.Top {
+			fmt.Printf("%-7d %-12s %-12.6g %.3f\n", d.Video,
+				fmt.Sprintf("[%d,%d]", d.Beg, d.End), d.Sim, d.Frac)
+		}
+	}
+	if p.trace && doc.Trace != nil {
+		htlvideo.RenderTraceTree(os.Stderr, *doc.Trace)
+	}
+}
+
+// remoteExplain posts /explain and renders whichever shape came back: a
+// coordinator's merged cross-shard tree (per-shard attribution + straggler)
+// or a single server's ExplainResult.
+func remoteExplain(base string, vals url.Values, exact bool) {
+	if exact {
+		vals.Set("exact", "true")
+	}
+	resp, err := http.Post(base+"/explain", "application/x-www-form-urlencoded",
+		strings.NewReader(vals.Encode()))
+	if err != nil {
+		fatalf("remote explain: %v", err)
+	}
+	body := readBody(resp)
+	if resp.StatusCode != http.StatusOK {
+		fatalf("remote explain: %s: %s", resp.Status, errorOf(body))
+	}
+	// A coordinator document carries a shards section; a single server's
+	// ExplainResult does not.
+	var probe struct {
+		Shards *shard.ShardsDoc `json:"shards"`
+	}
+	_ = json.Unmarshal(body, &probe)
+	if probe.Shards != nil {
+		var doc shard.ExplainDoc
+		if err := json.Unmarshal(body, &doc); err != nil {
+			fatalf("decoding coordinator explain: %v", err)
+		}
+		doc.Render(os.Stdout, true)
+		return
+	}
+	var er htlvideo.ExplainResult
+	if err := json.Unmarshal(body, &er); err != nil {
+		fatalf("decoding explain: %v", err)
+	}
+	er.Render(os.Stdout, true)
+}
+
+func readBody(resp *http.Response) []byte {
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 16<<20))
+	if err != nil {
+		fatalf("reading response: %v", err)
+	}
+	return body
+}
+
+func errorOf(body []byte) string {
+	var ed struct {
+		Error string `json:"error"`
+	}
+	_ = json.Unmarshal(body, &ed)
+	if ed.Error != "" {
+		return ed.Error
+	}
+	return strings.TrimSpace(string(body))
 }
 
 // printSummary prints the one-line query outcome from the stats snapshot, so

@@ -25,10 +25,16 @@
 //	GET  /metrics   server + store metrics and stats
 //	GET  /debug/slowlog, /debug/pprof/*
 //
-// Coordinator mode replaces /-/reload and the debug endpoints with:
+// Coordinator mode replaces /-/reload and the pprof endpoints with:
 //
-//	GET  /shards    membership with per-shard breaker states
-//	POST /-/shards  graceful join/leave ({"op":"add","name":...,"url":...})
+//	GET  /shards         membership with per-shard breaker states
+//	POST /-/shards       graceful join/leave ({"op":"add","name":...,"url":...})
+//	POST /explain        distributed EXPLAIN ANALYZE merged across shards
+//	GET  /debug/slowlog  slowest scatter-gather queries (trace-id linked)
+//	GET  /debug/traces   recent stitched cross-process traces
+//
+// Both modes answer ?trace=1 on /query with a span tree in the envelope, and
+// join an inbound X-Htl-Trace header into a distributed trace.
 package main
 
 import (
@@ -68,6 +74,7 @@ func main() {
 	shards := flag.String("shards", "", "comma-separated shard base URLs; non-empty switches to scatter-gather coordinator mode (no local store)")
 	minShards := flag.Int("min-shards", 1, "coordinator quorum: shards that must answer for a query to succeed")
 	hedgeDelay := flag.Duration("hedge-delay", 100*time.Millisecond, "coordinator: quiet period before a straggling shard is sent a duplicate request (0 disables)")
+	traceBuf := flag.Int("trace-buffer", 0, "coordinator: recent stitched traces retained for /debug/traces (0 = default)")
 	flag.Parse()
 
 	logger := obs.LoggerFunc(log.New(os.Stderr, "htlserve: ", log.LstdFlags).Printf)
@@ -78,7 +85,7 @@ func main() {
 			minShards: *minShards, hedgeDelay: *hedgeDelay,
 			defaultTimeout: *defaultTimeout, maxTimeout: *maxTimeout,
 			drainTimeout: *drainTimeout, retries: *retries,
-			breakerOpenFor: *breakerOpenFor, logger: logger,
+			breakerOpenFor: *breakerOpenFor, traceBuf: *traceBuf, logger: logger,
 		})
 		return
 	}
@@ -170,6 +177,7 @@ type coordinatorConfig struct {
 	drainTimeout   time.Duration
 	retries        int
 	breakerOpenFor time.Duration
+	traceBuf       int
 	logger         obs.LoggerFunc
 }
 
@@ -197,6 +205,7 @@ func runCoordinator(cfg coordinatorConfig) {
 		shard.WithMaxTimeout(cfg.maxTimeout),
 		shard.WithRetryConfig(retryCfg),
 		shard.WithBreakerConfig(breakerCfg),
+		shard.WithTraceBufferSize(cfg.traceBuf),
 		shard.WithLogger(cfg.logger.Logf),
 	)
 	hs := server.NewHTTPServer(cfg.addr, coord.Handler())

@@ -24,6 +24,8 @@
 package htlvideo
 
 import (
+	"io"
+
 	"htlvideo/internal/analyzer"
 	"htlvideo/internal/core"
 	"htlvideo/internal/htl"
@@ -94,6 +96,11 @@ type (
 	SlowLog = obs.SlowLog
 	// SlowEntry is one retained query of the slow log.
 	SlowEntry = obs.SlowEntry
+	// TraceRing is the bounded ring of recent query traces (Store.TraceRing,
+	// /debug/traces).
+	TraceRing = obs.TraceRing
+	// TraceSummary is one retained trace's listing entry.
+	TraceSummary = obs.TraceSummary
 	// HistogramSnapshot is a latency histogram's point-in-time state.
 	HistogramSnapshot = obs.HistogramSnapshot
 	// Logger is the pluggable logging interface of the observability layer.
@@ -153,6 +160,17 @@ func DefaultWeights() Weights { return picture.DefaultWeights() }
 // metrics registry; long-running listeners call it once so every scrape
 // identifies the serving binary.
 func RegisterProcessMetrics(reg *MetricsRegistry) { obs.RegisterProcessMetrics(reg) }
+
+// RenderTraceTree writes a trace snapshot as a box-drawing span tree, one
+// span per line with duration and tags — the human-readable form of a query
+// trace, including stitched cross-process traces from a coordinator.
+func RenderTraceTree(w io.Writer, snap TraceSnapshot) { obs.RenderSpanTree(w, snap) }
+
+// NewTraceID mints a globally unique (128-bit random) trace identifier, the
+// form WithTraceID and the X-Htl-Trace header carry. Callers embedding the
+// store behind their own RPC layer mint one per request and propagate it to
+// every store call the request fans out to.
+func NewTraceID() string { return obs.NewTraceID() }
 
 // Parse parses an HTL query.
 func Parse(query string) (Formula, error) { return htl.Parse(query) }

@@ -186,6 +186,7 @@ func (p *PlanProfile) Tree() *obs.ExplainNode {
 			return e
 		}
 		e := &obs.ExplainNode{
+			ID:          n.ID,
 			Op:          OpName(n.F, n.NonTemporal),
 			Formula:     n.Key,
 			NonTemporal: n.NonTemporal,

@@ -47,6 +47,11 @@ type NodeStats struct {
 // by several parents (one interned plan node) renders under each of them,
 // carrying the same accumulated stats and Shared=true.
 type ExplainNode struct {
+	// ID is the node's stable index in the interned plan (core.PNode.ID).
+	// Plans compile deterministically from canonical text, so the same query
+	// yields the same IDs in every process — the join key for merging
+	// per-shard profiles into one cross-shard explain tree.
+	ID int `json:"id"`
 	// Op names the operator: and, until, next, eventually, freeze,
 	// at-level, exists, not, or atomic for picture-layer units.
 	Op string `json:"op"`

@@ -13,11 +13,13 @@ import (
 //	                Content-negotiates the Prometheus text format (0.0.4)
 //	                via Accept or ?format=prometheus (see WantsPrometheus).
 //	/debug/slowlog  the retained slowest queries with their full traces
+//	/debug/traces   the trace ring: recent traces (most recent first), or one
+//	                full span tree with ?id=<trace-id>
 //	/debug/pprof/   the standard runtime profiles
 //
 // Any argument may be nil; its endpoint then serves an empty document. The
 // handler is read-only and safe to serve while queries run.
-func Handler(reg *Registry, slow *SlowLog, stats func() any) http.Handler {
+func Handler(reg *Registry, slow *SlowLog, ring *TraceRing, stats func() any) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		if WantsPrometheus(r) {
@@ -40,6 +42,7 @@ func Handler(reg *Registry, slow *SlowLog, stats func() any) http.Handler {
 		}
 		writeJSON(w, entries)
 	})
+	mux.HandleFunc("/debug/traces", ring.Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)

@@ -240,7 +240,7 @@ func TestWantsPrometheus(t *testing.T) {
 func TestMetricsHandlerNegotiation(t *testing.T) {
 	reg := NewRegistry()
 	reg.Counter("some.counter").Inc()
-	h := Handler(reg, NewSlowLog(4), nil)
+	h := Handler(reg, NewSlowLog(4), nil, nil)
 
 	rec := httptest.NewRecorder()
 	h.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))

@@ -2,7 +2,12 @@ package obs
 
 import (
 	"context"
+	"crypto/rand"
+	"encoding/hex"
 	"fmt"
+	"io"
+	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -26,16 +31,35 @@ type Trace struct {
 	roots []*Span
 }
 
-// traceEpoch and traceSeq make trace ids unique within a process run:
-// the epoch distinguishes runs, the sequence traces within one.
+// traceEpoch and traceSeq back the fallback id scheme, used only if the
+// system's entropy source fails: the epoch distinguishes runs, the sequence
+// traces within one.
 var (
 	traceEpoch = time.Now().UnixNano()
 	traceSeq   atomic.Int64
 )
 
-// ID returns the trace's process-unique identifier, assigned lazily on first
-// request. Slow-log entries, explain results and log lines carry it, so the
-// three views of one query can be joined.
+// TraceHeader is the HTTP header carrying distributed trace context: the
+// coordinator sets it on every shard request (retries and hedges included),
+// and a server joins its query trace into the id it finds there.
+const TraceHeader = "X-Htl-Trace"
+
+// NewTraceID returns a fresh globally unique trace identifier: 128 random
+// bits, hex-encoded. Global (not merely process-level) uniqueness is what
+// lets a coordinator stitch trace fragments from N shard processes without
+// collisions. Entropy-source failure falls back to a process-unique id.
+func NewTraceID() string {
+	var b [16]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return fmt.Sprintf("%x-%x", traceEpoch, traceSeq.Add(1))
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// ID returns the trace's globally unique identifier, assigned lazily on
+// first request (see NewTraceID). Slow-log entries, explain results, the
+// trace ring and log lines carry it, so every view of one query — across
+// processes — can be joined.
 func (t *Trace) ID() string {
 	if t == nil {
 		return ""
@@ -47,9 +71,21 @@ func (t *Trace) ID() string {
 
 func (t *Trace) idLocked() string {
 	if t.id == "" {
-		t.id = fmt.Sprintf("%x-%x", traceEpoch, traceSeq.Add(1))
+		t.id = NewTraceID()
 	}
 	return t.id
+}
+
+// SetID adopts a propagated trace identifier (e.g. from an X-Htl-Trace
+// header), joining this trace into a distributed trace minted elsewhere.
+// Empty ids are ignored; lazy allocation otherwise stays untouched.
+func (t *Trace) SetID(id string) {
+	if t == nil || id == "" {
+		return
+	}
+	t.mu.Lock()
+	t.id = id
+	t.mu.Unlock()
 }
 
 // NewTrace starts a trace; name is the query text (shown by the slow log).
@@ -126,6 +162,10 @@ type Span struct {
 	dur      time.Duration
 	ended    bool
 	children []*Span
+	// remote holds span subtrees stitched in from another process (a shard's
+	// response); they render after the local children. Offsets inside a
+	// remote subtree are relative to the remote trace's own start.
+	remote []SpanSnapshot
 }
 
 // StartSpan opens a child span.
@@ -151,6 +191,20 @@ func (s *Span) SetTag(k, v string) {
 		s.tags = map[string]string{}
 	}
 	s.tags[k] = v
+	s.t.mu.Unlock()
+}
+
+// AttachRemote stitches span subtrees recorded by another process under this
+// span: a coordinator attaches each shard's returned span tree under that
+// shard's attempt span, producing one cross-process trace. The snapshots are
+// retained as-is (their offsets are relative to the remote trace's start) and
+// render after the local children.
+func (s *Span) AttachRemote(spans []SpanSnapshot) {
+	if s == nil || len(spans) == 0 {
+		return
+	}
+	s.t.mu.Lock()
+	s.remote = append(s.remote, spans...)
 	s.t.mu.Unlock()
 }
 
@@ -214,6 +268,7 @@ func (s *Span) snapshotLocked() SpanSnapshot {
 	for _, c := range s.children {
 		out.Children = append(out.Children, c.snapshotLocked())
 	}
+	out.Children = append(out.Children, s.remote...)
 	return out
 }
 
@@ -226,6 +281,52 @@ func copyTags(tags map[string]string) map[string]string {
 		out[k] = v
 	}
 	return out
+}
+
+// RenderSpanTree writes a trace snapshot as a box-drawing tree, one span per
+// line with its duration and tags — the human-readable form of a (possibly
+// cross-process) trace, used by `htlquery -trace`. Remote subtrees stitched
+// in via AttachRemote render like local children.
+func RenderSpanTree(w io.Writer, snap TraceSnapshot) {
+	fmt.Fprintf(w, "trace %s  %s  (%v)\n", snap.ID, snap.Name, snap.Duration.Round(time.Microsecond))
+	if len(snap.Tags) > 0 {
+		fmt.Fprintf(w, "tags: %s\n", formatTags(snap.Tags))
+	}
+	for i, sp := range snap.Spans {
+		renderSpan(w, sp, i == len(snap.Spans)-1, "")
+	}
+}
+
+func renderSpan(w io.Writer, sp SpanSnapshot, last bool, tail string) {
+	head, next := tail+"├─ ", tail+"│  "
+	if last {
+		head, next = tail+"└─ ", tail+"   "
+	}
+	fmt.Fprintf(w, "%s%s  %v", head, sp.Name, sp.Duration.Round(time.Microsecond))
+	if len(sp.Tags) > 0 {
+		fmt.Fprintf(w, "  [%s]", formatTags(sp.Tags))
+	}
+	fmt.Fprintln(w)
+	for i, c := range sp.Children {
+		renderSpan(w, c, i == len(sp.Children)-1, next)
+	}
+}
+
+// formatTags renders a tag map deterministically (sorted by key).
+func formatTags(tags map[string]string) string {
+	keys := make([]string, 0, len(tags))
+	for k := range tags {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteString(" ")
+		}
+		fmt.Fprintf(&b, "%s=%s", k, tags[k])
+	}
+	return b.String()
 }
 
 // TraceSink receives completed query traces: the slow log is one, a test

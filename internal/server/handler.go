@@ -50,6 +50,15 @@ type QueryResponse struct {
 	Retries int64 `json:"retries,omitempty"`
 	// ElapsedMS is the server-side wall time of the request.
 	ElapsedMS float64 `json:"elapsed_ms"`
+	// TraceID is the distributed trace id the request ran under: the inbound
+	// X-Htl-Trace value when one was propagated, or a freshly minted id when
+	// the request asked for a trace.
+	TraceID string `json:"trace_id,omitempty"`
+	// Trace is the request's span tree (per-video evaluation with the store's
+	// own spans stitched under each attempt), present with ?trace=1. A
+	// coordinator stitches it under its scatter spans to build the
+	// cross-process trace.
+	Trace *obs.TraceSnapshot `json:"trace,omitempty"`
 }
 
 // RankedDoc is one ranked segment run.
@@ -82,7 +91,10 @@ type errorDoc struct {
 // Handler returns the server's full endpoint set:
 //
 //	GET  /query          evaluate an HTL query (q, level, root, engine, tau,
-//	                     k, timeout, partial parameters)
+//	                     k, timeout, partial, trace parameters; trace=1 adds
+//	                     the span tree to the envelope, and an inbound
+//	                     X-Htl-Trace header joins the request into a
+//	                     distributed trace)
 //	POST /explain        evaluate with per-plan-node profiling and return the
 //	                     annotated plan (q plus the /query parameters, and
 //	                     exact=true for exact time attribution)
@@ -93,6 +105,7 @@ type errorDoc struct {
 //	                     default; Prometheus text format via Accept or
 //	                     ?format=prometheus)
 //	GET  /debug/slowlog  the current store's slow-query log
+//	GET  /debug/traces   the current store's recent traces (?id= for one)
 //	GET  /debug/pprof/*  runtime profiles
 //
 // Every handler is panic-isolated: a panic is contained, counted, and
@@ -161,6 +174,7 @@ func (s *Server) Handler() http.Handler {
 		http.NotFound(w, r)
 	}
 	mux.HandleFunc("/debug/slowlog", debug)
+	mux.HandleFunc("/debug/traces", debug)
 	mux.HandleFunc("/debug/pprof/", debug)
 	return s.instrument(mux)
 }
@@ -288,6 +302,11 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 	if exact {
 		opts = append(opts, htlvideo.WithExactProfile())
 	}
+	if p.TraceID != "" {
+		// The explain's trace (and so its trace_id field) joins the
+		// coordinator's distributed trace.
+		opts = append(opts, htlvideo.WithTraceID(p.TraceID))
+	}
 	er, err := st.ExplainCtx(ctx, p.Query, opts...)
 	if err != nil {
 		code := http.StatusInternalServerError
@@ -313,6 +332,14 @@ type QueryParams struct {
 	K       int
 	Timeout time.Duration
 	Partial bool
+	// Trace asks for the request's span-tree snapshot in the response
+	// envelope (?trace=1).
+	Trace bool
+	// TraceID is inbound distributed trace context (the X-Htl-Trace header),
+	// empty when the request starts a trace of its own. Its presence alone —
+	// with or without ?trace=1 — joins this process's query traces into the
+	// caller's trace id.
+	TraceID string
 }
 
 // ParseDefaults are the knobs ParseQueryRequest needs from the serving
@@ -411,6 +438,12 @@ func ParseQueryRequest(r *http.Request, d ParseDefaults) (p QueryParams, status 
 			return p, http.StatusBadRequest, fmt.Errorf("invalid partial %q", v)
 		}
 	}
+	if v := r.Form.Get("trace"); v != "" {
+		if p.Trace, err = strconv.ParseBool(v); err != nil {
+			return p, http.StatusBadRequest, fmt.Errorf("invalid trace %q", v)
+		}
+	}
+	p.TraceID = r.Header.Get(obs.TraceHeader)
 	return p, http.StatusOK, nil
 }
 
@@ -430,6 +463,23 @@ func (s *Server) evaluate(ctx context.Context, st *htlvideo.Store, p QueryParams
 	}
 	out.Videos = len(eligible)
 
+	// Trace context: an inbound X-Htl-Trace alone joins every per-video store
+	// trace into the caller's id (they surface in this process's slow log and
+	// trace ring under it); ?trace=1 additionally builds a request-level span
+	// tree — one span per video, each attempt a child carrying the store's
+	// own spans — returned in the envelope for the caller to stitch.
+	var tr *obs.Trace
+	var evalSpan *obs.Span
+	if p.Trace {
+		tr = obs.NewTrace(p.Query)
+		tr.SetID(p.TraceID)
+		tr.SetTag("layer", "server")
+		tr.SetTag("class", out.Class)
+		tr.SetTag("videos", strconv.Itoa(out.Videos))
+		evalSpan = tr.StartSpan("evaluate")
+	}
+	out.TraceID = p.TraceID
+
 	opts := []htlvideo.QueryOption{
 		htlvideo.AtLevel(p.Level),
 		htlvideo.WithUntilThreshold(p.Tau),
@@ -437,6 +487,9 @@ func (s *Server) evaluate(ctx context.Context, st *htlvideo.Store, p QueryParams
 	}
 	if p.AtRoot {
 		opts = append(opts, htlvideo.AtRoot())
+	}
+	if p.TraceID != "" {
+		opts = append(opts, htlvideo.WithTraceID(p.TraceID))
 	}
 
 	var (
@@ -451,26 +504,67 @@ func (s *Server) evaluate(ctx context.Context, st *htlvideo.Store, p QueryParams
 		if !s.breaker.Allow(int64(id)) {
 			s.m.brSkipped.Inc()
 			out.Skipped = append(out.Skipped, SkipDoc{Video: id, Reason: "breaker open"})
+			if evalSpan != nil {
+				sp := evalSpan.StartSpan("video")
+				sp.SetTag("video", strconv.Itoa(id))
+				sp.SetTag("skipped", "breaker open")
+				sp.End()
+			}
 			continue
 		}
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			var vsp *obs.Span
+			if evalSpan != nil {
+				vsp = evalSpan.StartSpan("video")
+				vsp.SetTag("video", strconv.Itoa(id))
+				defer vsp.End()
+			}
 			select {
 			case sem <- struct{}{}:
 				defer func() { <-sem }()
 			case <-ctx.Done():
 				// Never attempted: release the breaker reservation.
 				s.breaker.Cancel(int64(id))
+				vsp.SetTag("outcome", "deadline before start")
 				mu.Lock()
 				out.Failed = append(out.Failed, FailDoc{Video: id, Error: ctx.Err().Error(), Timeout: true})
 				mu.Unlock()
 				return
 			}
 			var list htlvideo.SimList
+			attempt := 0
 			err := s.retry.Do(ctx, func() error {
 				attempts.Add(1)
-				res, e := st.QueryFormulaCtx(ctx, p.Formula, append(opts, htlvideo.OnVideo(id))...)
+				attempt++
+				// Copy: concurrent per-video goroutines must not share the
+				// base slice's backing array through append.
+				vopts := make([]htlvideo.QueryOption, 0, len(opts)+2)
+				vopts = append(vopts, opts...)
+				vopts = append(vopts, htlvideo.OnVideo(id))
+				var asp *obs.Span
+				var col *obs.TraceCollector
+				if vsp != nil {
+					asp = vsp.StartSpan("attempt")
+					asp.SetTag("attempt", strconv.Itoa(attempt))
+					col = &obs.TraceCollector{}
+					vopts = append(vopts, htlvideo.WithTrace(col))
+				}
+				res, e := st.QueryFormulaCtx(ctx, p.Formula, vopts...)
+				if asp != nil {
+					if e != nil {
+						asp.SetTag("outcome", truncate(e.Error(), 120))
+					} else {
+						asp.SetTag("outcome", "ok")
+					}
+					if last := col.Last(); last != nil {
+						// The store's own spans (build/eval/merge) become this
+						// attempt's subtree, same as a shard's remote spans.
+						asp.AttachRemote(last.Snapshot().Spans)
+					}
+					asp.End()
+				}
 				if e != nil {
 					return e
 				}
@@ -495,18 +589,31 @@ func (s *Server) evaluate(ctx context.Context, st *htlvideo.Store, p QueryParams
 		}()
 	}
 	wg.Wait()
+	evalSpan.End()
 
 	out.Evaluated = len(lists)
 	out.Retries = attempts.Load() - int64(out.Evaluated+len(out.Failed))
 	if out.Retries < 0 {
 		out.Retries = 0
 	}
+	mergeSpan := tr.StartSpan("merge")
 	res := &htlvideo.Results{PerVideo: lists}
 	for _, rk := range res.TopK(p.K) {
 		out.Top = append(out.Top, RankedDoc{
 			Video: rk.VideoID, Beg: rk.Iv.Beg, End: rk.Iv.End,
 			Sim: rk.Sim.Act, Frac: rk.Sim.Frac(),
 		})
+	}
+	mergeSpan.End()
+	if tr != nil {
+		tr.SetTag("evaluated", strconv.Itoa(out.Evaluated))
+		tr.Finish()
+		out.TraceID = tr.ID()
+		snap := tr.Snapshot()
+		out.Trace = &snap
+		// The request-level trace is retained alongside the per-video store
+		// traces, so /debug/traces on this process shows the stitched view.
+		st.TraceRing().ObserveTrace(tr)
 	}
 	return out
 }

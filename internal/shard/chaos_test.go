@@ -67,10 +67,16 @@ func TestShardHelperProcess(t *testing.T) {
 				faultinject.Rule{Site: faultinject.SiteAtomicEval, Key: faultinject.KeyAny, Prob: 0.08, Kind: faultinject.KindPanic},
 				faultinject.Rule{Site: faultinject.SiteAtomicEval, Key: faultinject.KeyAny, Prob: 0.05, Kind: faultinject.KindStall, Stall: 30 * time.Millisecond},
 			))
+		case "stall":
+			// Deterministic straggling: every atomic eval stalls well past the
+			// coordinator's hedge delay, so traced queries always hedge.
+			faultinject.Arm(faultinject.NewPlan(7,
+				faultinject.Rule{Site: faultinject.SiteAtomicEval, Key: faultinject.KeyAny, Prob: 1.0, Kind: faultinject.KindStall, Stall: 120 * time.Millisecond},
+			))
 		case "off":
 			faultinject.Disarm()
 		default:
-			http.Error(w, "mode must be havoc or off", http.StatusBadRequest)
+			http.Error(w, "mode must be havoc, stall or off", http.StatusBadRequest)
 			return
 		}
 		w.WriteHeader(http.StatusOK)
@@ -200,6 +206,51 @@ func TestShardChaosMultiProcess(t *testing.T) {
 	}
 	_, _ = procs[3].Process.Wait()
 
+	// A traced query right after the kill: the stitched cross-process trace
+	// records the dead shard's failed attempts while the survivors' subtrees
+	// ride under the coordinator's trace id.
+	var killed QueryDoc
+	if code := getDoc(t, ct.URL+"/query?q=M1&k=5&trace=1", &killed); code != http.StatusOK {
+		t.Fatalf("traced query after kill: status %d", code)
+	}
+	if killed.Trace == nil || killed.Trace.ID != killed.TraceID {
+		t.Fatalf("traced query after kill: trace = %+v (id %q)", killed.Trace, killed.TraceID)
+	}
+	scatterSp := findSpan(killed.Trace.Spans, "scatter")
+	if scatterSp == nil {
+		t.Fatal("no scatter span in the chaos trace")
+	}
+	deadSp := findSpan(scatterSp.Children, "shard shard-3")
+	if deadSp == nil {
+		t.Fatalf("killed shard absent from the trace: %+v", scatterSp.Children)
+	}
+	if out := deadSp.Tags["outcome"]; out == "ok" || out == "" {
+		t.Fatalf("killed shard outcome = %q, want a failure", out)
+	}
+	if deadSp.Tags["outcome"] != "skipped" {
+		failedAttempts := 0
+		for _, a := range deadSp.Children {
+			if a.Name == "attempt" && a.Tags["outcome"] != "ok" {
+				failedAttempts++
+			}
+		}
+		if failedAttempts == 0 {
+			t.Fatalf("no failed attempt spans under the killed shard: %+v", deadSp.Children)
+		}
+	}
+	aliveStitched := 0
+	for _, sh := range scatterSp.Children {
+		if sh.Tags["outcome"] != "ok" {
+			continue
+		}
+		if a := findSpan(sh.Children, "attempt"); a != nil && findSpan(a.Children, "evaluate") != nil {
+			aliveStitched++
+		}
+	}
+	if aliveStitched == 0 {
+		t.Fatal("no surviving shard's subtree stitched into the trace")
+	}
+
 	const clients, perClient = 32, 6
 	queries := []string{"q=M1&k=5", "q=M1+until+M2&k=7", "q=eventually+M2&k=3"}
 	var (
@@ -265,6 +316,30 @@ func TestShardChaosMultiProcess(t *testing.T) {
 		t.Errorf("shard-3's loss not itemized: %+v", chaosDoc.Shards.Errors)
 	}
 
+	// With the dead shard's breaker tripped, a traced query annotates the
+	// skip: breaker=open on shard-3's span, no attempt underneath. The
+	// breaker half-opens every 200ms (and the probe re-fails), so poll until
+	// a trace catches it open.
+	breakerDeadline := time.Now().Add(5 * time.Second)
+	for {
+		var traced QueryDoc
+		if code := getDoc(t, ct.URL+"/query?q=M1&k=5&trace=1", &traced); code == http.StatusOK && traced.Trace != nil {
+			if sc := findSpan(traced.Trace.Spans, "scatter"); sc != nil {
+				if sh := findSpan(sc.Children, "shard shard-3"); sh != nil &&
+					sh.Tags["breaker"] == "open" && sh.Tags["outcome"] == "skipped" {
+					if findSpan(sh.Children, "attempt") != nil {
+						t.Fatal("breaker-skipped shard still has an attempt span")
+					}
+					break
+				}
+			}
+		}
+		if time.Now().After(breakerDeadline) {
+			t.Fatal("no trace ever annotated shard-3's open breaker")
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+
 	// A unanimity coordinator over the same shards refuses below quorum.
 	strict := New(urls, WithMinShards(nShards),
 		WithRetryConfig(resilience.RetryConfig{MaxAttempts: 1}),
@@ -294,6 +369,50 @@ func TestShardChaosMultiProcess(t *testing.T) {
 		}
 		time.Sleep(50 * time.Millisecond)
 	}
+
+	// ---- Phase 4: hedge tracing — stall shard-1 deterministically (120ms
+	// per atomic eval, far past the 50ms hedge delay): a traced query must
+	// show the straggler hedged, with both numbered attempts in the tree.
+	resp, err = client.Post(urls[1]+"/-/chaos?mode=stall", "", nil)
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("arming stall: %v", err)
+	}
+	resp.Body.Close()
+	hedgeDeadline := time.Now().Add(5 * time.Second)
+	for {
+		var traced QueryDoc
+		if code := getDoc(t, ct.URL+"/query?q=M1&k=5&trace=1", &traced); code == http.StatusOK && traced.Trace != nil {
+			if sc := findSpan(traced.Trace.Spans, "scatter"); sc != nil {
+				// The storm may have left shard-1's breaker open; retry until
+				// a query actually reaches it and hedges.
+				if sh := findSpan(sc.Children, "shard shard-1"); sh != nil &&
+					sh.Tags["hedged"] == "true" && sh.Tags["outcome"] == "ok" {
+					attempts, hedges := 0, 0
+					for _, a := range sh.Children {
+						if a.Name == "attempt" {
+							attempts++
+							if a.Tags["hedge"] == "true" {
+								hedges++
+							}
+						}
+					}
+					if attempts < 2 || hedges != 1 {
+						t.Fatalf("hedged shard spans: %d attempts, %d hedges; want >=2 and exactly 1", attempts, hedges)
+					}
+					break
+				}
+			}
+		}
+		if time.Now().After(hedgeDeadline) {
+			t.Fatal("no traced query ever hedged the stalled shard")
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	resp, err = client.Post(urls[1]+"/-/chaos?mode=off", "", nil)
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("disarming stall: %v", err)
+	}
+	resp.Body.Close()
 
 	// No goroutine leaks once the servers wind down.
 	single.Close()

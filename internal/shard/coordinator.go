@@ -49,6 +49,8 @@ type Coordinator struct {
 	nextOrd int64
 
 	reg      *obs.Registry
+	slow     *obs.SlowLog
+	traces   *obs.TraceRing
 	m        metrics
 	draining atomic.Bool
 }
@@ -82,6 +84,7 @@ type config struct {
 	logf           func(format string, args ...any)
 	sink           obs.TraceSink
 	clientOverride *http.Client
+	traceBuf       int
 }
 
 // Option configures a Coordinator.
@@ -132,6 +135,10 @@ func WithHTTPClient(client *http.Client) Option {
 // WithTraceSink registers a sink receiving one finished trace per query,
 // with a child span per shard attempt.
 func WithTraceSink(sink obs.TraceSink) Option { return func(c *config) { c.sink = sink } }
+
+// WithTraceBufferSize sets how many recent query traces the coordinator's
+// /debug/traces ring retains (default obs.DefaultTraceRingSize).
+func WithTraceBufferSize(n int) Option { return func(c *config) { c.traceBuf = n } }
 
 // metrics are the coordinator's shard.* instruments.
 type metrics struct {
@@ -186,7 +193,9 @@ func NewNamed(shards map[string]string, opts ...Option) *Coordinator {
 		ring:    ring.New(nil, 0),
 		members: map[string]*member{},
 		reg:     obs.NewRegistry(),
+		slow:    obs.NewSlowLog(obs.DefaultSlowLogSize),
 	}
+	c.traces = obs.NewTraceRing(cfg.traceBuf)
 	if c.client == nil {
 		c.client = &http.Client{}
 	}
@@ -297,6 +306,15 @@ func (c *Coordinator) Shards() []ShardInfo {
 
 // Metrics returns the coordinator's registry (shard.* namespace).
 func (c *Coordinator) Metrics() *obs.Registry { return c.reg }
+
+// SlowLog returns the coordinator's slow-query log: the N slowest
+// scatter-gather queries with their stitched traces, linked by trace id and
+// plan key.
+func (c *Coordinator) SlowLog() *obs.SlowLog { return c.slow }
+
+// TraceRing returns the coordinator's bounded ring of recent stitched traces
+// (the /debug/traces backing store).
+func (c *Coordinator) TraceRing() *obs.TraceRing { return c.traces }
 
 // snapshotMembers copies the membership for one fan-out, sorted by name so
 // scatter order (and everything derived from it) is deterministic.

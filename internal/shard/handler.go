@@ -26,6 +26,14 @@ type QueryDoc struct {
 	Retries   int64              `json:"retries,omitempty"`
 	Shards    ShardsDoc          `json:"shards"`
 	ElapsedMS float64            `json:"elapsed_ms"`
+	// TraceID is the distributed trace id the query ran under — minted by the
+	// coordinator (or joined from an inbound X-Htl-Trace) and forwarded to
+	// every shard, so per-shard slow logs and trace rings correlate.
+	TraceID string `json:"trace_id,omitempty"`
+	// Trace is the stitched cross-process span tree, present with ?trace=1:
+	// the coordinator's scatter/merge spans with each shard's own spans
+	// attached under its numbered attempts.
+	Trace *obs.TraceSnapshot `json:"trace,omitempty"`
 }
 
 // ShardsDoc summarizes the fan-out behind one response.
@@ -56,21 +64,37 @@ func (c *Coordinator) Drain() { c.draining.Store(true) }
 
 // Handler returns the coordinator's endpoint set:
 //
-//	GET  /query      scatter-gather an HTL query (same parameters as a
-//	                 single server's /query)
-//	GET  /healthz    liveness: 200 while the process runs
-//	GET  /readyz     readiness: 200 while shards are attached and not
-//	                 draining
-//	GET  /metrics    shard.* metrics (JSON; Prometheus via Accept or
-//	                 ?format=prometheus)
-//	GET  /shards     current membership with breaker states
-//	POST /-/shards   graceful join/leave: {"op":"add","name":...,"url":...}
-//	                 or {"op":"remove","name":...}
+//	GET  /query          scatter-gather an HTL query (same parameters as a
+//	                     single server's /query; trace=1 returns the stitched
+//	                     cross-process span tree)
+//	POST /explain        distributed EXPLAIN ANALYZE: fan the explain out to
+//	                     every shard and merge the per-node profiles into one
+//	                     tree with per-shard cost attribution
+//	GET  /healthz        liveness: 200 while the process runs
+//	GET  /readyz         readiness: 200 while shards are attached and not
+//	                     draining
+//	GET  /metrics        shard.* metrics (JSON; Prometheus via Accept or
+//	                     ?format=prometheus)
+//	GET  /shards         current membership with breaker states
+//	POST /-/shards       graceful join/leave: {"op":"add","name":...,"url":...}
+//	                     or {"op":"remove","name":...}
+//	GET  /debug/slowlog  the coordinator's slowest queries, linked by trace
+//	                     id and plan key
+//	GET  /debug/traces   recent stitched traces (?id= for one full tree)
 //
 // Handlers are panic-isolated like the single server's.
 func (c *Coordinator) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/query", c.handleQuery)
+	mux.HandleFunc("/explain", c.handleExplain)
+	mux.HandleFunc("/debug/slowlog", func(w http.ResponseWriter, r *http.Request) {
+		entries := c.slow.Snapshot()
+		if entries == nil {
+			entries = []obs.SlowEntry{}
+		}
+		writeJSON(w, http.StatusOK, entries)
+	})
+	mux.HandleFunc("/debug/traces", c.traces.Handler())
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.WriteHeader(http.StatusOK)
 		fmt.Fprintln(w, "ok")
@@ -139,7 +163,7 @@ func (c *Coordinator) handleQuery(w http.ResponseWriter, r *http.Request) {
 	doc := QueryDoc{
 		Class: res.Class, Videos: res.Videos, Evaluated: res.Evaluated,
 		Top: res.Top, Skipped: res.Skipped, Failed: res.Failed,
-		Retries: res.Retries,
+		Retries: res.Retries, TraceID: res.TraceID, Trace: res.Trace,
 		Shards: ShardsDoc{
 			Total: res.ShardsTotal, OK: res.ShardsOK,
 			MinRequired: c.cfg.minShards,

@@ -50,6 +50,15 @@ type Results struct {
 	// htlvideo Results.Errors one level up: one error per lost shard, each
 	// naming the shard. A query meeting quorum still lists its losses here.
 	ShardErrors []error
+	// TraceID is the distributed trace id the query ran under: inbound
+	// context when the caller propagated one, minted here otherwise. Every
+	// shard request carried it, so each shard's slow log and trace ring
+	// correlate with the coordinator's stitched trace.
+	TraceID string
+	// Trace is the stitched cross-process span tree (scatter spans with each
+	// shard's own spans attached under its attempts, then the merge), present
+	// when the request asked for it.
+	Trace *obs.TraceSnapshot
 }
 
 // QuorumMet reports whether at least min shards answered; min is clamped to
@@ -99,6 +108,13 @@ func transientShardError(err error) bool {
 // Query runs one scatter-gather retrieval: fan p out to every shard on the
 // ring, each behind its breaker with retries and hedging, then merge the
 // ranked partials. If ctx carries no deadline, p.Timeout is applied.
+//
+// Every shard request carries the query's distributed trace id (inbound via
+// p.TraceID or minted here) in the X-Htl-Trace header — retries and hedges
+// included, each its own attempt span. With p.Trace the shards return their
+// span trees and the coordinator stitches them under its scatter span,
+// annotated with breaker states, retry/hedge outcomes and per-shard deadline
+// budgets: one cross-process trace of the whole Fig.-1 query path.
 func (c *Coordinator) Query(ctx context.Context, p server.QueryParams) *Results {
 	c.m.queries.Inc()
 	start := time.Now()
@@ -110,18 +126,35 @@ func (c *Coordinator) Query(ctx context.Context, p server.QueryParams) *Results 
 		defer cancel()
 	}
 
+	// Mint the distributed trace id up front: propagation is always on (the
+	// id is one header; shards join their logs to it whether or not anyone
+	// asked for span payloads).
+	if p.TraceID == "" {
+		p.TraceID = obs.NewTraceID()
+	}
+
 	tr := obs.NewTrace(p.Query)
+	tr.SetID(p.TraceID)
 	tr.SetTag("layer", "coordinator")
+	if p.Formula != nil {
+		// The canonical text is the plan key every shard compiles under, so
+		// the coordinator's slow log links to the same key without compiling.
+		tr.SetTag("plan_key", p.Formula.String())
+	}
 	defer func() {
 		tr.Finish()
+		c.slow.ObserveTrace(tr)
+		c.traces.ObserveTrace(tr)
 		if c.cfg.sink != nil {
 			c.cfg.sink.ObserveTrace(tr)
 		}
 	}()
 
 	members := c.snapshotMembers()
-	out := &Results{ShardsTotal: len(members)}
+	out := &Results{ShardsTotal: len(members), TraceID: p.TraceID}
+	tr.SetTag("shards", strconv.Itoa(len(members)))
 
+	scatterSp := tr.StartSpan("scatter")
 	type partial struct {
 		shard string
 		resp  *server.QueryResponse
@@ -131,18 +164,18 @@ func (c *Coordinator) Query(ctx context.Context, p server.QueryParams) *Results 
 	var wg sync.WaitGroup
 	for i, mb := range members {
 		parts[i].shard = mb.name
+		sp := scatterSp.StartSpan("shard " + mb.name)
+		sp.SetTag("breaker", c.breaker.State(mb.ord).String())
 		if !c.breaker.Allow(mb.ord) {
 			c.m.skipped.Inc()
 			parts[i].err = ErrBreakerOpen
-			sp := tr.StartSpan("shard " + mb.name)
 			sp.SetTag("outcome", "skipped")
 			sp.End()
 			continue
 		}
 		wg.Add(1)
-		go func(i int, mb member) {
+		go func(i int, mb member, sp *obs.Span) {
 			defer wg.Done()
-			sp := tr.StartSpan("shard " + mb.name)
 			sp.SetTag("url", mb.url)
 			resp, err := c.queryShard(ctx, mb, p, sp)
 			switch {
@@ -164,10 +197,12 @@ func (c *Coordinator) Query(ctx context.Context, p server.QueryParams) *Results 
 				parts[i].err = err
 			}
 			sp.End()
-		}(i, mb)
+		}(i, mb, sp)
 	}
 	wg.Wait()
+	scatterSp.End()
 
+	mergeSp := tr.StartSpan("merge")
 	var entries []mergeEntry
 	for _, pt := range parts {
 		if pt.err != nil {
@@ -204,8 +239,15 @@ func (c *Coordinator) Query(ctx context.Context, p server.QueryParams) *Results 
 			break
 		}
 	}
+	mergeSp.End()
 	if !out.QuorumMet(c.cfg.minShards) {
 		c.m.quorumFailures.Inc()
+	}
+	tr.SetTag("shards_ok", strconv.Itoa(out.ShardsOK))
+	if p.Trace {
+		tr.Finish()
+		snap := tr.Snapshot()
+		out.Trace = &snap
 	}
 	return out
 }
@@ -250,6 +292,9 @@ func mergeRanked(entries []mergeEntry, k int) []server.RankedDoc {
 // forwarded as its own ?timeout= so the shard self-bounds too.
 func (c *Coordinator) queryShard(ctx context.Context, mb member, p server.QueryParams, sp *obs.Span) (*server.QueryResponse, error) {
 	var resp *server.QueryResponse
+	// One attempt counter per shard sub-query, shared by retries and hedges:
+	// every HTTP request the shard saw is numbered in the stitched trace.
+	var attempt int64
 	err := c.retry.Do(ctx, func() error {
 		q := shardQuery(p)
 		sctx := ctx
@@ -260,12 +305,13 @@ func (c *Coordinator) queryShard(ctx context.Context, mb member, p server.QueryP
 				return context.DeadlineExceeded
 			}
 			q.Set("timeout", budget.String())
+			sp.SetTag("budget", budget.Round(time.Millisecond).String())
 			sctx, cancel = context.WithTimeout(ctx, budget)
 		}
 		if cancel != nil {
 			defer cancel()
 		}
-		r, e := c.callHedged(sctx, mb, q, sp)
+		r, e := c.callHedged(sctx, mb, q, p.TraceID, sp, &attempt)
 		if e != nil {
 			return e
 		}
@@ -292,6 +338,10 @@ func shardQuery(p server.QueryParams) url.Values {
 	q.Set("tau", strconv.FormatFloat(p.Tau, 'g', -1, 64))
 	q.Set("k", strconv.Itoa(p.K))
 	q.Set("partial", strconv.FormatBool(p.Partial))
+	if p.Trace {
+		// The shard returns its span tree for stitching.
+		q.Set("trace", "true")
+	}
 	return q
 }
 
@@ -300,7 +350,11 @@ func shardQuery(p server.QueryParams) url.Values {
 // cancelled. A failure of the only outstanding request returns immediately
 // (the retry loop owns backoff); with a hedge in flight, the last failure
 // wins only after both lose.
-func (c *Coordinator) callHedged(ctx context.Context, mb member, q url.Values, sp *obs.Span) (*server.QueryResponse, error) {
+//
+// Each launch — original or hedge — is one numbered attempt span under the
+// shard's span, carrying the trace id on the wire; a successful attempt that
+// returned span payload gets the shard's subtree stitched under it.
+func (c *Coordinator) callHedged(ctx context.Context, mb member, q url.Values, traceID string, sp *obs.Span, attempt *int64) (*server.QueryResponse, error) {
 	hctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 	type result struct {
@@ -308,13 +362,34 @@ func (c *Coordinator) callHedged(ctx context.Context, mb member, q url.Values, s
 		err  error
 	}
 	ch := make(chan result, 2)
-	launch := func() {
+	launch := func(hedged bool) {
+		// attempt is touched only here, on callHedged's own goroutine —
+		// launches are serialized by the select loop below.
+		*attempt++
+		asp := sp.StartSpan("attempt")
+		asp.SetTag("attempt", strconv.FormatInt(*attempt, 10))
+		if hedged {
+			asp.SetTag("hedge", "true")
+		}
 		go func() {
-			r, err := c.doRequest(hctx, mb, q)
+			r, err := c.doRequest(hctx, mb, q, traceID)
+			switch {
+			case err == nil:
+				asp.SetTag("outcome", "ok")
+				if r.Trace != nil {
+					asp.AttachRemote(r.Trace.Spans)
+				}
+			case errors.Is(err, context.Canceled):
+				// Usually the losing side of a settled hedge pair.
+				asp.SetTag("outcome", "cancelled")
+			default:
+				asp.SetTag("outcome", shortErr(err))
+			}
+			asp.End()
 			ch <- result{r, err}
 		}()
 	}
-	launch()
+	launch(false)
 	pending := 1
 
 	var hedge <-chan time.Time
@@ -332,7 +407,7 @@ func (c *Coordinator) callHedged(ctx context.Context, mb member, q url.Values, s
 			if sp != nil {
 				sp.SetTag("hedged", "true")
 			}
-			launch()
+			launch(true)
 			pending++
 		case r := <-ch:
 			if r.err == nil {
@@ -349,12 +424,26 @@ func (c *Coordinator) callHedged(ctx context.Context, mb member, q url.Values, s
 	}
 }
 
-// doRequest is one HTTP attempt against one shard.
-func (c *Coordinator) doRequest(ctx context.Context, mb member, q url.Values) (*server.QueryResponse, error) {
+// shortErr caps an error message for a span tag.
+func shortErr(err error) string {
+	msg := err.Error()
+	if len(msg) > 120 {
+		msg = msg[:120] + "…"
+	}
+	return msg
+}
+
+// doRequest is one HTTP attempt against one shard. The distributed trace id
+// travels on every attempt, so even a failed or abandoned request is
+// joinable from the shard's side.
+func (c *Coordinator) doRequest(ctx context.Context, mb member, q url.Values, traceID string) (*server.QueryResponse, error) {
 	c.m.requests.Inc()
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, mb.url+"/query?"+q.Encode(), nil)
 	if err != nil {
 		return nil, err
+	}
+	if traceID != "" {
+		req.Header.Set(obs.TraceHeader, traceID)
 	}
 	hr, err := c.client.Do(req)
 	if err != nil {

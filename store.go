@@ -205,6 +205,9 @@ type queryConfig struct {
 	partial        bool
 	noCache        bool
 	sink           obs.TraceSink
+	// traceID, when set, joins the query's trace into a distributed trace
+	// minted elsewhere (the coordinator, via X-Htl-Trace).
+	traceID string
 	// prof is the query's per-plan-node profile. runQuery allocates one per
 	// evaluated query (always-on explain accounting); ExplainCtx pre-sets it
 	// to keep the handle for rendering.
@@ -394,6 +397,7 @@ func (s *Store) QueryFormulaCtx(ctx context.Context, f Formula, opts ...QueryOpt
 func (s *Store) queryCompiledCtx(ctx context.Context, tr *obs.Trace, cq *CompiledQuery, cfg queryConfig) (res *Results, err error) {
 	engine := engineKey(cfg.engine)
 	class := classKey(cq.class)
+	tr.SetID(cfg.traceID)
 	tr.SetTag("engine", engine)
 	tr.SetTag("class", class)
 	tr.SetTag("level", strconv.Itoa(cfg.level))

@@ -20,6 +20,7 @@ import (
 type storeObs struct {
 	reg  *obs.Registry
 	slow *obs.SlowLog
+	ring *obs.TraceRing
 
 	mu   sync.Mutex
 	sink obs.TraceSink // store-wide sink, nil when unset
@@ -69,6 +70,7 @@ func newStoreObs() *storeObs {
 	return &storeObs{
 		reg:  reg,
 		slow: obs.NewSlowLog(obs.DefaultSlowLogSize),
+		ring: obs.NewTraceRing(obs.DefaultTraceRingSize),
 
 		queries:     reg.Counter("query.total"),
 		queryErrors: reg.Counter("query.errors"),
@@ -134,6 +136,7 @@ func (o *storeObs) endQuery(tr *obs.Trace, engine, class string, err error, sink
 		o.reg.Histogram("query.latency.class."+class, nil).Observe(d)
 	}
 	o.slow.ObserveTrace(tr)
+	o.ring.ObserveTrace(tr)
 	if gs := o.traceSink(); gs != nil {
 		gs.ObserveTrace(tr)
 	}
@@ -350,6 +353,10 @@ func (s *Store) Metrics() *obs.Registry { return s.obs.reg }
 // line per over-threshold query.
 func (s *Store) SlowLog() *obs.SlowLog { return s.obs.slow }
 
+// TraceRing exposes the store's bounded ring of recent query traces (the
+// /debug/traces backing store). Slow-log entries link into it by trace id.
+func (s *Store) TraceRing() *obs.TraceRing { return s.obs.ring }
+
 // SetTraceSink installs a store-wide trace sink receiving every query's
 // finished trace (nil removes it). Per-query sinks attach with WithTrace.
 func (s *Store) SetTraceSink(sink obs.TraceSink) {
@@ -360,10 +367,10 @@ func (s *Store) SetTraceSink(sink obs.TraceSink) {
 
 // DebugHandler serves the store's observability over HTTP: /metrics
 // (expvar-style JSON of the registry plus the Stats snapshot),
-// /debug/slowlog, and /debug/pprof. cmd/htlquery mounts it behind
-// -metrics-addr.
+// /debug/slowlog, /debug/traces, and /debug/pprof. cmd/htlquery mounts it
+// behind -metrics-addr.
 func (s *Store) DebugHandler() http.Handler {
-	return obs.Handler(s.obs.reg, s.obs.slow, func() any { return s.Stats() })
+	return obs.Handler(s.obs.reg, s.obs.slow, s.obs.ring, func() any { return s.Stats() })
 }
 
 // WithTrace attaches a per-query trace sink: the query records a span per
@@ -372,4 +379,12 @@ func (s *Store) DebugHandler() http.Handler {
 // hands the finished trace to sink alongside the returned Results.
 func WithTrace(sink obs.TraceSink) QueryOption {
 	return func(c *queryConfig) { c.sink = sink }
+}
+
+// WithTraceID joins this query's trace into a distributed trace minted
+// elsewhere: the trace adopts id instead of allocating its own, so slow-log
+// and trace-ring entries on this process correlate with the coordinator's
+// stitched trace. Empty ids are ignored.
+func WithTraceID(id string) QueryOption {
+	return func(c *queryConfig) { c.traceID = id }
 }
