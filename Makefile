@@ -4,9 +4,9 @@
 
 GO ?= go
 
-.PHONY: check vet staticcheck build test race chaos chaos-shard explain-smoke fuzz fuzz-store bench bench-short
+.PHONY: check vet staticcheck build test race chaos chaos-shard crash explain-smoke fuzz fuzz-store fuzz-wal bench bench-short
 
-check: vet staticcheck build race chaos chaos-shard explain-smoke
+check: vet staticcheck build race chaos chaos-shard crash explain-smoke
 
 vet:
 	$(GO) vet ./...
@@ -45,6 +45,14 @@ chaos:
 chaos-shard:
 	$(GO) test -race -run '^TestShardChaosMultiProcess$$' -count=1 -v ./internal/shard/
 
+# Crash-injection harness for the durable store: re-execs the test binary as
+# a child that kills itself (SIGKILL-equivalent exit) at chosen WAL byte
+# offsets mid-commit, then recovers the directory in the parent and checks
+# query results byte-for-byte against an uncrashed store. The in-process
+# every-byte-prefix property test rides along.
+crash:
+	$(GO) test -race -run '^TestWALCrashKillAtOffset$$|^TestDurableCrashEveryBytePrefix$$' -count=1 -v .
+
 # Explain smoke: `htlquery -explain` on the Fig. 2 until example must print a
 # non-empty annotated plan tree (a panic or an empty tree fails the target).
 explain-smoke:
@@ -61,6 +69,12 @@ fuzz:
 # load → save → load round-trips byte-identically).
 fuzz-store:
 	$(GO) test -run '^$$' -fuzz=FuzzLoadStore -fuzztime=30s .
+
+# Short WAL-replay fuzz session (FuzzWALReplay: recovery over arbitrary log
+# bytes never panics, accounts for every byte, and the committed prefix it
+# reports re-replays identically).
+fuzz-wal:
+	$(GO) test -run '^$$' -fuzz=FuzzWALReplay -fuzztime=30s ./internal/wal/
 
 # Benchmarks plus BENCH_obs.json (per-engine query latency from the store's
 # own metrics histograms), BENCH_perf.json (compilation/caching ns/op,

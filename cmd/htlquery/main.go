@@ -38,6 +38,7 @@ import (
 
 func main() {
 	storePath := flag.String("store", "", "JSON store file")
+	dataDir := flag.String("data-dir", "", "durable-store data directory; opened read-only (recovery runs, the log is never written), safe alongside a serving htlserve")
 	demo := flag.Bool("demo", false, "use the built-in Casablanca demo store")
 	level := flag.Int("level", 2, "hierarchy level the query is asserted on")
 	atRoot := flag.Bool("root", false, "assert the query at the video root (level 1)")
@@ -69,7 +70,7 @@ func main() {
 		return
 	}
 
-	store, err := buildStore(*storePath, *demo)
+	store, err := buildStore(*storePath, *dataDir, *demo)
 	if err != nil {
 		fatalf("%v", err)
 	}
@@ -374,7 +375,13 @@ func serveForever(srv *http.Server, addr string) {
 	_ = srv.Close()
 }
 
-func buildStore(path string, demo bool) (*htlvideo.Store, error) {
+func buildStore(path, dataDir string, demo bool) (*htlvideo.Store, error) {
+	if dataDir != "" {
+		// Read-only recovery: load the latest snapshot, replay the WAL tail,
+		// never open the log for writing — a serving htlserve can keep the
+		// directory.
+		return htlvideo.OpenDurable(dataDir, htlvideo.WithReadOnly())
+	}
 	if demo || path == "" {
 		s := htlvideo.NewStore(casablanca.Taxonomy(), casablanca.Weights())
 		if err := s.Add(casablanca.Video()); err != nil {

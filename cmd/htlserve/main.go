@@ -12,8 +12,17 @@
 // Usage:
 //
 //	htlserve -store videos.json -addr :8321
+//	htlserve -data-dir /var/lib/htl -fsync always -addr :8321
 //	htlserve -demo -addr :8321 -max-concurrent 16 -queue 32
 //	htlserve -shards http://s0:8321,http://s1:8321 -min-shards 1 -addr :8320
+//
+// With -data-dir the store is durable: recovery at start loads the latest
+// snapshot checkpoint and replays the write-ahead log's committed tail,
+// SIGHUP / POST /-/reload re-run the same recovery, and SIGUSR1 or
+// POST /-/checkpoint fold the log into a fresh snapshot. The WAL fsync
+// policy (-fsync) and checkpoint triggers (-checkpoint-records,
+// -checkpoint-bytes) are tunable; wal.* and checkpoint.* metrics appear on
+// /metrics in both JSON and Prometheus form.
 //
 // Endpoints:
 //
@@ -22,6 +31,7 @@
 //	GET  /healthz   liveness
 //	GET  /readyz    readiness (503 while draining)
 //	POST /-/reload  re-read and atomically swap the store file
+//	POST /-/checkpoint  fold the durable store's WAL into a snapshot
 //	GET  /metrics   server + store metrics and stats
 //	GET  /debug/slowlog, /debug/pprof/*
 //
@@ -60,6 +70,11 @@ import (
 func main() {
 	addr := flag.String("addr", ":8321", "listen address")
 	storePath := flag.String("store", "", "JSON store file (reloadable via SIGHUP or POST /-/reload)")
+	dataDir := flag.String("data-dir", "", "durable-store data directory (snapshot checkpoints + write-ahead log); recovery runs at start and on reload")
+	fsync := flag.String("fsync", "always", "WAL fsync policy for -data-dir: always, interval, never")
+	fsyncEvery := flag.Duration("fsync-interval", 100*time.Millisecond, "background fsync cadence under -fsync=interval")
+	checkpointRecords := flag.Int("checkpoint-records", htlvideo.DefaultCheckpointRecords, "WAL records that trigger an automatic checkpoint (0 disables)")
+	checkpointBytes := flag.Int64("checkpoint-bytes", htlvideo.DefaultCheckpointBytes, "WAL bytes that trigger an automatic checkpoint (0 disables)")
 	demo := flag.Bool("demo", false, "serve the built-in Casablanca demo store (reload disabled)")
 	maxConcurrent := flag.Int("max-concurrent", 0, "queries executing at once (0 = GOMAXPROCS)")
 	queueLen := flag.Int("queue", 0, "requests allowed to wait for a slot before shedding (0 = GOMAXPROCS)")
@@ -116,6 +131,32 @@ func main() {
 		err error
 	)
 	switch {
+	case *dataDir != "":
+		policy, perr := htlvideo.ParseSyncPolicy(*fsync)
+		if perr != nil {
+			fatalf("%v", perr)
+		}
+		srv, err = server.OpenDir(*dataDir, []htlvideo.DurableOption{
+			htlvideo.WithSyncPolicy(policy),
+			htlvideo.WithSyncInterval(*fsyncEvery),
+			htlvideo.WithCheckpointEvery(*checkpointRecords, *checkpointBytes),
+		}, opts...)
+		if err != nil {
+			fatalf("recovering %s: %v", *dataDir, err)
+		}
+		ds := srv.Store().DurableStats()
+		logger.Logf("recovered %s: seq %d, snapshot %d, fsync %s", *dataDir, ds.Seq, ds.SnapshotSeq, ds.Sync)
+		// SIGUSR1 checkpoints: fold the WAL into a fresh snapshot on demand
+		// (same as POST /-/checkpoint).
+		usr1 := make(chan os.Signal, 1)
+		signal.Notify(usr1, syscall.SIGUSR1)
+		go func() {
+			for range usr1 {
+				if err := srv.Checkpoint(); err != nil {
+					logger.Logf("checkpoint: %v", err)
+				}
+			}
+		}()
 	case *demo || *storePath == "":
 		if !*demo {
 			logger.Logf("no -store given; serving the built-in Casablanca demo")

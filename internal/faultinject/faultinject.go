@@ -16,6 +16,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"os"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -37,6 +38,15 @@ const (
 	// executes; the key is the statement's ordinal in the database's
 	// lifetime (0-based).
 	SiteRelationalExec Site = "relational.Exec"
+	// SiteWALAppend fires before each write-ahead-log frame write; the key
+	// is the file offset the frame would start at. It is an IO site
+	// (FireIO): rules there can fail the write, cut it short, or kill the
+	// process partway through the frame.
+	SiteWALAppend Site = "wal.Append"
+	// SiteWALSync fires before each write-ahead-log fsync; the key is the
+	// file size being made durable. An IO site (FireIO): rules there fail
+	// the sync or kill the process before it happens.
+	SiteWALSync Site = "wal.Sync"
 )
 
 // KeyAny matches every key at a site.
@@ -54,7 +64,22 @@ const (
 	// to Fire is cancelled, whichever comes first. A zero Stall blocks
 	// until cancellation; at context-free sites it is a no-op.
 	KindStall
+	// KindShortWrite makes an IO site (FireIO) write only Rule.Bytes bytes
+	// of the operation before failing with Rule.Err — the torn-frame shape
+	// a crash mid-write leaves behind.
+	KindShortWrite
+	// KindKill makes an IO site terminate the process with os.Exit — no
+	// deferred cleanup, no fsync — after writing part of the operation: the
+	// real thing a kill -9 does, for subprocess crash harnesses. With a
+	// positive Rule.Offset the rule triggers on the write that would cross
+	// that absolute file offset and allows exactly the bytes up to it;
+	// otherwise Rule.Bytes bytes of the operation are written first.
+	KindKill
 )
+
+// DefaultKillExitCode is the status KindKill exits with when the rule names
+// none; 137 is the shell's rendering of SIGKILL.
+const DefaultKillExitCode = 137
 
 // ErrInjected is the default error returned by KindError rules; detect it
 // with errors.Is.
@@ -80,10 +105,19 @@ type Rule struct {
 	// the open interval (including the zero value) always trigger.
 	Prob float64
 	Kind Kind
-	// Err overrides ErrInjected for KindError.
+	// Err overrides ErrInjected for KindError and KindShortWrite.
 	Err error
 	// Stall is KindStall's duration; zero blocks until cancellation.
 	Stall time.Duration
+	// Bytes is how much of the operation a KindShortWrite completes, or a
+	// KindKill writes before exiting when Offset is zero.
+	Bytes int
+	// Offset aims a KindKill at an absolute file position: the rule
+	// triggers on the IO operation that would cross it (key ≤ Offset <
+	// key+n) and permits exactly Offset−key bytes first.
+	Offset int64
+	// ExitCode overrides DefaultKillExitCode for KindKill.
+	ExitCode int
 }
 
 // Plan is an armed set of rules plus the seed driving probabilistic ones.
@@ -182,6 +216,99 @@ func (p *Plan) fire(ctx context.Context, site Site, key int64) error {
 		}
 	}
 	return nil
+}
+
+// IOFault is what an IO site must do instead of (or around) its normal
+// operation: perform only the first N bytes of it, then either die via Exit
+// or fail with Err.
+type IOFault struct {
+	// Err is the failure to return once N bytes are done (nil only when
+	// Kill is set: a killed process returns nothing).
+	Err error
+	// N is how many leading bytes of the operation to perform first — the
+	// torn prefix a crash leaves behind. Zero fails the operation whole.
+	N int
+	// Kill means the process must terminate with no cleanup after the N
+	// bytes: the caller performs them and calls Exit.
+	Kill     bool
+	ExitCode int
+}
+
+// Exit terminates the process immediately — no deferred functions, no
+// flushes, no fsync — the honest rendering of a kill -9 for crash harnesses.
+func (f *IOFault) Exit() {
+	os.Exit(f.ExitCode)
+}
+
+// FireIO is Fire for IO sites: key is the operation's starting file offset
+// (site-defined) and n its size in bytes. It returns nil to proceed
+// normally; otherwise the caller must perform only the first N bytes of the
+// operation and then call Exit (Kill set) or fail with Err. KindPanic rules
+// still panic; KindStall rules are ignored (IO sites carry no context).
+func FireIO(site Site, key int64, n int) *IOFault {
+	p := active.Load()
+	if p == nil {
+		return nil
+	}
+	return p.fireIO(site, key, n)
+}
+
+func (p *Plan) fireIO(site Site, key int64, n int) *IOFault {
+	p.mu.Lock()
+	ord := p.calls[site]
+	p.calls[site] = ord + 1
+	p.mu.Unlock()
+	for _, r := range p.rules {
+		if r.Site != site || (r.Key != KeyAny && r.Key != key) {
+			continue
+		}
+		// Offset-aimed kills trigger on the operation crossing the offset,
+		// independent of the key match above (KeyAny is the usual key).
+		if r.Kind == KindKill && r.Offset > 0 && !(key <= r.Offset && r.Offset < key+int64(n)) {
+			continue
+		}
+		if !p.roll(site, key, ord, r.Prob) {
+			continue
+		}
+		err := r.Err
+		if err == nil {
+			err = ErrInjected
+		}
+		err = fmt.Errorf("faultinject: %s (key %d): %w", site, key, err)
+		switch r.Kind {
+		case KindPanic:
+			panic(&Panic{Site: site, Key: key})
+		case KindStall:
+			continue
+		case KindShortWrite:
+			return &IOFault{Err: err, N: clampN(r.Bytes, n)}
+		case KindKill:
+			f := &IOFault{Kill: true, ExitCode: r.ExitCode}
+			if f.ExitCode == 0 {
+				f.ExitCode = DefaultKillExitCode
+			}
+			if r.Offset > 0 {
+				f.N = clampN(int(r.Offset-key), n)
+			} else {
+				f.N = clampN(r.Bytes, n)
+			}
+			return f
+		default:
+			return &IOFault{Err: err}
+		}
+	}
+	return nil
+}
+
+// clampN bounds an injected byte count to [0, n].
+func clampN(b, n int) int {
+	if b < 0 {
+		return 0
+	}
+	if b > n {
+		return n
+	}
+	return b
 }
 
 // roll decides a probabilistic rule deterministically from the seed, the

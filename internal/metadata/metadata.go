@@ -13,6 +13,7 @@ package metadata
 import (
 	"fmt"
 	"sort"
+	"sync"
 )
 
 // ObjectID identifies an object across all pictures of the database
@@ -326,7 +327,13 @@ func (v *Video) Validate() error {
 }
 
 // Store is a collection of videos — the meta-data database of Fig. 1.
+//
+// The map is the only shared mutable state: a *Video is immutable once
+// added, so guarding insertion and lookup with a read-write lock makes
+// live ingest (a durable store appending while queries run) safe without
+// locking anywhere in query evaluation.
 type Store struct {
+	mu     sync.RWMutex
 	videos map[int]*Video
 }
 
@@ -338,6 +345,8 @@ func (s *Store) Add(v *Video) error {
 	if err := v.Validate(); err != nil {
 		return err
 	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if _, dup := s.videos[v.ID]; dup {
 		return fmt.Errorf("metadata: duplicate video id %d", v.ID)
 	}
@@ -346,17 +355,27 @@ func (s *Store) Add(v *Video) error {
 }
 
 // Video returns the video with the given id, or nil.
-func (s *Store) Video(id int) *Video { return s.videos[id] }
+func (s *Store) Video(id int) *Video {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.videos[id]
+}
 
 // Videos returns all videos ordered by id.
 func (s *Store) Videos() []*Video {
+	s.mu.RLock()
 	out := make([]*Video, 0, len(s.videos))
 	for _, v := range s.videos {
 		out = append(out, v)
 	}
+	s.mu.RUnlock()
 	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
 	return out
 }
 
 // Len returns the number of videos in the store.
-func (s *Store) Len() int { return len(s.videos) }
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.videos)
+}

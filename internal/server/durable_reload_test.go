@@ -1,0 +1,226 @@
+package server
+
+// Hot reload under the durable store: SIGHUP-style Reload is
+// reload-as-recovery (close the WAL, re-run snapshot + log replay, swap),
+// and it must hold two invariants under concurrent query traffic — every
+// in-flight query answers from a consistent snapshot (never an error, never
+// a partially-applied store), and the WAL position is monotonic across
+// reloads (recovery can never land behind what the closed writer had
+// committed). Checkpoints interleave with reloads and must preserve both.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"htlvideo"
+)
+
+// durableChaosVideo mirrors chaosStore's shape for one video id.
+func durableChaosVideo(id int) *htlvideo.Video {
+	v := htlvideo.NewVideo(id, fmt.Sprintf("clip %d", id), map[string]int{"shot": 2})
+	v.Root.AppendChild(htlvideo.Seg().Attr("M1", htlvideo.Int(1)).Obj(htlvideo.ObjectID(100*id+1), "man").Prop("holds_gun").Build())
+	v.Root.AppendChild(htlvideo.Seg().Attr("M1", htlvideo.Int(1)).Attr("M2", htlvideo.Int(1)).Obj(htlvideo.ObjectID(100*id+2), "man").Build())
+	v.Root.AppendChild(htlvideo.Seg().Attr("M2", htlvideo.Int(1)).Build())
+	return v
+}
+
+func TestDurableReloadUnderTraffic(t *testing.T) {
+	before := runtime.NumGoroutine()
+
+	const seedVideos = 6
+	dir := t.TempDir()
+	seed, err := htlvideo.OpenDurable(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id := 1; id <= seedVideos; id++ {
+		if err := seed.Add(durableChaosVideo(id)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := seed.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	srv, err := OpenDir(dir, nil,
+		WithAdmission(AdmissionConfig{MaxConcurrent: 8, QueueLen: 8, QueueWait: 50 * time.Millisecond}),
+		WithDefaultTimeout(2*time.Second),
+		WithDrainTimeout(3*time.Second),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(srv.Store().Videos()); got != seedVideos {
+		t.Fatalf("recovered %d videos, want %d", got, seedVideos)
+	}
+
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- srv.Serve(l) }()
+	base := "http://" + l.Addr().String()
+	client := &http.Client{Timeout: 10 * time.Second}
+
+	// Query traffic for the whole reload storm: every response must be a
+	// complete, consistent snapshot — 200, no failed videos, and a video
+	// count some committed state actually had (between the seed and the
+	// final count).
+	const finalVideos = seedVideos + 8
+	stopTraffic := make(chan struct{})
+	var trafficWG sync.WaitGroup
+	var queries atomic.Int64
+	for c := 0; c < 6; c++ {
+		trafficWG.Add(1)
+		go func() {
+			defer trafficWG.Done()
+			for {
+				select {
+				case <-stopTraffic:
+					return
+				default:
+				}
+				resp, err := client.Get(base + "/query?q=M1")
+				if err != nil {
+					t.Errorf("query: %v", err)
+					return
+				}
+				body, rerr := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				if rerr != nil {
+					t.Errorf("query body: %v", rerr)
+					return
+				}
+				if resp.StatusCode == http.StatusTooManyRequests {
+					time.Sleep(2 * time.Millisecond)
+					continue
+				}
+				if resp.StatusCode != http.StatusOK {
+					t.Errorf("query during reload = %d: %s", resp.StatusCode, body)
+					return
+				}
+				var out QueryResponse
+				if err := json.Unmarshal(body, &out); err != nil {
+					t.Errorf("bad query body: %v", err)
+					return
+				}
+				if len(out.Failed) > 0 {
+					t.Errorf("query failed videos during reload: %s", body)
+					return
+				}
+				if out.Videos < seedVideos || out.Videos > finalVideos {
+					t.Errorf("inconsistent snapshot: %d videos (want %d..%d)", out.Videos, seedVideos, finalVideos)
+					return
+				}
+				queries.Add(1)
+			}
+		}()
+	}
+
+	// The mutation/reload storm: commit a video, reload (recovery), assert
+	// the WAL position never moves backward; checkpoint on every other
+	// round and assert the snapshot sequence advances.
+	lastSeq := srv.Store().DurableStats().Seq
+	for round := 0; round < finalVideos-seedVideos; round++ {
+		id := seedVideos + round + 1
+		if err := srv.Store().Add(durableChaosVideo(id)); err != nil {
+			t.Fatalf("round %d: Add: %v", round, err)
+		}
+		if round%2 == 1 {
+			resp, err := client.Post(base+"/-/checkpoint", "", nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			body, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("round %d: checkpoint = %d: %s", round, resp.StatusCode, body)
+			}
+			var out struct {
+				Durable htlvideo.DurableStats `json:"durable"`
+			}
+			if err := json.Unmarshal(body, &out); err != nil {
+				t.Fatalf("round %d: checkpoint body: %v", round, err)
+			}
+			if out.Durable.SnapshotSeq != out.Durable.Seq {
+				t.Fatalf("round %d: checkpoint left wal tail: %+v", round, out.Durable)
+			}
+		}
+		resp, err := client.Post(base+"/-/reload", "", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("round %d: reload = %d: %s", round, resp.StatusCode, body)
+		}
+		st := srv.Store().DurableStats()
+		if st.Seq < lastSeq {
+			t.Fatalf("round %d: WAL position moved backward: %d after %d", round, st.Seq, lastSeq)
+		}
+		lastSeq = st.Seq
+		if got := len(srv.Store().Videos()); got != id {
+			t.Fatalf("round %d: recovered %d videos, want %d", round, got, id)
+		}
+	}
+	close(stopTraffic)
+	trafficWG.Wait()
+	if queries.Load() == 0 {
+		t.Fatal("no query completed during the reload storm")
+	}
+	t.Logf("reload storm: %d queries, %d reloads, final seq %d", queries.Load(), srv.m.reloads.Value(), lastSeq)
+
+	// Drain; Shutdown closes the durable store (final WAL flush). Drop the
+	// client's keep-alive conns first: a never-used conn sits in StateNew
+	// on the server, which Shutdown only reaps after ~5s — longer than the
+	// drain timeout.
+	client.CloseIdleConnections()
+	if err := srv.Shutdown(t.Context()); err != nil {
+		buf := make([]byte, 1<<20)
+		t.Fatalf("shutdown: %v\n%s", err, buf[:runtime.Stack(buf, true)])
+	}
+	if err := <-serveDone; err != http.ErrServerClosed {
+		t.Fatalf("Serve returned %v", err)
+	}
+	if err := srv.Store().Add(durableChaosVideo(999)); err == nil {
+		t.Fatal("Add accepted after shutdown closed the store")
+	}
+
+	// The directory recovers to the full committed state.
+	re, err := htlvideo.OpenDurable(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(re.Videos()); got != finalVideos {
+		t.Fatalf("post-shutdown recovery: %d videos, want %d", got, finalVideos)
+	}
+	if st := re.DurableStats(); st.Seq != lastSeq {
+		t.Fatalf("post-shutdown recovery seq = %d, want %d", st.Seq, lastSeq)
+	}
+	if err := re.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if g := runtime.NumGoroutine(); g <= before+4 {
+			break
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			t.Fatalf("goroutines: %d before, %d after\n%s",
+				before, runtime.NumGoroutine(), buf[:runtime.Stack(buf, true)])
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

@@ -100,7 +100,9 @@ type errorDoc struct {
 //	                     exact=true for exact time attribution)
 //	GET  /healthz        liveness: 200 while the process runs
 //	GET  /readyz         readiness: 200 while serving, 503 once draining
-//	POST /-/reload       re-read and swap the store file
+//	POST /-/reload       re-read and swap the store file (durable servers:
+//	                     re-run snapshot + WAL recovery over the data dir)
+//	POST /-/checkpoint   fold the durable store's WAL into a fresh snapshot
 //	GET  /metrics        server + current-store metrics and stats (JSON by
 //	                     default; Prometheus text format via Accept or
 //	                     ?format=prometheus)
@@ -140,6 +142,21 @@ func (s *Server) Handler() http.Handler {
 			Reloaded bool `json:"reloaded"`
 			Videos   int  `json:"videos"`
 		}{true, len(s.Store().Videos())})
+	})
+	mux.HandleFunc("/-/checkpoint", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			w.Header().Set("Allow", http.MethodPost)
+			writeJSON(w, http.StatusMethodNotAllowed, errorDoc{Error: "POST required"})
+			return
+		}
+		if err := s.Checkpoint(); err != nil {
+			writeJSON(w, http.StatusInternalServerError, errorDoc{Error: err.Error()})
+			return
+		}
+		writeJSON(w, http.StatusOK, struct {
+			Checkpointed bool                  `json:"checkpointed"`
+			Durable      htlvideo.DurableStats `json:"durable"`
+		}{true, s.Store().DurableStats()})
 	})
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		st := s.Store()

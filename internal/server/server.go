@@ -168,6 +168,11 @@ type Server struct {
 
 	// storePath enables Reload; empty for in-memory servers.
 	storePath string
+	// dataDir enables durable mode (OpenDir): Reload becomes
+	// reload-as-recovery over the directory and /-/checkpoint + Checkpoint
+	// work. durableOpts are re-applied on every reload.
+	dataDir     string
+	durableOpts []htlvideo.DurableOption
 	// reloadMu serializes reloads (SIGHUP racing POST /-/reload).
 	reloadMu sync.Mutex
 
@@ -244,9 +249,41 @@ func Open(path string, opts ...Option) (*Server, error) {
 	return s, nil
 }
 
+// OpenDir builds a durable-store-backed server: the store recovers from the
+// data directory's latest snapshot plus the write-ahead log's committed
+// tail (htlvideo.OpenDurable), mutations commit WAL-first, and Reload
+// re-runs the same recovery. dopts configure the durable store (fsync
+// policy, checkpoint triggers) and are re-applied on every reload.
+func OpenDir(dir string, dopts []htlvideo.DurableOption, opts ...Option) (*Server, error) {
+	st, err := htlvideo.OpenDurable(dir, dopts...)
+	if err != nil {
+		return nil, err
+	}
+	s := New(st, opts...)
+	s.dataDir = dir
+	s.durableOpts = dopts
+	return s, nil
+}
+
 // Store returns the current store snapshot. Queries in flight keep the
 // snapshot they started with across reloads.
 func (s *Server) Store() *htlvideo.Store { return s.store.Load() }
+
+// Checkpoint folds the durable store's write-ahead log into a fresh
+// snapshot now (POST /-/checkpoint and SIGUSR1 land here). It fails on
+// servers not opened with OpenDir.
+func (s *Server) Checkpoint() error {
+	st := s.Store()
+	if st == nil || !st.Durable() {
+		return errors.New("server: no durable store to checkpoint (use -data-dir)")
+	}
+	if err := st.Checkpoint(); err != nil {
+		return err
+	}
+	ds := st.DurableStats()
+	s.logf("server: checkpointed %s at seq %d", ds.Dir, ds.SnapshotSeq)
+	return nil
+}
 
 // Metrics exposes the serving layer's metric registry (the store has its
 // own, reachable via Store().Metrics()).
@@ -264,6 +301,9 @@ func (s *Server) Metrics() *obs.Registry { return s.m.reg }
 func (s *Server) Reload() error {
 	s.reloadMu.Lock()
 	defer s.reloadMu.Unlock()
+	if s.dataDir != "" {
+		return s.reloadDurable()
+	}
 	if s.storePath == "" {
 		s.m.reloadErrs.Inc()
 		return errors.New("server: no store file to reload (in-memory store)")
@@ -281,6 +321,39 @@ func (s *Server) Reload() error {
 	s.store.Store(st)
 	s.m.reloads.Inc()
 	s.logf("server: reloaded %s (%d videos)", s.storePath, len(st.Videos()))
+	return nil
+}
+
+// reloadDurable is reload-as-recovery (caller holds reloadMu): the serving
+// store's write-ahead log is closed — a final flush, then the directory is
+// free — and the same recovery a process restart would run reopens it:
+// latest snapshot, WAL tail, torn-record truncation. In-flight queries
+// finish on the old in-memory snapshot; the new store's WAL position can
+// only be at or past the old one (recovery reads everything the old writer
+// committed). If reopening fails the old snapshot keeps serving queries, but
+// its log is closed, so mutations fail until a later reload succeeds — a
+// degradation to read-only, never a store that silently drops commits.
+func (s *Server) reloadDurable() error {
+	old := s.store.Load()
+	if old != nil {
+		if err := old.Close(); err != nil {
+			s.logf("server: closing store before reload: %v", err)
+		}
+	}
+	st, err := htlvideo.OpenDurable(s.dataDir, s.durableOpts...)
+	if err != nil {
+		s.m.reloadErrs.Inc()
+		s.logf("server: recovering %s failed (serving the previous snapshot read-only): %v", s.dataDir, err)
+		return fmt.Errorf("server: recovering %s: %w", s.dataDir, err)
+	}
+	if s.cfg.resultCache.Capacity > 0 {
+		st.EnableResultCache(s.cfg.resultCache)
+		s.m.cacheInval.Inc()
+	}
+	s.store.Store(st)
+	s.m.reloads.Inc()
+	ds := st.DurableStats()
+	s.logf("server: recovered %s (%d videos, seq %d)", s.dataDir, len(st.Videos()), ds.Seq)
 	return nil
 }
 
@@ -316,6 +389,9 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	s.httpMu.Lock()
 	srv := s.httpSrv
 	s.httpMu.Unlock()
+	// Whatever the drain's outcome, the durable store's log gets a final
+	// flush and release (a no-op for in-memory stores).
+	defer s.closeStore()
 	if srv == nil {
 		s.baseCancel()
 		return nil
@@ -338,6 +414,18 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	s.baseCancel()
 	s.logf("server: drained cleanly")
 	return nil
+}
+
+// closeStore releases the serving store's disk side under the reload lock
+// (so a racing reload cannot reopen what shutdown is closing).
+func (s *Server) closeStore() {
+	s.reloadMu.Lock()
+	defer s.reloadMu.Unlock()
+	if st := s.store.Load(); st != nil {
+		if err := st.Close(); err != nil {
+			s.logf("server: closing store: %v", err)
+		}
+	}
 }
 
 // Draining reports whether Shutdown has begun (readyz turns 503).

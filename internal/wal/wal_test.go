@@ -1,0 +1,505 @@
+package wal
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"htlvideo/internal/faultinject"
+)
+
+// writeLog builds a log with the given payloads and returns its bytes.
+func writeLog(t testing.TB, dir string, payloads [][]byte) (string, []byte) {
+	t.Helper()
+	path := filepath.Join(dir, "wal.log")
+	w, _, err := Open(path, Options{Policy: SyncNever})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	for i, p := range payloads {
+		if err := w.Append(uint64(i+1), p); err != nil {
+			t.Fatalf("Append %d: %v", i+1, err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("ReadFile: %v", err)
+	}
+	return path, data
+}
+
+func testPayloads(n int) [][]byte {
+	out := make([][]byte, n)
+	for i := range out {
+		out[i] = []byte(fmt.Sprintf("record-%03d-%s", i+1, bytes.Repeat([]byte{byte(i)}, i%7)))
+	}
+	return out
+}
+
+// replayAll collects every record Replay surfaces.
+func replayAll(t *testing.T, path string) ([]Record, ReplayInfo) {
+	t.Helper()
+	var recs []Record
+	info, err := Replay(path, func(r Record) error {
+		recs = append(recs, r)
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Replay: %v", err)
+	}
+	return recs, info
+}
+
+func TestWALRoundTrip(t *testing.T) {
+	payloads := testPayloads(10)
+	path, data := writeLog(t, t.TempDir(), payloads)
+	want := headerSize
+	for _, p := range payloads {
+		want += FrameSize(len(p))
+	}
+	if len(data) != want {
+		t.Fatalf("log is %d bytes, want %d", len(data), want)
+	}
+	recs, info := replayAll(t, path)
+	if info.TornBytes != 0 || info.Records != len(payloads) || info.LastSeq != uint64(len(payloads)) {
+		t.Fatalf("info = %+v", info)
+	}
+	if int(info.ValidSize) != len(data) {
+		t.Fatalf("ValidSize = %d, want %d", info.ValidSize, len(data))
+	}
+	for i, r := range recs {
+		if r.Seq != uint64(i+1) || !bytes.Equal(r.Payload, payloads[i]) {
+			t.Fatalf("record %d = {%d %q}, want {%d %q}", i, r.Seq, r.Payload, i+1, payloads[i])
+		}
+	}
+}
+
+func TestWALReplayMissingFile(t *testing.T) {
+	info, err := Replay(filepath.Join(t.TempDir(), "absent.log"), func(Record) error {
+		t.Fatal("callback on a missing file")
+		return nil
+	})
+	if err != nil || info.Records != 0 || info.ValidSize != 0 {
+		t.Fatalf("info = %+v, err = %v", info, err)
+	}
+}
+
+// TestWALEveryBytePrefix is the torn-write property at the log layer: for
+// every byte prefix of a real log, replay must surface exactly the records
+// whose frames fit whole in the prefix — never a panic, never a partial or
+// phantom record — and Open over the prefix must truncate the tear and accept
+// further appends.
+func TestWALEveryBytePrefix(t *testing.T) {
+	payloads := testPayloads(8)
+	_, data := writeLog(t, t.TempDir(), payloads)
+
+	// committed[i] = records fully contained in a prefix of length i.
+	committed := make([]int, len(data)+1)
+	n, off := 0, headerSize
+	for i := range committed {
+		if n < len(payloads) && i >= off+FrameSize(len(payloads[n])) {
+			off += FrameSize(len(payloads[n]))
+			n++
+		}
+		committed[i] = n
+	}
+
+	dir := t.TempDir()
+	for cut := 0; cut <= len(data); cut++ {
+		path := filepath.Join(dir, "wal.log")
+		if err := os.WriteFile(path, data[:cut], 0o644); err != nil {
+			t.Fatalf("cut %d: WriteFile: %v", cut, err)
+		}
+		recs, info := replayAll(t, path)
+		if len(recs) != committed[cut] {
+			t.Fatalf("cut %d: %d records, want %d", cut, len(recs), committed[cut])
+		}
+		for i, r := range recs {
+			if r.Seq != uint64(i+1) || !bytes.Equal(r.Payload, payloads[i]) {
+				t.Fatalf("cut %d: record %d corrupt", cut, i)
+			}
+		}
+		if info.ValidSize+info.TornBytes != int64(cut) {
+			t.Fatalf("cut %d: ValidSize %d + TornBytes %d != %d", cut, info.ValidSize, info.TornBytes, cut)
+		}
+		// Recovery must resume cleanly: open, append one more record, replay.
+		w, open, err := Open(path, Options{Policy: SyncNever})
+		if err != nil {
+			t.Fatalf("cut %d: Open: %v", cut, err)
+		}
+		if open.Records != committed[cut] {
+			t.Fatalf("cut %d: Open recovered %d records, want %d", cut, open.Records, committed[cut])
+		}
+		next := uint64(committed[cut]) + 1
+		if err := w.Append(next, []byte("after-recovery")); err != nil {
+			t.Fatalf("cut %d: Append after recovery: %v", cut, err)
+		}
+		if err := w.Close(); err != nil {
+			t.Fatalf("cut %d: Close: %v", cut, err)
+		}
+		recs, info = replayAll(t, path)
+		if len(recs) != committed[cut]+1 || info.TornBytes != 0 {
+			t.Fatalf("cut %d: after recovery %d records (torn %d), want %d", cut, len(recs), info.TornBytes, committed[cut]+1)
+		}
+	}
+}
+
+// TestWALByteFlipDetected flips every byte of the log body in turn and
+// asserts the CRC framing detects it: replay yields exactly the frames before
+// the flipped one, never anything past it.
+func TestWALByteFlipDetected(t *testing.T) {
+	payloads := testPayloads(6)
+	_, data := writeLog(t, t.TempDir(), payloads)
+
+	// frameOf[i] = index of the frame containing byte i.
+	frameOf := make([]int, len(data))
+	off := headerSize
+	for f, p := range payloads {
+		for i := 0; i < FrameSize(len(p)); i++ {
+			frameOf[off+i] = f
+		}
+		off += FrameSize(len(p))
+	}
+
+	dir := t.TempDir()
+	path := filepath.Join(dir, "wal.log")
+	for pos := headerSize; pos < len(data); pos++ {
+		mut := append([]byte(nil), data...)
+		mut[pos] ^= 0x40
+		if err := os.WriteFile(path, mut, 0o644); err != nil {
+			t.Fatalf("pos %d: WriteFile: %v", pos, err)
+		}
+		recs, info := replayAll(t, path)
+		if len(recs) != frameOf[pos] {
+			t.Fatalf("flip at %d (frame %d): replay surfaced %d records", pos, frameOf[pos], len(recs))
+		}
+		if info.TornBytes == 0 {
+			t.Fatalf("flip at %d: corruption not reported", pos)
+		}
+	}
+	// A flipped header is not a log at all.
+	mut := append([]byte(nil), data...)
+	mut[0] ^= 0x40
+	if err := os.WriteFile(path, mut, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Replay(path, nil); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+}
+
+func TestWALSeqDiscontinuityStopsReplay(t *testing.T) {
+	dir := t.TempDir()
+	path, data := writeLog(t, dir, testPayloads(4))
+	// Rewrite frame 3's sequence from 3 to 7 with a valid CRC: bytes that
+	// checksum but do not chain.
+	off := headerSize
+	for i := 0; i < 2; i++ {
+		off += FrameSize(len(testPayloads(4)[i]))
+	}
+	p := testPayloads(4)[2]
+	frame := data[off : off+FrameSize(len(p))]
+	frame[4+7] = 7 // low byte of the big-endian seq
+	// Recompute the CRC so only the chaining is wrong.
+	var fixed = frameCRC(7, p)
+	frame[12] = byte(fixed >> 24)
+	frame[13] = byte(fixed >> 16)
+	frame[14] = byte(fixed >> 8)
+	frame[15] = byte(fixed)
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	recs, info := replayAll(t, path)
+	if len(recs) != 2 || info.TornBytes == 0 {
+		t.Fatalf("replay past a sequence break: %d records, torn %d", len(recs), info.TornBytes)
+	}
+}
+
+func TestWALResetPreservesSequence(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "wal.log")
+	w, _, err := Open(path, Options{Policy: SyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 3; i++ {
+		if err := w.Append(uint64(i), []byte("x")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Reset(); err != nil {
+		t.Fatalf("Reset: %v", err)
+	}
+	if w.Size() != int64(HeaderSize()) {
+		t.Fatalf("Size after Reset = %d", w.Size())
+	}
+	if err := w.Append(3, []byte("stale")); err == nil {
+		t.Fatal("Reset lost the sequence counter")
+	}
+	if err := w.Append(4, []byte("fresh")); err != nil {
+		t.Fatalf("Append after Reset: %v", err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	recs, _ := replayAll(t, path)
+	if len(recs) != 1 || recs[0].Seq != 4 {
+		t.Fatalf("after Reset replay = %+v", recs)
+	}
+}
+
+// A checkpoint persists state elsewhere and truncates the log, so after a
+// process restart the log alone under-reports the committed sequence.
+// StartSeq floors the reopened writer's counter; the last replayed record
+// still wins when it is higher.
+func TestWALStartSeqFloorsSequence(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "wal.log")
+	w, _, err := Open(path, Options{Policy: SyncNever, StartSeq: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(8, []byte("stale")); err == nil {
+		t.Fatal("StartSeq ignored: stale sequence accepted")
+	}
+	if err := w.Append(9, []byte("fresh")); err != nil {
+		t.Fatalf("Append after StartSeq: %v", err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Reopen with a StartSeq behind the log: the replayed record wins.
+	w, info, err := Open(path, Options{Policy: SyncNever, StartSeq: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.LastSeq != 9 {
+		t.Fatalf("replayed LastSeq = %d, want 9", info.LastSeq)
+	}
+	if err := w.Append(10, []byte("next")); err != nil {
+		t.Fatalf("Append after reopen: %v", err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	recs, _ := replayAll(t, path)
+	if len(recs) != 2 || recs[0].Seq != 9 || recs[1].Seq != 10 {
+		t.Fatalf("final replay = %+v", recs)
+	}
+}
+
+func TestWALInjectedShortWritePoisonsAndRecovers(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "wal.log")
+	w, _, err := Open(path, Options{Policy: SyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 3; i++ {
+		if err := w.Append(uint64(i), []byte("committed")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	faultinject.Arm(faultinject.NewPlan(1, faultinject.Rule{
+		Site: faultinject.SiteWALAppend, Key: faultinject.KeyAny,
+		Kind: faultinject.KindShortWrite, Bytes: 5,
+	}))
+	defer faultinject.Disarm()
+	if err := w.Append(4, []byte("torn")); !errors.Is(err, faultinject.ErrInjected) {
+		t.Fatalf("injected append error = %v", err)
+	}
+	// The writer stands in for the crashed process: poisoned until reopen.
+	if err := w.Append(4, []byte("retry")); !errors.Is(err, ErrWriterFailed) {
+		t.Fatalf("append on a poisoned writer = %v", err)
+	}
+	w.Close()
+	faultinject.Disarm()
+
+	// The file holds 3 frames plus 5 torn bytes; recovery truncates them.
+	recs, info := replayAll(t, path)
+	if len(recs) != 3 || info.TornBytes != 5 {
+		t.Fatalf("replay after short write: %d records, torn %d", len(recs), info.TornBytes)
+	}
+	w2, open, err := Open(path, Options{Policy: SyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+	if open.Records != 3 || open.TornBytes != 5 {
+		t.Fatalf("Open info = %+v", open)
+	}
+	if err := w2.Append(4, []byte("after")); err != nil {
+		t.Fatalf("Append after reopen: %v", err)
+	}
+}
+
+func TestWALInjectedSyncErrorPoisons(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "wal.log")
+	w, _, err := Open(path, Options{Policy: SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(1, []byte("durable")); err != nil {
+		t.Fatal(err)
+	}
+	faultinject.Arm(faultinject.NewPlan(1, faultinject.Rule{
+		Site: faultinject.SiteWALSync, Key: faultinject.KeyAny, Kind: faultinject.KindError,
+	}))
+	if err := w.Append(2, []byte("lost")); !errors.Is(err, faultinject.ErrInjected) {
+		t.Fatalf("injected sync error = %v", err)
+	}
+	faultinject.Disarm()
+	// Fsyncgate: a failed fsync leaves the kernel state unknowable, so the
+	// writer must refuse further work even after the fault clears.
+	if err := w.Append(2, []byte("retry")); !errors.Is(err, ErrWriterFailed) {
+		t.Fatalf("append after failed fsync = %v", err)
+	}
+	w.Close()
+	// The unacknowledged frame was truncated away: replay sees only record 1.
+	recs, info := replayAll(t, path)
+	if len(recs) != 1 || info.TornBytes != 0 {
+		t.Fatalf("replay after sync failure: %d records, torn %d", len(recs), info.TornBytes)
+	}
+}
+
+func TestWALInjectedAppendErrorLeavesWriterUsable(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "wal.log")
+	w, _, err := Open(path, Options{Policy: SyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	// A whole-operation failure (N=0: nothing reached the file) does not
+	// poison — the log still matches the acknowledged set exactly.
+	faultinject.Arm(faultinject.NewPlan(1, faultinject.Rule{
+		Site: faultinject.SiteWALAppend, Key: int64(HeaderSize()), Kind: faultinject.KindError,
+	}))
+	if err := w.Append(1, []byte("fails")); !errors.Is(err, faultinject.ErrInjected) {
+		t.Fatalf("injected append error = %v", err)
+	}
+	faultinject.Disarm()
+	if err := w.Append(1, []byte("works")); err != nil {
+		t.Fatalf("append after whole-operation failure: %v", err)
+	}
+}
+
+func TestWALSyncIntervalFlushes(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "wal.log")
+	synced := make(chan struct{}, 16)
+	w, _, err := Open(path, Options{
+		Policy: SyncInterval, Interval: time.Millisecond,
+		OnSync: func(err error) {
+			if err == nil {
+				select {
+				case synced <- struct{}{}:
+				default:
+				}
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(1, []byte("interval")); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-synced:
+	case <-time.After(5 * time.Second):
+		t.Fatal("background flusher never synced")
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWALTornHeaderRecovers(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "wal.log")
+	if err := os.WriteFile(path, []byte(Magic[:3]), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	recs, info := replayAll(t, path)
+	if len(recs) != 0 || info.TornBytes != 3 || info.ValidSize != 0 {
+		t.Fatalf("torn header: %d records, info %+v", len(recs), info)
+	}
+	w, _, err := Open(path, Options{Policy: SyncNever})
+	if err != nil {
+		t.Fatalf("Open over a torn header: %v", err)
+	}
+	if err := w.Append(1, []byte("fresh")); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	recs, _ = replayAll(t, path)
+	if len(recs) != 1 {
+		t.Fatalf("after header recovery: %d records", len(recs))
+	}
+}
+
+// FuzzWALReplay feeds arbitrary bytes to recovery: it must never panic, must
+// account for every byte (committed prefix + torn tail = file), and the
+// committed prefix it reports must itself replay cleanly to the same records.
+func FuzzWALReplay(f *testing.F) {
+	payloads := testPayloads(3)
+	dir := f.TempDir()
+	_, valid := writeLog(f, dir, payloads)
+	f.Add(valid)
+	f.Add(valid[:len(valid)-3])
+	f.Add([]byte(Magic))
+	f.Add([]byte{})
+	f.Add(bytes.Repeat([]byte{0xff}, 64))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		path := filepath.Join(t.TempDir(), "wal.log")
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Skip()
+		}
+		var recs []Record
+		info, err := Replay(path, func(r Record) error {
+			recs = append(recs, r)
+			return nil
+		})
+		if err != nil {
+			return // bad magic or real IO error: rejected, not mis-read
+		}
+		if info.ValidSize < 0 || info.ValidSize+info.TornBytes != int64(len(data)) {
+			t.Fatalf("bytes unaccounted for: %+v over %d bytes", info, len(data))
+		}
+		if info.Records != len(recs) {
+			t.Fatalf("Records = %d, callback saw %d", info.Records, len(recs))
+		}
+		// The committed prefix is stable: replaying just it yields the same
+		// records and no torn tail.
+		if err := os.WriteFile(path, data[:info.ValidSize], 0o644); err != nil {
+			t.Skip()
+		}
+		var again []Record
+		info2, err := Replay(path, func(r Record) error {
+			again = append(again, r)
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("replaying the committed prefix: %v", err)
+		}
+		if info2.TornBytes != 0 || info2.Records != info.Records || info2.ValidSize != info.ValidSize {
+			t.Fatalf("committed prefix unstable: %+v then %+v", info, info2)
+		}
+		for i := range recs {
+			if recs[i].Seq != again[i].Seq || !bytes.Equal(recs[i].Payload, again[i].Payload) {
+				t.Fatalf("record %d changed between replays", i)
+			}
+		}
+	})
+}

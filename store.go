@@ -50,6 +50,10 @@ type Store struct {
 	// result-cache key, so cached results can never outlive the contents
 	// they were computed over.
 	gen atomic.Int64
+
+	// durable is the disk side of a durable store (see store_durable.go);
+	// nil for in-memory stores.
+	durable *durableState
 }
 
 // sysEntry is one singleflight-style slot of the picture-system cache:
@@ -81,8 +85,14 @@ func NewStore(tax *Taxonomy, w Weights) *Store {
 }
 
 // Add validates and inserts a video. A successful insert bumps the store's
-// generation, invalidating every cached query result.
+// generation, invalidating every cached query result. On a durable store the
+// insert commits WAL-first: it is appended to the log and made durable per
+// the configured fsync policy before it is applied in memory, so an
+// acknowledged Add survives a crash.
 func (s *Store) Add(v *Video) error {
+	if s.durable != nil {
+		return s.durableAdd(v)
+	}
 	if err := s.meta.Add(v); err != nil {
 		return err
 	}

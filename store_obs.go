@@ -63,6 +63,23 @@ type storeObs struct {
 	sqlStmts   *obs.Counter
 	sqlRows    *obs.Counter
 	sqlStmtLat *obs.Histogram
+
+	// Durable-mode instrumentation (all zero on in-memory stores): the
+	// write-ahead log's appends and fsyncs, recovery's replay accounting,
+	// and the checkpointer.
+	walAppends       *obs.Counter
+	walAppendErrors  *obs.Counter
+	walBytes         *obs.Counter
+	walSyncs         *obs.Counter
+	walSyncErrors    *obs.Counter
+	walReplayed      *obs.Counter
+	walTornTruncated *obs.Counter
+	walSize          *obs.Gauge
+	walSeq           *obs.Gauge
+	checkpoints      *obs.Counter
+	checkpointErrors *obs.Counter
+	checkpointSeq    *obs.Gauge
+	checkpointLat    *obs.Histogram
 }
 
 func newStoreObs() *storeObs {
@@ -105,6 +122,20 @@ func newStoreObs() *storeObs {
 		sqlStmts:   reg.Counter("sql.statements"),
 		sqlRows:    reg.Counter("sql.rows"),
 		sqlStmtLat: reg.Histogram("sql.stmt.latency", nil),
+
+		walAppends:       reg.Counter("wal.appends"),
+		walAppendErrors:  reg.Counter("wal.append_errors"),
+		walBytes:         reg.Counter("wal.bytes"),
+		walSyncs:         reg.Counter("wal.syncs"),
+		walSyncErrors:    reg.Counter("wal.sync_errors"),
+		walReplayed:      reg.Counter("wal.replayed_records"),
+		walTornTruncated: reg.Counter("wal.torn_truncations"),
+		walSize:          reg.Gauge("wal.size"),
+		walSeq:           reg.Gauge("wal.seq"),
+		checkpoints:      reg.Counter("checkpoint.total"),
+		checkpointErrors: reg.Counter("checkpoint.errors"),
+		checkpointSeq:    reg.Gauge("checkpoint.seq"),
+		checkpointLat:    reg.Histogram("checkpoint.latency", nil),
 	}
 }
 

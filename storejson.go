@@ -9,6 +9,7 @@ import (
 	"sort"
 
 	"htlvideo/internal/metadata"
+	"htlvideo/internal/wal"
 )
 
 // JSON persistence for video stores. The format is deliberately plain so
@@ -98,37 +99,49 @@ func LoadFile(path string) (*Store, error) {
 	return LoadStore(f)
 }
 
-// SaveFile writes the store to path atomically: the document goes to a
-// temporary file in the same directory, is fsynced, and replaces path with
-// rename. A crash mid-save leaves the previous file intact, never a
-// truncated document — the property the serving layer's hot reload depends
-// on.
+// SaveFile writes the store to path atomically and durably: the document
+// goes to a temporary file in the same directory, is fsynced, replaces path
+// with rename, and the directory itself is fsynced so the rename survives a
+// crash (an unsynced rename lives only in the directory's page cache — the
+// old file can reappear after power loss). A crash mid-save leaves the
+// previous file intact, never a truncated document — the property both the
+// serving layer's hot reload and the durable store's checkpoints depend on.
+// Every failure path removes the temporary file and reports the original
+// error.
 func (s *Store) SaveFile(path string) error {
 	dir := filepath.Dir(path)
 	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
 	if err != nil {
 		return fmt.Errorf("htlvideo: saving store: %w", err)
 	}
-	defer func() {
+	name := tmp.Name()
+	// fail settles any failure path: close (unless already closed) and
+	// remove the temp file, preserving the error that got us here.
+	fail := func(err error) error {
 		if tmp != nil {
 			tmp.Close()
-			os.Remove(tmp.Name())
 		}
-	}()
-	if err := s.Save(tmp); err != nil {
+		os.Remove(name)
 		return fmt.Errorf("htlvideo: saving store: %w", err)
 	}
+	if err := s.Save(tmp); err != nil {
+		return fail(err)
+	}
 	if err := tmp.Sync(); err != nil {
-		return fmt.Errorf("htlvideo: saving store: %w", err)
+		return fail(err)
 	}
 	if err := tmp.Close(); err != nil {
 		tmp = nil
-		return fmt.Errorf("htlvideo: saving store: %w", err)
+		return fail(err)
 	}
-	name := tmp.Name()
 	tmp = nil
 	if err := os.Rename(name, path); err != nil {
-		os.Remove(name)
+		return fail(err)
+	}
+	if err := wal.SyncDir(dir); err != nil {
+		// The new contents are at path either way; only the rename's crash
+		// durability is in doubt. Surface it — callers that checkpoint on
+		// it must not trust the snapshot.
 		return fmt.Errorf("htlvideo: saving store: %w", err)
 	}
 	return nil
@@ -187,22 +200,32 @@ func (d StoreDoc) Build() (*Store, error) {
 	}
 	store := NewStore(tax, DefaultWeights())
 	for _, vd := range d.Videos {
-		v := NewVideo(vd.ID, vd.Name, vd.Levels)
-		var err error
-		v.Root.Meta.Attrs, err = attrsFromDoc(vd.Attrs)
+		v, err := videoFromDoc(vd)
 		if err != nil {
-			return nil, fmt.Errorf("video %d: %w", vd.ID, err)
-		}
-		for _, sd := range vd.Segments {
-			if err := addSegmentDoc(v.Root, sd); err != nil {
-				return nil, fmt.Errorf("video %d: %w", vd.ID, err)
-			}
+			return nil, err
 		}
 		if err := store.Add(v); err != nil {
 			return nil, fmt.Errorf("video %d: %w", vd.ID, err)
 		}
 	}
 	return store, nil
+}
+
+// videoFromDoc reconstructs one video from its serialized form — the unit
+// both whole-document loads and WAL add_video records replay through.
+func videoFromDoc(vd VideoDoc) (*Video, error) {
+	v := NewVideo(vd.ID, vd.Name, vd.Levels)
+	var err error
+	v.Root.Meta.Attrs, err = attrsFromDoc(vd.Attrs)
+	if err != nil {
+		return nil, fmt.Errorf("video %d: %w", vd.ID, err)
+	}
+	for _, sd := range vd.Segments {
+		if err := addSegmentDoc(v.Root, sd); err != nil {
+			return nil, fmt.Errorf("video %d: %w", vd.ID, err)
+		}
+	}
+	return v, nil
 }
 
 // Save serializes the store (its taxonomy edges and videos) as JSON.
@@ -212,18 +235,23 @@ func (s *Store) Save(w io.Writer) error {
 		doc.Taxonomy = append(doc.Taxonomy, TaxEdgeDoc{Child: e[0], Parent: e[1]})
 	}
 	for _, v := range s.Videos() {
-		vd := VideoDoc{
-			ID: v.ID, Name: v.Name, Levels: v.LevelNames,
-			Attrs: attrsToDoc(v.Root.Meta.Attrs),
-		}
-		for _, c := range v.Root.Children {
-			vd.Segments = append(vd.Segments, segmentToDoc(c))
-		}
-		doc.Videos = append(doc.Videos, vd)
+		doc.Videos = append(doc.Videos, videoToDoc(v))
 	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(doc)
+}
+
+// videoToDoc serializes one video — the unit WAL add_video records carry.
+func videoToDoc(v *Video) VideoDoc {
+	vd := VideoDoc{
+		ID: v.ID, Name: v.Name, Levels: v.LevelNames,
+		Attrs: attrsToDoc(v.Root.Meta.Attrs),
+	}
+	for _, c := range v.Root.Children {
+		vd.Segments = append(vd.Segments, segmentToDoc(c))
+	}
+	return vd
 }
 
 func segmentToDoc(n *Node) SegmentDoc {

@@ -212,6 +212,36 @@ func TestSaveFileLoadFile(t *testing.T) {
 	}
 }
 
+// A failed SaveFile must remove its temporary file and surface the original
+// error — a checkpoint that fails mid-save cannot litter the data directory
+// with half-written snapshots the recovery scan would have to step around.
+func TestSaveFileFailureRemovesTemp(t *testing.T) {
+	s, err := LoadStore(strings.NewReader(sampleStoreJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	// Make the final rename fail: the target is a non-empty directory.
+	target := filepath.Join(dir, "store.json")
+	if err := os.MkdirAll(filepath.Join(target, "occupied"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	err = s.SaveFile(target)
+	if err == nil {
+		t.Fatal("SaveFile onto a non-empty directory succeeded")
+	}
+	if !strings.Contains(err.Error(), "saving store") {
+		t.Fatalf("err = %v, want the save error wrapped", err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || entries[0].Name() != "store.json" {
+		t.Fatalf("directory after failed SaveFile: %v, want just the store.json directory (temp removed)", entries)
+	}
+}
+
 // FuzzLoadStore: loading arbitrary bytes must never panic, and any document
 // that loads must round-trip — load → save → load yields an equal document
 // (byte-identical saves).
