@@ -28,6 +28,8 @@ func TestWriteBenchPerf(t *testing.T) {
 		{"PlanCacheHit", BenchmarkPlanCacheHit},
 		{"RepeatedQueryCold", BenchmarkRepeatedQueryCold},
 		{"RepeatedQueryWarm", BenchmarkRepeatedQueryWarm},
+		{"RankedTopKColdFull", benchRankedTopKFull},
+		{"RankedTopKColdPruned", benchRankedTopKPruned},
 	}
 
 	type result struct {
@@ -40,6 +42,9 @@ func TestWriteBenchPerf(t *testing.T) {
 		Benchmarks map[string]result `json:"benchmarks"`
 		// WarmSpeedup = RepeatedQueryCold / RepeatedQueryWarm ns/op.
 		WarmSpeedup float64 `json:"warm_speedup"`
+		// TopKSpeedup = RankedTopKColdFull / RankedTopKColdPruned ns/op:
+		// the threshold-style pruned scan against full materialization.
+		TopKSpeedup float64 `json:"topk_speedup"`
 	}{Query: "M1 until M2", Benchmarks: map[string]result{}}
 
 	for _, bench := range benches {
@@ -62,6 +67,16 @@ func TestWriteBenchPerf(t *testing.T) {
 	report.WarmSpeedup = float64(cold) / float64(warm)
 	if report.WarmSpeedup < 5 {
 		t.Fatalf("warm repeated query only %.1fx faster than cold, want >= 5x", report.WarmSpeedup)
+	}
+
+	full := report.Benchmarks["RankedTopKColdFull"].NsPerOp
+	pruned := report.Benchmarks["RankedTopKColdPruned"].NsPerOp
+	if pruned <= 0 {
+		t.Fatal("pruned top-k benchmark reported non-positive ns/op")
+	}
+	report.TopKSpeedup = float64(full) / float64(pruned)
+	if report.TopKSpeedup <= 1 {
+		t.Fatalf("pruned cold top-k is not faster than full materialization: %.2fx", report.TopKSpeedup)
 	}
 
 	buf, err := json.MarshalIndent(report, "", "  ")

@@ -283,6 +283,43 @@ func BenchmarkAblationTopK(b *testing.B) {
 	})
 }
 
+// rankedTopKCorpus builds the 8-video, 100k-shot-per-video corpus the cold
+// top-k benchmarks share (reduced under -short).
+func rankedTopKCorpus() map[int]simlist.List {
+	lists := map[int]simlist.List{}
+	for v := 1; v <= 8; v++ {
+		lists[v] = workload.Generate(workload.DefaultConfig(shortOr(2000, 100000), int64(v)))
+	}
+	return lists
+}
+
+func benchRankedTopKFull(b *testing.B) {
+	lists := rankedTopKCorpus()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = core.TopK(lists, 10)
+	}
+}
+
+func benchRankedTopKPruned(b *testing.B) {
+	lists := rankedTopKCorpus()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = core.RankedTopK(lists, 10, nil)
+	}
+}
+
+// BenchmarkRankedTopKCold measures a cold Ranked(10) over the large corpus:
+// full materialization (every entry heapified) against the threshold-style
+// pruned scan (each list bounded, only contributing lists heapified). The
+// pair also backs TestWriteBenchPerf's TopKSpeedup gate in BENCH_perf.json.
+func BenchmarkRankedTopKCold(b *testing.B) {
+	b.Run("full", benchRankedTopKFull)
+	b.Run("pruned", benchRankedTopKPruned)
+}
+
 // BenchmarkAblationSortCost isolates the input-sorting share of the direct
 // method's measured time (the paper reports merge-sort numbers).
 func BenchmarkAblationSortCost(b *testing.B) {

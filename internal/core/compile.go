@@ -1,6 +1,8 @@
 package core
 
 import (
+	"sync/atomic"
+
 	"htlvideo/internal/htl"
 )
 
@@ -31,6 +33,12 @@ type Plan struct {
 	// text. Both back the per-node execution profiler (profile.go).
 	nodes []*PNode
 	byKey map[string]*PNode
+
+	// phys is the plan's physical annotation (per-node child evaluation
+	// order; see cost.go). It is a property of *how* the plan evaluates,
+	// never of *what* it computes: Key stays stable while the cost model
+	// swaps phys between evaluations.
+	phys atomic.Pointer[physPlan]
 }
 
 // NodeList returns every plan node in ID order (the profiler's index order).
@@ -70,7 +78,7 @@ type PNode struct {
 func CompilePlan(f htl.Formula) *Plan {
 	c := planCompiler{seen: map[string]*PNode{}}
 	root := c.node(f)
-	return &Plan{
+	p := &Plan{
 		Root:  root,
 		Key:   root.Key,
 		Class: htl.Classify(f),
@@ -78,6 +86,8 @@ func CompilePlan(f htl.Formula) *Plan {
 		nodes: c.list,
 		byKey: c.seen,
 	}
+	p.phys.Store(defaultPhys(p))
+	return p
 }
 
 type planCompiler struct {

@@ -84,6 +84,7 @@ func EvalPlanCtx(ctx context.Context, src Source, p *Plan, opts Options) (simlis
 		g = g.Kids[0]
 	}
 	e := newPlanEval(src, opts)
+	e.phys = p.phys.Load()
 	var start time.Time
 	if opts.Prof != nil && len(prefix) > 0 {
 		start = time.Now()
@@ -114,8 +115,10 @@ func EvalTable(src Source, f htl.Formula, opts Options) (*simlist.Table, error) 
 
 // EvalTableCtx is EvalTable with cooperative cancellation.
 func EvalTableCtx(ctx context.Context, src Source, f htl.Formula, opts Options) (*simlist.Table, error) {
+	p := CompilePlan(f)
 	e := newPlanEval(src, opts)
-	return e.eval(ctx, CompilePlan(f).Root)
+	e.phys = p.phys.Load()
+	return e.eval(ctx, p.Root)
 }
 
 // MaxSimOf returns the maximum possible similarity of f, which depends only
@@ -153,10 +156,20 @@ type planEval struct {
 	src  Source
 	opts Options
 	memo map[*PNode]*simlist.Table
+	// phys is the physical annotation loaded once per evaluation (a
+	// mid-query Reoptimize cannot split one video's choices); nil means
+	// syntactic order with no short-circuits beyond until's default.
+	phys *physPlan
 }
 
 func newPlanEval(src Source, opts Options) *planEval {
 	return &planEval{src: src, opts: opts, memo: map[*PNode]*simlist.Table{}}
+}
+
+// gateFirst reports the physical plan's choice to evaluate n's second
+// operand before its first.
+func (e *planEval) gateFirst(n *PNode) bool {
+	return e.phys != nil && n.ID < len(e.phys.gateFirst) && e.phys.gateFirst[n.ID]
 }
 
 func (e *planEval) eval(ctx context.Context, n *PNode) (*simlist.Table, error) {
@@ -196,13 +209,39 @@ func (e *planEval) evalNode(ctx context.Context, n *PNode) (*simlist.Table, erro
 	}
 	switch n.F.(type) {
 	case htl.And:
-		t1, err := e.eval(ctx, n.Kids[0])
+		kl, kr := n.Kids[0], n.Kids[1]
+		first, second := kl, kr
+		if e.gateFirst(n) {
+			first, second = second, first
+		}
+		tf, err := e.eval(ctx, first)
 		if err != nil {
 			return nil, err
 		}
-		t2, err := e.eval(ctx, n.Kids[1])
+		// Empty-side short-circuit, AndMin only: one empty conjunct forces
+		// the minimum fraction to zero everywhere, while AndSum keeps the
+		// other side's one-sided entries. Byte-safe only when the skipped
+		// side cannot contribute constrained attribute ranges — an
+		// empty-list row with a constrained range survives the outer join
+		// as a coverage marker, so such a side must still evaluate.
+		if e.opts.And == AndMin && len(tf.Rows) == 0 && len(second.AttrVars) == 0 {
+			e.opts.Prof.SkipTree(second)
+			ms := tf.MaxSim + MaxSimOf(e.src, second.F)
+			if second == kr {
+				return emptyJoin(tf.ObjVars, tf.AttrVars, kr.ObjVars, kr.AttrVars, ms), nil
+			}
+			return emptyJoin(kl.ObjVars, kl.AttrVars, tf.ObjVars, tf.AttrVars, ms), nil
+		}
+		ts, err := e.eval(ctx, second)
 		if err != nil {
 			return nil, err
+		}
+		// Evaluation order is the optimizer's choice; the combine keeps the
+		// syntactic operand order, so output tables are byte-identical
+		// whichever side computed first.
+		t1, t2 := tf, ts
+		if first != kl {
+			t1, t2 = ts, tf
 		}
 		and := func(l1, l2 simlist.List) simlist.List {
 			e.opts.Obs.Merge()
@@ -211,18 +250,40 @@ func (e *planEval) evalNode(ctx context.Context, n *PNode) (*simlist.Table, erro
 		}
 		return CombineTables(t1, t2, and, t1.MaxSim+t2.MaxSim), nil
 	case htl.Until:
-		t1, err := e.eval(ctx, n.Kids[0])
-		if err != nil {
-			return nil, err
-		}
-		t2, err := e.eval(ctx, n.Kids[1])
-		if err != nil {
-			return nil, err
-		}
+		kg, kh := n.Kids[0], n.Kids[1]
 		until := func(l1, l2 simlist.List) simlist.List {
 			e.opts.Obs.Merge()
 			e.opts.Prof.Merge(n)
 			return UntilLists(l1, l2, e.opts.UntilThreshold)
+		}
+		if e.gateFirst(n) {
+			th, err := e.eval(ctx, kh)
+			if err != nil {
+				return nil, err
+			}
+			// Only the right side gates emptiness: with no h rows at all,
+			// every left row outer-joins against the empty list and
+			// UntilLists yields the empty list, so a row survives only as
+			// a range-constrained coverage marker. When the left side has
+			// no attribute variables it cannot produce such markers and
+			// the whole subtree is skipped.
+			if len(th.Rows) == 0 && len(kg.AttrVars) == 0 {
+				e.opts.Prof.SkipTree(kg)
+				return emptyJoin(kg.ObjVars, kg.AttrVars, th.ObjVars, th.AttrVars, th.MaxSim), nil
+			}
+			tg, err := e.eval(ctx, kg)
+			if err != nil {
+				return nil, err
+			}
+			return CombineTables(tg, th, until, th.MaxSim), nil
+		}
+		t1, err := e.eval(ctx, kg)
+		if err != nil {
+			return nil, err
+		}
+		t2, err := e.eval(ctx, kh)
+		if err != nil {
+			return nil, err
 		}
 		return CombineTables(t1, t2, until, t2.MaxSim), nil
 	case htl.Next:
@@ -303,8 +364,10 @@ func (e *planEval) evalAtLevel(ctx context.Context, n *PNode) (*simlist.Table, e
 			continue
 		}
 		// Each child sequence is a fresh source, so the child evaluation
-		// gets its own memo (nodes still dedupe *within* the child tree).
+		// gets its own memo (nodes still dedupe *within* the child tree);
+		// the physical annotation carries through unchanged.
 		ce := newPlanEval(cs, e.opts)
+		ce.phys = e.phys
 		ct, err := ce.eval(ctx, kid)
 		if err != nil {
 			return nil, err
@@ -341,6 +404,32 @@ func (e *planEval) evalAtLevel(ctx context.Context, n *PNode) (*simlist.Table, e
 		}
 	}
 	return out, nil
+}
+
+// emptyJoin builds the zero-row table a short-circuited combine is proven
+// to produce: the join's column union (first-operand columns, then the
+// second operand's extras — the same order makeJoinSchema derives) with no
+// rows. Downstream operators look columns up by name, so a zero-row table
+// with the right names and MaxSim is indistinguishable from the computed one.
+func emptyJoin(obj1, attr1, obj2, attr2 []string, maxSim float64) *simlist.Table {
+	return simlist.NewTable(unionVars(obj1, obj2), unionVars(attr1, attr2), maxSim)
+}
+
+func unionVars(a, b []string) []string {
+	out := append([]string(nil), a...)
+	for _, v := range b {
+		seen := false
+		for _, u := range out {
+			if u == v {
+				seen = true
+				break
+			}
+		}
+		if !seen {
+			out = append(out, v)
+		}
+	}
+	return out
 }
 
 func anyConstrained(ranges []simlist.Range) bool {

@@ -38,6 +38,7 @@ type nodeProf struct {
 	sqlStmts    atomic.Int64
 	sqlRows     atomic.Int64
 	timeNs      atomic.Int64
+	skipped     atomic.Int64
 }
 
 // NewPlanProfile returns a fresh profile for one evaluation of p. With exact
@@ -123,6 +124,41 @@ func (p *PlanProfile) AddSim(n *PNode) {
 	}
 }
 
+// Skip counts one short-circuited evaluation of n: the optimizer proved
+// n's table unnecessary for the current video without computing it.
+func (p *PlanProfile) Skip(n *PNode) {
+	if s := p.slot(n); s != nil {
+		s.skipped.Add(1)
+	}
+}
+
+// SkipTree records a skip on every node of the subtree rooted at n, each
+// shared node once per call (atomic units count as leaves, matching the
+// explain tree's shape) — so an explain tree distinguishes "never reached"
+// from "proven unnecessary".
+func (p *PlanProfile) SkipTree(n *PNode) {
+	if p == nil {
+		return
+	}
+	seen := map[int]bool{}
+	var walk func(n *PNode)
+	walk = func(n *PNode) {
+		s := p.slot(n)
+		if s == nil || seen[n.ID] {
+			return
+		}
+		seen[n.ID] = true
+		s.skipped.Add(1)
+		if n.NonTemporal {
+			return
+		}
+		for _, k := range n.Kids {
+			walk(k)
+		}
+	}
+	walk(n)
+}
+
 // AddSQL accounts SQL statements issued (and rows they returned or affected)
 // while computing n.
 func (p *PlanProfile) AddSQL(n *PNode, stmts, rows int64) {
@@ -159,6 +195,7 @@ func (p *PlanProfile) Stats(n *PNode) obs.NodeStats {
 		Entries:     s.entries.Load(),
 		SQLStmts:    s.sqlStmts.Load(),
 		SQLRows:     s.sqlRows.Load(),
+		Skipped:     s.skipped.Load(),
 		Time:        time.Duration(s.timeNs.Load()),
 	}
 }
@@ -180,6 +217,7 @@ func (p *PlanProfile) Tree() *obs.ExplainNode {
 		}
 	}
 	built := make([]*obs.ExplainNode, len(p.plan.nodes))
+	ph := p.plan.phys.Load()
 	var build func(n *PNode) *obs.ExplainNode
 	build = func(n *PNode) *obs.ExplainNode {
 		if e := built[n.ID]; e != nil {
@@ -193,6 +231,17 @@ func (p *PlanProfile) Tree() *obs.ExplainNode {
 			Closed:      n.Closed,
 			Shared:      indeg[n.ID] > 1,
 			Stats:       p.Stats(n),
+		}
+		// Optimizer annotations: the chosen child order and the cost-model
+		// estimates it was derived from (see cost.go).
+		if ph != nil && n.ID < len(ph.gateFirst) {
+			if ph.gateFirst[n.ID] {
+				e.Order = "right-first"
+			}
+			if est := ph.est[n.ID]; est.Known() {
+				e.EstCost = est.Cost
+				e.EstEntries = est.Entries
+			}
 		}
 		built[n.ID] = e
 		if !n.NonTemporal {

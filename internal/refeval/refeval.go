@@ -230,6 +230,10 @@ func (e *Evaluator) simAtUncached(ctx context.Context, n *core.PNode, u int, env
 	case htl.Eventually:
 		e.opts.Obs.Merge()
 		e.opts.Prof.Merge(n)
+		// ceil bounds every remaining scan position (similarity never
+		// exceeds the subformula's maximum), so reaching it ends the scan
+		// with the exact maximum already in hand.
+		ceil := e.maxSimOf(n.Kids[0])
 		best := 0.0
 		for j := u; j <= e.sys.Len(); j++ {
 			a, err := e.simAt(ctx, n.Kids[0], j, env)
@@ -237,12 +241,16 @@ func (e *Evaluator) simAtUncached(ctx context.Context, n *core.PNode, u int, env
 				return 0, err
 			}
 			best = max(best, a)
+			if best >= ceil {
+				break
+			}
 		}
 		return best, nil
 	case htl.Until:
 		e.opts.Obs.Merge()
 		e.opts.Prof.Merge(n)
 		gMax := e.maxSimOf(n.Kids[0])
+		ceil := e.maxSimOf(n.Kids[1])
 		best := 0.0
 		for j := u; j <= e.sys.Len(); j++ {
 			a, err := e.simAt(ctx, n.Kids[1], j, env)
@@ -250,6 +258,9 @@ func (e *Evaluator) simAtUncached(ctx context.Context, n *core.PNode, u int, env
 				return 0, err
 			}
 			best = max(best, a)
+			if best >= ceil {
+				break
+			}
 			g, err := e.simAt(ctx, n.Kids[0], j, env)
 			if err != nil {
 				return 0, err

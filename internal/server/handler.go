@@ -614,8 +614,8 @@ func (s *Server) evaluate(ctx context.Context, st *htlvideo.Store, p QueryParams
 		out.Retries = 0
 	}
 	mergeSpan := tr.StartSpan("merge")
-	res := &htlvideo.Results{PerVideo: lists}
-	for _, rk := range res.TopK(p.K) {
+	res := st.NewResults(lists)
+	for _, rk := range res.TopKCtx(ctx, p.K) {
 		out.Top = append(out.Top, RankedDoc{
 			Video: rk.VideoID, Beg: rk.Iv.Beg, End: rk.Iv.End,
 			Sim: rk.Sim.Act, Frac: rk.Sim.Frac(),

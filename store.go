@@ -43,6 +43,10 @@ type Store struct {
 
 	// plans caches compiled queries by text (see store_compile.go).
 	plans *cache.LRU[string, *CompiledQuery]
+	// costs folds every evaluated query's profile into per-subformula cost
+	// and selectivity estimates; plans reoptimize against it after each run
+	// (see internal/core/cost.go).
+	costs *core.CostModel
 	// results is the opt-in whole-result cache (see store_cache.go); nil
 	// until EnableResultCache.
 	results atomic.Pointer[resultCache]
@@ -81,6 +85,7 @@ func NewStore(tax *Taxonomy, w Weights) *Store {
 		obs:     newStoreObs(),
 		systems: map[[2]int]*sysEntry{},
 		plans:   cache.New[string, *CompiledQuery](DefaultPlanCacheCapacity, 0),
+		costs:   core.NewCostModel(),
 	}
 }
 
@@ -329,11 +334,41 @@ type Results struct {
 	// video id. It is empty on fully successful queries; without
 	// WithPartialResults any failure fails the query instead.
 	Errors []error
+
+	// obs reports top-k pruning back to the originating store's counters;
+	// nil for results built outside a store.
+	obs *storeObs
+}
+
+// NewResults wraps already-evaluated per-video similarity lists in a Results
+// bound to the store's observability, so layers that merge lists themselves
+// (the shard coordinator) still feed the top-k pruning counters.
+func (s *Store) NewResults(perVideo map[int]SimList) *Results {
+	return &Results{PerVideo: perVideo, obs: s.obs}
 }
 
 // TopK returns the k highest-similarity segment runs across all videos
-// (§1's "top k video segments ... will be retrieved").
-func (r *Results) TopK(k int) []Ranked { return core.TopK(r.PerVideo, k) }
+// (§1's "top k video segments ... will be retrieved"). It runs the
+// threshold-style pruned scan: per-video sorted access stops as soon as no
+// unseen entry can still displace the k-th run, and the entries skipped that
+// way feed the store's query.topk.* counters. The ranking is byte-identical
+// to sorting every entry (core.TopKBySort is the oracle the tests hold it
+// to).
+func (r *Results) TopK(k int) []Ranked { return r.TopKCtx(context.Background(), k) }
+
+// TopKCtx is TopK under a context: cancellation stops the scan promptly and
+// yields no ranking (a cancelled caller has no use for a partial one).
+func (r *Results) TopKCtx(ctx context.Context, k int) []Ranked {
+	var st core.PruneStats
+	out, err := core.RankedTopKCtx(ctx, r.PerVideo, k, &st)
+	if err != nil {
+		return nil
+	}
+	if r.obs != nil {
+		r.obs.observeTopK(st)
+	}
+	return out
+}
 
 // Ranked returns every non-zero run ordered by descending similarity — the
 // presentation of the paper's Table 4. Equal similarities order
@@ -445,7 +480,7 @@ func (s *Store) runQuery(ctx context.Context, tr *obs.Trace, cq *CompiledQuery, 
 		work = append(work, v)
 	}
 	tr.SetTag("videos", strconv.Itoa(len(work)))
-	res := &Results{Formula: cq.f, Class: cq.class, PerVideo: map[int]SimList{}}
+	res := &Results{Formula: cq.f, Class: cq.class, PerVideo: map[int]SimList{}, obs: s.obs}
 	if len(work) == 0 {
 		return res, nil
 	}
@@ -531,6 +566,13 @@ func (s *Store) runQuery(ctx context.Context, tr *obs.Trace, cq *CompiledQuery, 
 	// Fold the profile's memo hits into the registry so explain output and
 	// /metrics tell one story (the golden tests assert they match).
 	o.planMemoHits.Add(cfg.prof.MemoHits())
+	// Feed the observed per-node statistics back into the cost model and let
+	// the plan re-derive its physical annotation: the next evaluation of this
+	// plan (it stays cached) reorders children cheapest-first.
+	s.costs.Observe(cfg.prof)
+	if cq.plan.Reoptimize(s.costs) {
+		o.planReorders.Inc()
+	}
 
 	if err := ctx.Err(); err != nil {
 		return nil, fmt.Errorf("htlvideo: query aborted: %w", err)

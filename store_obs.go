@@ -10,6 +10,7 @@ import (
 	"strings"
 	"sync"
 
+	"htlvideo/internal/core"
 	"htlvideo/internal/htl"
 	"htlvideo/internal/obs"
 )
@@ -46,6 +47,10 @@ type storeObs struct {
 	planMisses   *obs.Counter
 	planSize     *obs.Gauge
 	planMemoHits *obs.Counter
+	planReorders *obs.Counter
+
+	topkEarlyTerm *obs.Counter
+	topkSkipped   *obs.Counter
 
 	resHits    *obs.Counter
 	resMisses  *obs.Counter
@@ -105,6 +110,10 @@ func newStoreObs() *storeObs {
 		planMisses:   reg.Counter("query.plan_cache.misses"),
 		planSize:     reg.Gauge("query.plan_cache.size"),
 		planMemoHits: reg.Counter("query.plan.memo_hits"),
+		planReorders: reg.Counter("query.plan.reorders"),
+
+		topkEarlyTerm: reg.Counter("query.topk.early_terminations"),
+		topkSkipped:   reg.Counter("query.topk.entries_skipped"),
 
 		resHits:    reg.Counter("query.cache.hits"),
 		resMisses:  reg.Counter("query.cache.misses"),
@@ -136,6 +145,16 @@ func newStoreObs() *storeObs {
 		checkpointErrors: reg.Counter("checkpoint.errors"),
 		checkpointSeq:    reg.Gauge("checkpoint.seq"),
 		checkpointLat:    reg.Histogram("checkpoint.latency", nil),
+	}
+}
+
+// observeTopK settles one pruned top-k scan's accounting.
+func (o *storeObs) observeTopK(st core.PruneStats) {
+	if st.EarlyTerminated {
+		o.topkEarlyTerm.Inc()
+	}
+	if st.EntriesSkipped > 0 {
+		o.topkSkipped.Add(st.EntriesSkipped)
 	}
 }
 
@@ -226,8 +245,18 @@ type Stats struct {
 	PlanCache   PlanCacheStats   `json:"plan_cache"`
 	ResultCache ResultCacheStats `json:"result_cache"`
 	Pool        PoolStats        `json:"pool"`
+	TopK        TopKStats        `json:"topk"`
 	SQL         SQLStats         `json:"sql"`
 	Engines     EngineStats      `json:"engines"`
+}
+
+// TopKStats describes the threshold-style pruned top-k scans (Results.TopK).
+type TopKStats struct {
+	// EarlyTerminations counts scans that stopped before consuming every
+	// entry; EntriesSkipped the similarity-list entries those scans proved
+	// irrelevant without reading.
+	EarlyTerminations int64 `json:"early_terminations"`
+	EntriesSkipped    int64 `json:"entries_skipped"`
 }
 
 // QueryStats aggregates whole-query accounting.
@@ -274,6 +303,10 @@ type PlanCacheStats struct {
 	// across all queries — the evaluation-time payoff of subformula interning
 	// (explain output shows the per-node breakdown).
 	MemoHits int64 `json:"memo_hits"`
+	// Reorders counts physical-plan installs that changed a cached plan's
+	// child evaluation order — the cost model overriding syntactic order
+	// after observing enough evaluations.
+	Reorders int64 `json:"reorders"`
 }
 
 // ResultCacheStats describes the opt-in whole-result cache (all zero until
@@ -341,6 +374,7 @@ func (s *Store) Stats() Stats {
 			Misses:   o.planMisses.Value(),
 			Size:     o.planSize.Value(),
 			MemoHits: o.planMemoHits.Value(),
+			Reorders: o.planReorders.Value(),
 		},
 		ResultCache: ResultCacheStats{
 			Hits:    o.resHits.Value(),
@@ -356,6 +390,10 @@ func (s *Store) Stats() Stats {
 			VideosEvaluated: o.videosEvaluated.Value(),
 			VideosFailed:    o.videosFailed.Value(),
 			VideosSkipped:   o.videosSkipped.Value(),
+		},
+		TopK: TopKStats{
+			EarlyTerminations: o.topkEarlyTerm.Value(),
+			EntriesSkipped:    o.topkSkipped.Value(),
 		},
 		SQL: SQLStats{
 			Statements:  o.sqlStmts.Value(),
