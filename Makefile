@@ -4,9 +4,9 @@
 
 GO ?= go
 
-.PHONY: check vet staticcheck build test race chaos chaos-shard crash explain-smoke fuzz fuzz-store fuzz-wal bench bench-short
+.PHONY: check vet staticcheck build test race lint-metrics chaos chaos-shard crash explain-smoke fuzz fuzz-store fuzz-wal bench bench-short
 
-check: vet staticcheck build race chaos chaos-shard crash explain-smoke
+check: vet staticcheck build race lint-metrics chaos chaos-shard crash explain-smoke
 
 vet:
 	$(GO) vet ./...
@@ -29,6 +29,12 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# Metrics-conventions lint: every Prometheus exposition the store, server and
+# shard coordinator serve must pass obs.LintExposition (counter/gauge/
+# histogram naming, cumulative buckets, +Inf terminators, name charset).
+lint-metrics:
+	$(GO) test -run '^TestMetricsConventions$$|^TestLintExposition' -count=1 ./ ./internal/obs/
 
 # End-to-end server chaos test: ≥32 concurrent clients against htlserve's
 # handler while faultinject injects build failures, panics and stalls.

@@ -32,6 +32,7 @@ import (
 
 	"htlvideo"
 	"htlvideo/internal/casablanca"
+	"htlvideo/internal/obs/querystats"
 	"htlvideo/internal/server"
 	"htlvideo/internal/shard"
 )
@@ -52,8 +53,17 @@ func main() {
 	explain := flag.Bool("explain", false, "evaluate the query with per-plan-node profiling and print the annotated plan tree")
 	exact := flag.Bool("exact", false, "with -explain: exact per-visit time attribution (slower; affects the reference evaluator)")
 	remote := flag.String("remote", "", "base URL of a running htlserve (single server or coordinator); the query runs there instead of locally")
+	topN := flag.Int("top", 0, "with -remote: print the server's top-N query shapes from /debug/queries instead of running a query")
+	topSort := flag.String("top-sort", "total", "with -top: ranking column: calls, total, or mean")
 	flag.Parse()
 
+	if *topN > 0 {
+		if *remote == "" {
+			fatalf("-top requires -remote")
+		}
+		runTopQueries(*remote, *topN, *topSort)
+		return
+	}
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: htlquery [flags] '<HTL query>'")
 		flag.PrintDefaults()
@@ -265,6 +275,56 @@ func runRemote(p remoteParams) {
 	if p.trace && doc.Trace != nil {
 		htlvideo.RenderTraceTree(os.Stderr, *doc.Trace)
 	}
+}
+
+// runTopQueries prints a server's (or coordinator's fleet-merged) heaviest
+// query shapes from /debug/queries — the pg_stat_statements view from the
+// command line.
+func runTopQueries(base string, n int, by string) {
+	vals := url.Values{}
+	vals.Set("sort", by)
+	vals.Set("limit", strconv.Itoa(n))
+	resp, err := http.Get(strings.TrimRight(base, "/") + "/debug/queries?" + vals.Encode())
+	if err != nil {
+		fatalf("remote query stats: %v", err)
+	}
+	body := readBody(resp)
+	if resp.StatusCode != http.StatusOK {
+		fatalf("remote query stats: %s: %s", resp.Status, errorOf(body))
+	}
+	var snap querystats.Snapshot
+	if err := json.Unmarshal(body, &snap); err != nil {
+		fatalf("decoding query stats: %v", err)
+	}
+	fmt.Printf("query shapes: %d tracked, %d evicted, %d calls all-time (sorted by %s)\n",
+		len(snap.Entries), snap.Evicted, snap.Totals.Calls, snap.SortedBy)
+	if len(snap.Entries) == 0 {
+		return
+	}
+	fmt.Printf("%-7s %-9s %-9s %-9s %-7s %-6s %-8s %s\n",
+		"calls", "total", "mean", "p95", "errors", "cache", "class", "plan key")
+	for _, e := range snap.Entries {
+		fmt.Printf("%-7d %-9s %-9s %-9s %-7d %-6s %-8s %s\n",
+			e.Calls,
+			fmtSeconds(e.TotalSeconds), fmtSeconds(e.MeanSeconds), fmtSeconds(e.P95Seconds),
+			e.ErrorCount(), fmtPercent(e.CacheHitRatio()), e.Class, truncateKey(e.PlanKey, 60))
+	}
+}
+
+// fmtSeconds renders a seconds value as a compact duration.
+func fmtSeconds(s float64) string {
+	return time.Duration(s * float64(time.Second)).Round(10 * time.Microsecond).String()
+}
+
+// fmtPercent renders a 0..1 ratio as a percentage.
+func fmtPercent(r float64) string { return strconv.FormatFloat(r*100, 'f', 0, 64) + "%" }
+
+// truncateKey caps a plan key for one table row.
+func truncateKey(k string, n int) string {
+	if len(k) <= n {
+		return k
+	}
+	return k[:n] + "…"
 }
 
 // remoteExplain posts /explain and renders whichever shape came back: a

@@ -34,6 +34,10 @@
 //	POST /-/checkpoint  fold the durable store's WAL into a snapshot
 //	GET  /metrics   server + store metrics and stats
 //	GET  /debug/slowlog, /debug/pprof/*
+//	GET  /debug/queries  per-query-shape workload statistics (-querystats)
+//	GET  /debug/health   health rollup with reason strings
+//	GET  /debug/timeseries  sampled metric history (-sample-interval)
+//	GET  /debug/dash     self-contained HTML dashboard
 //
 // Coordinator mode replaces /-/reload and the pprof endpoints with:
 //
@@ -42,6 +46,8 @@
 //	POST /explain        distributed EXPLAIN ANALYZE merged across shards
 //	GET  /debug/slowlog  slowest scatter-gather queries (trace-id linked)
 //	GET  /debug/traces   recent stitched cross-process traces
+//	GET  /debug/queries  fleet-merged per-query-shape statistics
+//	GET  /debug/health   coordinator health rollup (membership, breakers)
 //
 // Both modes answer ?trace=1 on /query with a span tree in the envelope, and
 // join an inbound X-Htl-Trace header into a distributed trace.
@@ -90,6 +96,8 @@ func main() {
 	minShards := flag.Int("min-shards", 1, "coordinator quorum: shards that must answer for a query to succeed")
 	hedgeDelay := flag.Duration("hedge-delay", 100*time.Millisecond, "coordinator: quiet period before a straggling shard is sent a duplicate request (0 disables)")
 	traceBuf := flag.Int("trace-buffer", 0, "coordinator: recent stitched traces retained for /debug/traces (0 = default)")
+	queryStats := flag.Int("querystats", 512, "plan keys tracked in per-query-shape workload statistics (/debug/queries; 0 = default capacity)")
+	sampleInterval := flag.Duration("sample-interval", 5*time.Second, "metrics-history sampling cadence for /debug/timeseries and /debug/dash (0 disables)")
 	flag.Parse()
 
 	logger := obs.LoggerFunc(log.New(os.Stderr, "htlserve: ", log.LstdFlags).Printf)
@@ -100,7 +108,8 @@ func main() {
 			minShards: *minShards, hedgeDelay: *hedgeDelay,
 			defaultTimeout: *defaultTimeout, maxTimeout: *maxTimeout,
 			drainTimeout: *drainTimeout, retries: *retries,
-			breakerOpenFor: *breakerOpenFor, traceBuf: *traceBuf, logger: logger,
+			breakerOpenFor: *breakerOpenFor, traceBuf: *traceBuf,
+			sampleInterval: *sampleInterval, logger: logger,
 		})
 		return
 	}
@@ -119,6 +128,8 @@ func main() {
 		server.WithMaxTimeout(*maxTimeout),
 		server.WithDrainTimeout(*drainTimeout),
 		server.WithLogger(logger),
+		server.WithQueryStatsCapacity(*queryStats),
+		server.WithSampleInterval(*sampleInterval),
 	}
 	if *resultCache > 0 {
 		opts = append(opts, server.WithResultCache(htlvideo.ResultCacheConfig{
@@ -219,6 +230,7 @@ type coordinatorConfig struct {
 	retries        int
 	breakerOpenFor time.Duration
 	traceBuf       int
+	sampleInterval time.Duration
 	logger         obs.LoggerFunc
 }
 
@@ -247,8 +259,10 @@ func runCoordinator(cfg coordinatorConfig) {
 		shard.WithRetryConfig(retryCfg),
 		shard.WithBreakerConfig(breakerCfg),
 		shard.WithTraceBufferSize(cfg.traceBuf),
+		shard.WithSampleInterval(cfg.sampleInterval),
 		shard.WithLogger(cfg.logger.Logf),
 	)
+	defer coord.Close()
 	hs := server.NewHTTPServer(cfg.addr, coord.Handler())
 
 	stop := make(chan os.Signal, 1)

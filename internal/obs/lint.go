@@ -1,0 +1,199 @@
+package obs
+
+// Metric-conventions lint: a checker over the Prometheus exposition that
+// enforces the naming rules this repo (and the Prometheus ecosystem) relies
+// on — counters end in _total, histograms are seconds-based with cumulative
+// le buckets terminated by +Inf — so a new metric that would scrape wrong
+// fails `make check` instead of a production dashboard.
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// LintExposition checks a Prometheus text exposition against the repo's
+// metric conventions and returns one message per violation (empty when
+// clean):
+//
+//   - metric names use only [a-zA-Z0-9_:] and do not start with a digit
+//   - counters end in _total
+//   - gauges do not end in _total (a gauge named like a counter misleads
+//     rate() users)
+//   - histograms end in _seconds, expose _bucket/_sum/_count series, carry
+//     cumulative non-decreasing le buckets with increasing bounds, terminate
+//     with le="+Inf", and agree with _count
+func LintExposition(text string) []string {
+	var problems []string
+	types := map[string]string{}           // metric family -> declared type
+	buckets := map[string][]bucketSample{} // histogram family -> le buckets
+	counts := map[string]float64{}         // histogram family -> _count value
+	hasSum := map[string]bool{}            // histogram family -> _sum seen
+
+	for _, line := range strings.Split(text, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			fields := strings.Fields(line)
+			if len(fields) != 4 {
+				problems = append(problems, fmt.Sprintf("malformed TYPE line: %q", line))
+				continue
+			}
+			types[fields[2]] = fields[3]
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		name, labels, value, err := parseSample(line)
+		if err != nil {
+			problems = append(problems, err.Error())
+			continue
+		}
+		if !validMetricName(name) {
+			problems = append(problems, fmt.Sprintf("invalid metric name %q", name))
+		}
+		switch {
+		case strings.HasSuffix(name, "_bucket"):
+			family := strings.TrimSuffix(name, "_bucket")
+			le, ok := labels["le"]
+			if !ok {
+				problems = append(problems, fmt.Sprintf("%s: bucket sample without le label", name))
+				continue
+			}
+			buckets[family] = append(buckets[family], bucketSample{le: le, count: value})
+		case strings.HasSuffix(name, "_sum"):
+			hasSum[strings.TrimSuffix(name, "_sum")] = true
+		case strings.HasSuffix(name, "_count"):
+			counts[strings.TrimSuffix(name, "_count")] = value
+		}
+	}
+
+	families := make([]string, 0, len(types))
+	for f := range types {
+		families = append(families, f)
+	}
+	sort.Strings(families)
+	for _, family := range families {
+		switch types[family] {
+		case "counter":
+			if !strings.HasSuffix(family, "_total") {
+				problems = append(problems, fmt.Sprintf("counter %s does not end in _total", family))
+			}
+		case "gauge":
+			if strings.HasSuffix(family, "_total") {
+				problems = append(problems, fmt.Sprintf("gauge %s ends in _total (counter-style name on a gauge)", family))
+			}
+		case "histogram":
+			problems = append(problems, lintHistogram(family, buckets[family], counts, hasSum)...)
+		}
+	}
+	return problems
+}
+
+type bucketSample struct {
+	le    string
+	count float64
+}
+
+// lintHistogram checks one histogram family's unit suffix, series set, and
+// bucket shape.
+func lintHistogram(family string, bs []bucketSample, counts map[string]float64, hasSum map[string]bool) []string {
+	var problems []string
+	if !strings.HasSuffix(family, "_seconds") {
+		problems = append(problems, fmt.Sprintf("histogram %s does not end in _seconds", family))
+	}
+	if len(bs) == 0 {
+		problems = append(problems, fmt.Sprintf("histogram %s has no _bucket series", family))
+		return problems
+	}
+	if !hasSum[family] {
+		problems = append(problems, fmt.Sprintf("histogram %s has no _sum series", family))
+	}
+	last := bs[len(bs)-1]
+	if last.le != "+Inf" {
+		problems = append(problems, fmt.Sprintf("histogram %s does not terminate with an le=\"+Inf\" bucket", family))
+	} else if total, ok := counts[family]; !ok {
+		problems = append(problems, fmt.Sprintf("histogram %s has no _count series", family))
+	} else if total != last.count {
+		problems = append(problems, fmt.Sprintf("histogram %s: _count %v disagrees with +Inf bucket %v", family, total, last.count))
+	}
+	prevBound := -1.0
+	prevCount := -1.0
+	for i, b := range bs {
+		if b.le != "+Inf" {
+			bound, err := strconv.ParseFloat(b.le, 64)
+			if err != nil {
+				problems = append(problems, fmt.Sprintf("histogram %s: unparseable le %q", family, b.le))
+				continue
+			}
+			if bound <= prevBound {
+				problems = append(problems, fmt.Sprintf("histogram %s: bucket bounds not increasing at le=%q", family, b.le))
+			}
+			prevBound = bound
+		} else if i != len(bs)-1 {
+			problems = append(problems, fmt.Sprintf("histogram %s: +Inf bucket is not last", family))
+		}
+		if b.count < prevCount {
+			problems = append(problems, fmt.Sprintf("histogram %s: bucket counts not cumulative at le=%q", family, b.le))
+		}
+		prevCount = b.count
+	}
+	return problems
+}
+
+// parseSample splits one exposition sample line into name, labels, value.
+func parseSample(line string) (string, map[string]string, float64, error) {
+	nameEnd := strings.IndexAny(line, "{ \t")
+	if nameEnd < 0 {
+		return "", nil, 0, fmt.Errorf("malformed sample line: %q", line)
+	}
+	name := line[:nameEnd]
+	rest := line[nameEnd:]
+	labels := map[string]string{}
+	if strings.HasPrefix(rest, "{") {
+		end := strings.Index(rest, "}")
+		if end < 0 {
+			return "", nil, 0, fmt.Errorf("%s: unterminated label block", name)
+		}
+		for _, pair := range strings.Split(rest[1:end], ",") {
+			if pair == "" {
+				continue
+			}
+			eq := strings.Index(pair, "=")
+			if eq < 0 {
+				return "", nil, 0, fmt.Errorf("%s: malformed label %q", name, pair)
+			}
+			labels[strings.TrimSpace(pair[:eq])] = strings.Trim(strings.TrimSpace(pair[eq+1:]), `"`)
+		}
+		rest = rest[end+1:]
+	}
+	valStr := strings.TrimSpace(rest)
+	val, err := strconv.ParseFloat(valStr, 64)
+	if err != nil {
+		return "", nil, 0, fmt.Errorf("%s: unparseable value %q", name, valStr)
+	}
+	return name, labels, val, nil
+}
+
+// validMetricName reports whether name fits [a-zA-Z_:][a-zA-Z0-9_:]*.
+func validMetricName(name string) bool {
+	if name == "" {
+		return false
+	}
+	for i, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_', r == ':':
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}

@@ -244,6 +244,7 @@ type Registry struct {
 	gauges     map[string]*Gauge
 	gaugeFuncs map[string]func() int64
 	histograms map[string]*Histogram
+	help       map[string]string
 }
 
 // NewRegistry returns an empty registry.
@@ -253,7 +254,34 @@ func NewRegistry() *Registry {
 		gauges:     map[string]*Gauge{},
 		gaugeFuncs: map[string]func() int64{},
 		histograms: map[string]*Histogram{},
+		help:       map[string]string{},
 	}
+}
+
+// Describe records a metric's one-line description, emitted as the # HELP
+// line in Prometheus exposition. The name is the registry name (dotted, no
+// type suffix); describing the same name again replaces the text.
+func (r *Registry) Describe(name, help string) {
+	if r == nil || help == "" {
+		return
+	}
+	r.mu.Lock()
+	r.help[name] = help
+	r.mu.Unlock()
+}
+
+// DescribeAll records a batch of metric descriptions.
+func (r *Registry) DescribeAll(help map[string]string) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	for name, h := range help {
+		if h != "" {
+			r.help[name] = h
+		}
+	}
+	r.mu.Unlock()
 }
 
 // Counter returns (creating if needed) the named counter; nil registries
@@ -322,6 +350,10 @@ type RegistrySnapshot struct {
 	Counters   map[string]int64             `json:"counters"`
 	Gauges     map[string]int64             `json:"gauges"`
 	Histograms map[string]HistogramSnapshot `json:"histograms"`
+	// Help carries the registered metric descriptions (see Describe); the
+	// Prometheus exposition renders them as # HELP lines. Omitted from the
+	// JSON form, which is self-describing by name.
+	Help map[string]string `json:"-"`
 }
 
 // Snapshot copies every metric's current value.
@@ -330,6 +362,7 @@ func (r *Registry) Snapshot() RegistrySnapshot {
 		Counters:   map[string]int64{},
 		Gauges:     map[string]int64{},
 		Histograms: map[string]HistogramSnapshot{},
+		Help:       map[string]string{},
 	}
 	if r == nil {
 		return out
@@ -351,6 +384,9 @@ func (r *Registry) Snapshot() RegistrySnapshot {
 	for k, v := range r.histograms {
 		hists[k] = v
 	}
+	for k, v := range r.help {
+		out.Help[k] = v
+	}
 	r.mu.Unlock()
 	for k, v := range counters {
 		out.Counters[k] = v.Value()
@@ -363,6 +399,34 @@ func (r *Registry) Snapshot() RegistrySnapshot {
 	}
 	for k, v := range hists {
 		out.Histograms[k] = v.Snapshot()
+	}
+	return out
+}
+
+// MergeSnapshots combines registry snapshots into one (metric names are kept
+// disjoint by convention; on a collision the later snapshot wins). A serving
+// layer with its own registry plus its store's uses it to present — and
+// sample — one unified metric space.
+func MergeSnapshots(snaps ...RegistrySnapshot) RegistrySnapshot {
+	out := RegistrySnapshot{
+		Counters:   map[string]int64{},
+		Gauges:     map[string]int64{},
+		Histograms: map[string]HistogramSnapshot{},
+		Help:       map[string]string{},
+	}
+	for _, s := range snaps {
+		for k, v := range s.Counters {
+			out.Counters[k] = v
+		}
+		for k, v := range s.Gauges {
+			out.Gauges[k] = v
+		}
+		for k, v := range s.Histograms {
+			out.Histograms[k] = v
+		}
+		for k, v := range s.Help {
+			out.Help[k] = v
+		}
 	}
 	return out
 }

@@ -17,12 +17,12 @@ import (
 func TestHistogramBucketBoundaries(t *testing.T) {
 	bounds := []time.Duration{time.Millisecond, 10 * time.Millisecond, 100 * time.Millisecond}
 	h := NewHistogram(bounds)
-	h.Observe(time.Millisecond)            // boundary: bucket 0
-	h.Observe(time.Millisecond + 1)        // just above: bucket 1
-	h.Observe(10 * time.Millisecond)       // boundary: bucket 1
-	h.Observe(50 * time.Millisecond)       // interior: bucket 2
-	h.Observe(time.Second)                 // beyond all bounds: overflow
-	h.Observe(-time.Second)                // negative clamps to zero: bucket 0
+	h.Observe(time.Millisecond)      // boundary: bucket 0
+	h.Observe(time.Millisecond + 1)  // just above: bucket 1
+	h.Observe(10 * time.Millisecond) // boundary: bucket 1
+	h.Observe(50 * time.Millisecond) // interior: bucket 2
+	h.Observe(time.Second)           // beyond all bounds: overflow
+	h.Observe(-time.Second)          // negative clamps to zero: bucket 0
 	snap := h.Snapshot()
 	if snap.Count != 6 {
 		t.Fatalf("Count = %d, want 6", snap.Count)

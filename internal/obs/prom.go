@@ -39,23 +39,28 @@ func WantsPrometheus(r *http.Request) bool {
 
 // WritePrometheus renders a registry snapshot in the 0.0.4 text format.
 // Metric names are sanitized to the Prometheus charset (dots become
-// underscores); counters gain a _total suffix, histograms are exported in
-// seconds with cumulative le buckets and +Inf. Output is sorted by name, so
-// equal snapshots render byte-identically.
+// underscores); counters gain a _total suffix (pre-labeled names take it
+// before their label block), histograms are exported in seconds with
+// cumulative le buckets and +Inf. Described metrics (Registry.Describe) get
+// a # HELP line before their # TYPE line. Output is sorted by name, so equal
+// snapshots render byte-identically.
 func WritePrometheus(w io.Writer, snap RegistrySnapshot) {
 	for _, name := range sortedKeys(snap.Counters) {
 		pn := promName(name, "_total")
+		writeHelp(w, baseName(pn), snap.Help[name])
 		fmt.Fprintf(w, "# TYPE %s counter\n", baseName(pn))
 		fmt.Fprintf(w, "%s %d\n", pn, snap.Counters[name])
 	}
 	for _, name := range sortedKeys(snap.Gauges) {
 		pn := promName(name, "")
+		writeHelp(w, baseName(pn), snap.Help[name])
 		fmt.Fprintf(w, "# TYPE %s gauge\n", baseName(pn))
 		fmt.Fprintf(w, "%s %d\n", pn, snap.Gauges[name])
 	}
 	for _, name := range sortedKeys(snap.Histograms) {
 		h := snap.Histograms[name]
 		pn := promName(name, "_seconds")
+		writeHelp(w, pn, snap.Help[name])
 		fmt.Fprintf(w, "# TYPE %s histogram\n", pn)
 		var cum int64
 		for _, b := range h.Buckets {
@@ -118,9 +123,22 @@ func RegisterProcessMetrics(reg *Registry) {
 	})
 }
 
+// writeHelp emits a # HELP line when a description was registered. Newlines
+// and backslashes are escaped per the exposition format.
+func writeHelp(w io.Writer, base, help string) {
+	if help == "" {
+		return
+	}
+	help = strings.ReplaceAll(help, `\`, `\\`)
+	help = strings.ReplaceAll(help, "\n", `\n`)
+	fmt.Fprintf(w, "# HELP %s %s\n", base, help)
+}
+
 // promName sanitizes a registry name to the Prometheus charset and appends
-// the type suffix. A pre-labeled name ("build_info{...}") keeps its label
-// suffix verbatim and takes no type suffix.
+// the type suffix. A pre-labeled name ("query.class{shard=...}") keeps its
+// label block verbatim, with the type suffix inserted before it — the
+// metrics-conventions lint holds every counter to the _total suffix whether
+// labeled or not.
 func promName(name, suffix string) string {
 	labels := ""
 	if i := strings.IndexByte(name, '{'); i >= 0 {
@@ -141,13 +159,10 @@ func promName(name, suffix string) string {
 			b.WriteByte('_')
 		}
 	}
-	if labels != "" {
-		return b.String() + labels
-	}
 	if suffix != "" && !strings.HasSuffix(b.String(), suffix) {
 		b.WriteString(suffix)
 	}
-	return b.String()
+	return b.String() + labels
 }
 
 // baseName strips a label suffix for # TYPE lines.

@@ -30,13 +30,31 @@ var (
 
 // parsePrometheus parses exposition text, failing the test on any line that
 // is not a well-formed comment or sample, on a sample without a preceding
-// TYPE line, or on an invalid TYPE.
-func parsePrometheus(t *testing.T, text string) ([]promSample, map[string]string) {
+// TYPE line, on a HELP line that does not precede its metric's samples, or
+// on an invalid TYPE. It returns the samples, the TYPE map, and the HELP map.
+func parsePrometheus(t *testing.T, text string) ([]promSample, map[string]string, map[string]string) {
 	t.Helper()
 	var samples []promSample
 	types := map[string]string{}
+	helps := map[string]string{}
+	seen := map[string]bool{}
 	for _, line := range strings.Split(text, "\n") {
 		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# HELP ") {
+			rest := strings.TrimPrefix(line, "# HELP ")
+			name, help, ok := strings.Cut(rest, " ")
+			if !ok || help == "" {
+				t.Fatalf("malformed HELP line %q", line)
+			}
+			if !promNameRe.MatchString(name) {
+				t.Fatalf("HELP line names invalid metric %q", name)
+			}
+			if seen[name] {
+				t.Fatalf("HELP for %q after its samples", name)
+			}
+			helps[name] = help
 			continue
 		}
 		if strings.HasPrefix(line, "# TYPE ") {
@@ -80,9 +98,10 @@ func parsePrometheus(t *testing.T, text string) ([]promSample, map[string]string
 		if _, ok := types[base]; !ok {
 			t.Fatalf("sample %q has no preceding TYPE line", line)
 		}
+		seen[base] = true
 		samples = append(samples, s)
 	}
-	return samples, types
+	return samples, types, helps
 }
 
 func findSample(samples []promSample, name string) (promSample, bool) {
@@ -108,10 +127,13 @@ func TestPrometheusRoundTrip(t *testing.T) {
 	for _, d := range []time.Duration{10 * time.Microsecond, 300 * time.Microsecond, 80 * time.Millisecond, time.Minute} {
 		h.Observe(d)
 	}
+	reg.Describe("query.total", "Queries issued, including failed ones.")
+	reg.Describe("query.latency", "Whole-query latency.\nSecond line.")
+	reg.Describe("pool.in_flight", "Videos evaluating right now.")
 
 	var b strings.Builder
 	WritePrometheus(&b, reg.Snapshot())
-	samples, types := parsePrometheus(t, b.String())
+	samples, types, helps := parsePrometheus(t, b.String())
 
 	if s, ok := findSample(samples, "query_total"); !ok || s.value != 42 {
 		t.Fatalf("query_total = %+v, %v; want 42", s, ok)
@@ -125,9 +147,25 @@ func TestPrometheusRoundTrip(t *testing.T) {
 	if s, ok := findSample(samples, "computed_gauge"); !ok || s.value != 99 {
 		t.Fatalf("computed gauge = %+v, %v; want 99", s, ok)
 	}
-	// The pre-labeled counter keeps its label block and gets no _total suffix.
-	if s, ok := findSample(samples, "query_class_type1"); !ok || s.value != 7 || s.labels["shard"] != "weird" {
+	// The pre-labeled counter keeps its label block, with the _total suffix
+	// inserted before it (the conventions lint requires it of every counter).
+	if s, ok := findSample(samples, "query_class_type1_total"); !ok || s.value != 7 || s.labels["shard"] != "weird" {
 		t.Fatalf("labeled counter = %+v, %v; want 7 with shard=weird", s, ok)
+	}
+
+	// Described metrics carry # HELP lines under their exposition names, with
+	// newlines escaped; undescribed ones have none.
+	if got := helps["query_total"]; got != "Queries issued, including failed ones." {
+		t.Fatalf("query_total HELP = %q", got)
+	}
+	if got := helps["query_latency_seconds"]; got != `Whole-query latency.\nSecond line.` {
+		t.Fatalf("query_latency_seconds HELP = %q", got)
+	}
+	if got := helps["pool_in_flight"]; got != "Videos evaluating right now." {
+		t.Fatalf("pool_in_flight HELP = %q", got)
+	}
+	if _, ok := helps["computed_gauge"]; ok {
+		t.Fatalf("undescribed gauge unexpectedly has HELP")
 	}
 
 	if types["query_latency_seconds"] != "histogram" {
@@ -184,7 +222,7 @@ func TestRegisterProcessMetrics(t *testing.T) {
 	RegisterProcessMetrics(reg)
 	var b strings.Builder
 	WritePrometheus(&b, reg.Snapshot())
-	samples, _ := parsePrometheus(t, b.String())
+	samples, _, _ := parsePrometheus(t, b.String())
 
 	bi, ok := findSample(samples, "build_info")
 	if !ok || bi.value != 1 {
@@ -256,7 +294,7 @@ func TestMetricsHandlerNegotiation(t *testing.T) {
 	if ct := rec.Header().Get("Content-Type"); ct != PrometheusContentType {
 		t.Fatalf("prometheus content type = %q", ct)
 	}
-	samples, _ := parsePrometheus(t, rec.Body.String())
+	samples, _, _ := parsePrometheus(t, rec.Body.String())
 	if s, ok := findSample(samples, "some_counter_total"); !ok || s.value != 1 {
 		t.Fatalf("some_counter_total = %+v, %v", s, ok)
 	}

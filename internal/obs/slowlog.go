@@ -17,8 +17,12 @@ type SlowEntry struct {
 	// PlanKey is the query's plan-cache key (the formula's canonical text,
 	// from the trace's plan_key tag): the identity under which explain output
 	// and the plan cache index the same query.
-	PlanKey string        `json:"plan_key,omitempty"`
-	Trace   TraceSnapshot `json:"trace"`
+	PlanKey string `json:"plan_key,omitempty"`
+	// Shard names the shard whose sub-query dominated a scatter-gather's
+	// wall time (the trace's dominant_shard tag) — on coordinator slow logs
+	// it points at where the time actually went.
+	Shard string        `json:"shard,omitempty"`
+	Trace TraceSnapshot `json:"trace"`
 }
 
 // SlowLog retains the N slowest queries seen, with their full traces — the
@@ -75,6 +79,7 @@ func (l *SlowLog) ObserveTrace(t *Trace) {
 			When:     time.Now(),
 			TraceID:  snap.ID,
 			PlanKey:  snap.Tags["plan_key"],
+			Shard:    snap.Tags["dominant_shard"],
 			Trace:    snap,
 		}
 		i := sort.Search(len(l.entries), func(i int) bool { return l.entries[i].Duration < d })

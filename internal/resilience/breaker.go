@@ -205,6 +205,18 @@ func (b *Breaker) Cancel(key int64) {
 	}
 }
 
+// States returns every tracked circuit's current state without advancing
+// any — the health rollup's view of the whole breaker.
+func (b *Breaker) States() map[int64]BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := make(map[int64]BreakerState, len(b.circuits))
+	for key, c := range b.circuits {
+		out[key] = c.state
+	}
+	return out
+}
+
 // State returns key's current state without advancing it (an open circuit
 // past its deadline still reads open until the next Allow).
 func (b *Breaker) State(key int64) BreakerState {

@@ -28,6 +28,7 @@ import (
 
 	"htlvideo"
 	"htlvideo/internal/faultinject"
+	"htlvideo/internal/obs"
 )
 
 // chaosStore builds n small videos with M1/M2-tagged shots at level 2, like
@@ -187,6 +188,36 @@ func TestServerChaos(t *testing.T) {
 		t.Fatal("no transient failure was retried")
 	}
 
+	// While video 2's circuit is open, /debug/health must read degraded with
+	// a breakers reason naming the video. Keep querying (each failure or skip
+	// re-settles the circuit) until the rollup flips.
+	healthDegraded := false
+	for deadline := time.Now().Add(5 * time.Second); time.Now().Before(deadline) && !healthDegraded; {
+		get(t, "/query?q=M1")
+		_, hbody := get(t, "/debug/health")
+		var hd obs.HealthDoc
+		if err := json.Unmarshal(hbody, &hd); err != nil {
+			t.Fatalf("decoding /debug/health: %v", err)
+		}
+		if hd.Status != obs.HealthDegraded {
+			time.Sleep(5 * time.Millisecond)
+			continue
+		}
+		found := false
+		for _, comp := range hd.Components {
+			if comp.Name == "breakers" && !comp.OK && strings.Contains(comp.Reason, "breaker open for videos 2") {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("degraded health without a breaker reason naming video 2: %+v", hd.Components)
+		}
+		healthDegraded = true
+	}
+	if !healthDegraded {
+		t.Fatal("/debug/health never reported degraded while video 2's breaker was open")
+	}
+
 	// Phase 2 — recovery: faults stop, the cool-down elapses, and the next
 	// queries must drive the breaker through half-open back to closed, with
 	// video 2 evaluated again.
@@ -213,6 +244,15 @@ func TestServerChaos(t *testing.T) {
 	}
 	if srv.m.brClosed.Value() == 0 {
 		t.Fatal("the breaker never closed through half-open")
+	}
+	// With every circuit closed again the health rollup must read ok.
+	_, hbody := get(t, "/debug/health")
+	var recoveredHealth obs.HealthDoc
+	if err := json.Unmarshal(hbody, &recoveredHealth); err != nil {
+		t.Fatalf("decoding /debug/health after recovery: %v", err)
+	}
+	if recoveredHealth.Status != obs.HealthOK {
+		t.Fatalf("health after recovery = %s (%v), want ok", recoveredHealth.Status, recoveredHealth.Components)
 	}
 
 	// Phase 3 — hot reload under traffic: grow the store file to 7 videos

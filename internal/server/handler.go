@@ -13,6 +13,8 @@ import (
 
 	"htlvideo"
 	"htlvideo/internal/obs"
+	"htlvideo/internal/obs/dash"
+	"htlvideo/internal/obs/querystats"
 )
 
 // NewHTTPServer returns an http.Server hardened against slow clients: header
@@ -109,6 +111,12 @@ type errorDoc struct {
 //	GET  /debug/slowlog  the current store's slow-query log
 //	GET  /debug/traces   the current store's recent traces (?id= for one)
 //	GET  /debug/pprof/*  runtime profiles
+//	GET  /debug/queries  per-plan-key workload statistics (?sort=calls|
+//	                     total|mean, ?limit=N)
+//	GET  /debug/timeseries  windowed rates and latency-quantile trends from
+//	                     the background sampler (WithSampleInterval)
+//	GET  /debug/health   the component health rollup with reasons
+//	GET  /debug/dash     self-contained auto-refreshing HTML dashboard
 //
 // Every handler is panic-isolated: a panic is contained, counted, and
 // answered with 500 instead of killing the connection's goroutine.
@@ -193,6 +201,23 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/debug/slowlog", debug)
 	mux.HandleFunc("/debug/traces", debug)
 	mux.HandleFunc("/debug/pprof/", debug)
+	mux.HandleFunc("/debug/queries", func(w http.ResponseWriter, r *http.Request) {
+		querystats.ServeSnapshot(w, r, s.queryStatsSnapshot())
+	})
+	mux.Handle("/debug/timeseries", s.sampler)
+	mux.HandleFunc("/debug/health", func(w http.ResponseWriter, _ *http.Request) {
+		obs.WriteHealth(w, s.Health())
+	})
+	mux.Handle("/debug/dash", dash.Handler(dash.Sources{
+		Title:   "htlserve",
+		Health:  s.Health,
+		Queries: s.queryStatsSnapshot,
+		Sampler: s.sampler,
+		Sparks: []string{
+			"server.requests.total", "server.request.latency",
+			"server.requests.in_flight", "query.total", "query.latency",
+		},
+	}))
 	return s.instrument(mux)
 }
 

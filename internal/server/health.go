@@ -1,0 +1,120 @@
+package server
+
+// Serving-layer workload analytics: the health rollup (/debug/health), the
+// timeseries sampler over the merged server + current-store registries
+// (/debug/timeseries, and the dashboard's sparklines), and the options that
+// size the store's per-plan-key statistics. The sampler's source is a
+// function over Store(), so hot reload does not detach it — it samples
+// whatever store is serving at each tick.
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"htlvideo/internal/obs"
+	"htlvideo/internal/obs/querystats"
+	"htlvideo/internal/obs/timeseries"
+)
+
+// WithQueryStatsCapacity rebounds the served store's per-plan-key workload
+// statistics LRU (0 keeps querystats.DefaultCapacity). Re-applied to every
+// store swapped in by Reload, so the bound survives hot reloads.
+func WithQueryStatsCapacity(n int) Option {
+	return func(c *config) { c.queryStatsCapacity = n }
+}
+
+// WithSampleInterval starts the background metrics sampler at the given
+// cadence, feeding /debug/timeseries and the dashboard's sparklines. A
+// non-positive interval leaves sampling off (the endpoints then serve empty
+// histories); Shutdown stops the sampler.
+func WithSampleInterval(d time.Duration) Option {
+	return func(c *config) { c.sampleInterval = d }
+}
+
+// newSampler builds the server's sampler: each scrape merges the serving
+// registry with the current store's (disjoint namespaces — server.* and
+// process/build on one side, query.*, cache.*, wal.* on the other).
+func (s *Server) newSampler() *timeseries.Sampler {
+	return timeseries.New(func() obs.RegistrySnapshot {
+		snaps := []obs.RegistrySnapshot{s.m.reg.Snapshot()}
+		if st := s.Store(); st != nil {
+			snaps = append(snaps, st.Metrics().Snapshot())
+		}
+		return obs.MergeSnapshots(snaps...)
+	})
+}
+
+// queryStatsSnapshot snapshots the current store's per-plan-key statistics
+// (empty when no store is loaded).
+func (s *Server) queryStatsSnapshot() querystats.Snapshot {
+	if st := s.Store(); st != nil {
+		return st.QueryStats().Snapshot()
+	}
+	return querystats.Snapshot{Entries: []querystats.EntrySnapshot{}}
+}
+
+// Health assembles the serving rollup: drain state, admission pressure,
+// per-video breaker states, then the current store's own components (caches,
+// WAL lag, checkpoint recency). Every degraded component names its cause.
+func (s *Server) Health() obs.HealthDoc {
+	var d obs.HealthDoc
+	if s.Draining() {
+		d.Add("server", false, "draining")
+	} else {
+		d.Add("server", true, fmt.Sprintf("%d requests, %d shed, %d panics",
+			s.m.requests.Value(), s.m.shed.Value(), s.m.panics.Value()))
+	}
+
+	queued := s.m.queued.Value()
+	queueLen := s.limiter.cfg.QueueLen
+	if queueLen > 0 && queued >= int64(queueLen) {
+		d.Add("admission", false, fmt.Sprintf("admission queue full: %d waiting of %d slots", queued, queueLen))
+	} else {
+		d.Add("admission", true, fmt.Sprintf("%d in flight, %d queued", s.m.inFlight.Value(), queued))
+	}
+
+	var open, halfOpen []int64
+	for key, st := range s.breaker.States() {
+		switch st {
+		case StateOpen:
+			open = append(open, key)
+		case StateHalfOpen:
+			halfOpen = append(halfOpen, key)
+		}
+	}
+	switch {
+	case len(open) > 0:
+		d.Add("breakers", false, fmt.Sprintf("breaker open for videos %s", keyList(open)))
+	case len(halfOpen) > 0:
+		d.Add("breakers", true, fmt.Sprintf("breaker half-open for videos %s", keyList(halfOpen)))
+	default:
+		d.Add("breakers", true, "all circuits closed")
+	}
+
+	st := s.Store()
+	if st == nil {
+		d.Add("store", false, "no store loaded")
+		return d
+	}
+	d.Merge(st.Health())
+	return d
+}
+
+// keyList renders breaker keys compactly, sorted, capped at eight.
+func keyList(keys []int64) string {
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	var b strings.Builder
+	for i, k := range keys {
+		if i == 8 {
+			fmt.Fprintf(&b, " and %d more", len(keys)-i)
+			break
+		}
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%d", k)
+	}
+	return b.String()
+}

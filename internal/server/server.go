@@ -38,6 +38,7 @@ import (
 
 	"htlvideo"
 	"htlvideo/internal/obs"
+	"htlvideo/internal/obs/timeseries"
 	"htlvideo/internal/resilience"
 )
 
@@ -59,9 +60,14 @@ type config struct {
 	// resultCache, when Capacity > 0, enables the store's result cache and
 	// is re-applied to every reloaded store.
 	resultCache htlvideo.ResultCacheConfig
-	now         func() time.Time
-	rand        func(n int64) int64
-	logger      obs.Logger
+	// queryStatsCapacity rebounds the store's per-plan-key statistics LRU
+	// (0 keeps the default); re-applied on reload like the result cache.
+	queryStatsCapacity int
+	// sampleInterval, when positive, starts the background metrics sampler.
+	sampleInterval time.Duration
+	now            func() time.Time
+	rand           func(n int64) int64
+	logger         obs.Logger
 }
 
 // WithAdmission sets the load-shedding limits.
@@ -165,6 +171,9 @@ type Server struct {
 	limiter *limiter
 	breaker *Breaker
 	retry   *resilience.Retrier
+	// sampler keeps the merged server + current-store metrics history
+	// (started only under WithSampleInterval; stopped by Shutdown).
+	sampler *timeseries.Sampler
 
 	// storePath enables Reload; empty for in-memory servers.
 	storePath string
@@ -216,7 +225,14 @@ func New(st *htlvideo.Store, opts ...Option) *Server {
 	if cfg.resultCache.Capacity > 0 {
 		st.EnableResultCache(cfg.resultCache)
 	}
+	if cfg.queryStatsCapacity > 0 {
+		st.SetQueryStatsCapacity(cfg.queryStatsCapacity)
+	}
 	s.store.Store(st)
+	s.sampler = s.newSampler()
+	if cfg.sampleInterval > 0 {
+		s.sampler.Start(cfg.sampleInterval)
+	}
 	s.limiter = newLimiter(cfg.admission)
 	s.limiter.waiting, s.limiter.shed = m.queued, m.shed
 	s.breaker = NewBreaker(cfg.breaker, cfg.now, func(key int64, from, to BreakerState) {
@@ -318,6 +334,9 @@ func (s *Server) Reload() error {
 		st.EnableResultCache(s.cfg.resultCache)
 		s.m.cacheInval.Inc()
 	}
+	if s.cfg.queryStatsCapacity > 0 {
+		st.SetQueryStatsCapacity(s.cfg.queryStatsCapacity)
+	}
 	s.store.Store(st)
 	s.m.reloads.Inc()
 	s.logf("server: reloaded %s (%d videos)", s.storePath, len(st.Videos()))
@@ -349,6 +368,9 @@ func (s *Server) reloadDurable() error {
 	if s.cfg.resultCache.Capacity > 0 {
 		st.EnableResultCache(s.cfg.resultCache)
 		s.m.cacheInval.Inc()
+	}
+	if s.cfg.queryStatsCapacity > 0 {
+		st.SetQueryStatsCapacity(s.cfg.queryStatsCapacity)
 	}
 	s.store.Store(st)
 	s.m.reloads.Inc()
@@ -386,6 +408,7 @@ func (s *Server) ListenAndServe(addr string) error {
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.draining.Store(true)
 	s.m.drains.Inc()
+	s.sampler.Close()
 	s.httpMu.Lock()
 	srv := s.httpSrv
 	s.httpMu.Unlock()

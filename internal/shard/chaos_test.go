@@ -29,6 +29,7 @@ import (
 
 	"htlvideo"
 	"htlvideo/internal/faultinject"
+	"htlvideo/internal/obs"
 	"htlvideo/internal/resilience"
 	"htlvideo/internal/server"
 )
@@ -336,6 +337,32 @@ func TestShardChaosMultiProcess(t *testing.T) {
 		}
 		if time.Now().After(breakerDeadline) {
 			t.Fatal("no trace ever annotated shard-3's open breaker")
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+
+	// While shard-3's circuit is open the coordinator's health rollup must
+	// read degraded with a breakers reason naming the dead shard. The breaker
+	// cycles through half-open every 200ms, so keep queries flowing (each
+	// failed probe re-opens it) and poll until the doc catches it open.
+	healthDeadline := time.Now().Add(5 * time.Second)
+	for {
+		getDoc(t, ct.URL+"/query?q=M1&k=5", nil) // keep the dead shard's breaker tripping
+		var hd obs.HealthDoc
+		if code := getDoc(t, ct.URL+"/debug/health", &hd); code == http.StatusOK && hd.Status == obs.HealthDegraded {
+			named := false
+			for _, comp := range hd.Components {
+				if comp.Name == "breakers" && !comp.OK && strings.Contains(comp.Reason, "shard-3") {
+					named = true
+				}
+			}
+			if !named {
+				t.Fatalf("degraded coordinator health without a breaker reason naming shard-3: %+v", hd.Components)
+			}
+			break
+		}
+		if time.Now().After(healthDeadline) {
+			t.Fatal("coordinator /debug/health never reported the dead shard's open breaker")
 		}
 		time.Sleep(50 * time.Millisecond)
 	}

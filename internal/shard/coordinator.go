@@ -31,6 +31,7 @@ import (
 	"time"
 
 	"htlvideo/internal/obs"
+	"htlvideo/internal/obs/timeseries"
 	"htlvideo/internal/resilience"
 	"htlvideo/internal/ring"
 )
@@ -51,6 +52,7 @@ type Coordinator struct {
 	reg      *obs.Registry
 	slow     *obs.SlowLog
 	traces   *obs.TraceRing
+	sampler  *timeseries.Sampler
 	m        metrics
 	draining atomic.Bool
 }
@@ -85,6 +87,7 @@ type config struct {
 	sink           obs.TraceSink
 	clientOverride *http.Client
 	traceBuf       int
+	sampleInterval time.Duration
 }
 
 // Option configures a Coordinator.
@@ -139,6 +142,13 @@ func WithTraceSink(sink obs.TraceSink) Option { return func(c *config) { c.sink 
 // WithTraceBufferSize sets how many recent query traces the coordinator's
 // /debug/traces ring retains (default obs.DefaultTraceRingSize).
 func WithTraceBufferSize(n int) Option { return func(c *config) { c.traceBuf = n } }
+
+// WithSampleInterval starts the coordinator's background metrics sampler at
+// the given cadence, feeding /debug/timeseries and the dashboard's
+// sparklines. A non-positive interval leaves sampling off; Close stops it.
+func WithSampleInterval(d time.Duration) Option {
+	return func(c *config) { c.sampleInterval = d }
+}
 
 // metrics are the coordinator's shard.* instruments.
 type metrics struct {
@@ -217,6 +227,25 @@ func NewNamed(shards map[string]string, opts ...Option) *Coordinator {
 		defer c.mu.RUnlock()
 		return int64(len(c.members))
 	})
+	c.reg.DescribeAll(map[string]string{
+		"shard.queries":           "Scatter-gather queries served by the coordinator.",
+		"shard.requests":          "HTTP attempts issued to shard servers (retries and hedges included).",
+		"shard.errors":            "Shard sub-queries that failed after retries.",
+		"shard.retries":           "Shard sub-query re-attempts after transient errors.",
+		"shard.hedges":            "Duplicate requests sent to straggling shards.",
+		"shard.skipped":           "Shard sub-queries refused by an open circuit breaker.",
+		"shard.quorum_failures":   "Queries whose successful shard count fell below MinShards.",
+		"shard.breaker.opened":    "Per-shard circuit-breaker transitions to open.",
+		"shard.breaker.half_open": "Per-shard circuit-breaker transitions to half-open.",
+		"shard.breaker.closed":    "Per-shard circuit-breaker transitions back to closed.",
+		"shard.query_latency":     "Whole scatter-gather query latency.",
+		"shard.shards":            "Current shard membership count.",
+		"shard.panics":            "Panics recovered in coordinator HTTP handlers.",
+	})
+	c.sampler = timeseries.New(c.reg.Snapshot)
+	if cfg.sampleInterval > 0 {
+		c.sampler.Start(cfg.sampleInterval)
+	}
 	c.breaker = resilience.NewBreaker(cfg.breaker, cfg.now, c.onBreakerTransition)
 	c.retry = resilience.NewRetrier(cfg.retry, cfg.rand, func(int, error) { c.m.retries.Inc() })
 
@@ -315,6 +344,14 @@ func (c *Coordinator) SlowLog() *obs.SlowLog { return c.slow }
 // TraceRing returns the coordinator's bounded ring of recent stitched traces
 // (the /debug/traces backing store).
 func (c *Coordinator) TraceRing() *obs.TraceRing { return c.traces }
+
+// Sampler returns the coordinator's metrics-history sampler (the
+// /debug/timeseries backing store; empty until sampling starts).
+func (c *Coordinator) Sampler() *timeseries.Sampler { return c.sampler }
+
+// Close stops the coordinator's background work (the metrics sampler).
+// Idempotent; in-flight queries are unaffected.
+func (c *Coordinator) Close() { c.sampler.Close() }
 
 // snapshotMembers copies the membership for one fan-out, sorted by name so
 // scatter order (and everything derived from it) is deterministic.

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"htlvideo/internal/obs"
+	"htlvideo/internal/obs/dash"
 	"htlvideo/internal/server"
 )
 
@@ -79,8 +80,15 @@ func (c *Coordinator) Drain() { c.draining.Store(true) }
 //	POST /-/shards       graceful join/leave: {"op":"add","name":...,"url":...}
 //	                     or {"op":"remove","name":...}
 //	GET  /debug/slowlog  the coordinator's slowest queries, linked by trace
-//	                     id and plan key
+//	                     id and plan key, with dominant-shard attribution
 //	GET  /debug/traces   recent stitched traces (?id= for one full tree)
+//	GET  /debug/queries  fleet-wide per-plan-key workload statistics: every
+//	                     shard's /debug/queries fetched and merged bucketwise
+//	                     (?sort=calls|total|mean, ?limit=N)
+//	GET  /debug/health   the coordinator's health rollup (drain state,
+//	                     membership, per-shard breakers) with reason strings
+//	GET  /debug/timeseries  sampled shard.* metric history with windowed rates
+//	GET  /debug/dash     self-contained HTML dashboard over the above
 //
 // Handlers are panic-isolated like the single server's.
 func (c *Coordinator) Handler() http.Handler {
@@ -95,6 +103,18 @@ func (c *Coordinator) Handler() http.Handler {
 		writeJSON(w, http.StatusOK, entries)
 	})
 	mux.HandleFunc("/debug/traces", c.traces.Handler())
+	mux.HandleFunc("/debug/queries", c.handleQueryStats)
+	mux.HandleFunc("/debug/health", func(w http.ResponseWriter, _ *http.Request) {
+		obs.WriteHealth(w, c.Health())
+	})
+	mux.Handle("/debug/timeseries", c.sampler)
+	mux.Handle("/debug/dash", dash.Handler(dash.Sources{
+		Title:   "htlshard coordinator",
+		Health:  c.Health,
+		Queries: c.mergedQueryStats,
+		Sampler: c.sampler,
+		Sparks:  []string{"shard.queries", "shard.query_latency", "shard.errors", "shard.hedges"},
+	}))
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.WriteHeader(http.StatusOK)
 		fmt.Fprintln(w, "ok")

@@ -1,0 +1,51 @@
+package shard
+
+import (
+	"fmt"
+	"strings"
+
+	"htlvideo/internal/obs"
+	"htlvideo/internal/resilience"
+)
+
+// Health assembles the coordinator's rollup for /debug/health: drain state,
+// shard membership, and per-shard breaker states. Every degraded component
+// names its cause — in particular an open breaker names the shard, so a
+// killed shard shows up as "breaker open for shards shard-3" rather than an
+// anonymous count.
+func (c *Coordinator) Health() obs.HealthDoc {
+	var d obs.HealthDoc
+	if c.Draining() {
+		d.Add("coordinator", false, "draining")
+	} else {
+		d.Add("coordinator", true, fmt.Sprintf("%d queries, %d errors, %d quorum failures",
+			c.m.queries.Value(), c.m.errors.Value(), c.m.quorumFailures.Value()))
+	}
+
+	members := c.snapshotMembers()
+	if len(members) == 0 {
+		d.Add("membership", false, "no shards joined")
+		return d
+	}
+	d.Add("membership", true, fmt.Sprintf("%d shards attached (quorum %d)", len(members), c.cfg.minShards))
+
+	states := c.breaker.States()
+	var open, halfOpen []string
+	for _, mb := range members { // members are name-sorted, so reasons are deterministic
+		switch states[mb.ord] {
+		case resilience.StateOpen:
+			open = append(open, mb.name)
+		case resilience.StateHalfOpen:
+			halfOpen = append(halfOpen, mb.name)
+		}
+	}
+	switch {
+	case len(open) > 0:
+		d.Add("breakers", false, "breaker open for shards "+strings.Join(open, " "))
+	case len(halfOpen) > 0:
+		d.Add("breakers", true, "breaker half-open for shards "+strings.Join(halfOpen, " "))
+	default:
+		d.Add("breakers", true, "all shard circuits closed")
+	}
+	return d
+}

@@ -97,7 +97,7 @@ func TestMergeMatchesGlobalTopK(t *testing.T) {
 
 func TestMergeRankedTruncatesLastRun(t *testing.T) {
 	entries := entriesFromDocs([]server.RankedDoc{
-		{Video: 1, Beg: 1, End: 4, Sim: 2, Frac: 1},  // 4 segments
+		{Video: 1, Beg: 1, End: 4, Sim: 2, Frac: 1},     // 4 segments
 		{Video: 2, Beg: 10, End: 13, Sim: 1, Frac: 0.5}, // 4 more
 	})
 	got := mergeRanked(entries, 6)

@@ -156,9 +156,10 @@ func (c *Coordinator) Query(ctx context.Context, p server.QueryParams) *Results 
 
 	scatterSp := tr.StartSpan("scatter")
 	type partial struct {
-		shard string
-		resp  *server.QueryResponse
-		err   error
+		shard   string
+		resp    *server.QueryResponse
+		err     error
+		elapsed time.Duration
 	}
 	parts := make([]partial, len(members))
 	var wg sync.WaitGroup
@@ -176,6 +177,8 @@ func (c *Coordinator) Query(ctx context.Context, p server.QueryParams) *Results 
 		wg.Add(1)
 		go func(i int, mb member, sp *obs.Span) {
 			defer wg.Done()
+			attemptStart := time.Now()
+			defer func() { parts[i].elapsed = time.Since(attemptStart) }()
 			sp.SetTag("url", mb.url)
 			resp, err := c.queryShard(ctx, mb, p, sp)
 			switch {
@@ -201,6 +204,20 @@ func (c *Coordinator) Query(ctx context.Context, p server.QueryParams) *Results 
 	}
 	wg.Wait()
 	scatterSp.End()
+
+	// Attribute the scatter's wall time to the slowest sub-query: the shard
+	// that bounded the whole fan-out. The tag rides into the slow log's Shard
+	// field, so a slow coordinator query names where the time went.
+	var domShard string
+	var domElapsed time.Duration
+	for _, pt := range parts {
+		if pt.elapsed > domElapsed {
+			domShard, domElapsed = pt.shard, pt.elapsed
+		}
+	}
+	if domShard != "" {
+		tr.SetTag("dominant_shard", domShard)
+	}
 
 	mergeSp := tr.StartSpan("merge")
 	var entries []mergeEntry

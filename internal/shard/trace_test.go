@@ -252,6 +252,11 @@ func TestCoordinatorSlowLogAndTraceEndpoints(t *testing.T) {
 	if entry.PlanKey == "" {
 		t.Fatalf("slow-log entry lacks a plan key: %+v", entry)
 	}
+	// Dominant-shard attribution: the entry names whichever member's
+	// sub-query took the longest wall time.
+	if entry.Shard != "shard-0" && entry.Shard != "shard-1" {
+		t.Fatalf("slow-log entry's dominant shard = %q, want a member name", entry.Shard)
+	}
 	if entry.Query != "M1 until M2" {
 		t.Fatalf("slow-log query = %q", entry.Query)
 	}

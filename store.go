@@ -18,6 +18,7 @@ import (
 	"htlvideo/internal/htl"
 	"htlvideo/internal/metadata"
 	"htlvideo/internal/obs"
+	"htlvideo/internal/obs/querystats"
 	"htlvideo/internal/picture"
 	"htlvideo/internal/refeval"
 	"htlvideo/internal/relational"
@@ -223,6 +224,10 @@ type queryConfig struct {
 	// traceID, when set, joins the query's trace into a distributed trace
 	// minted elsewhere (the coordinator, via X-Htl-Trace).
 	traceID string
+	// rec accumulates the per-query facts the workload statistics aggregate
+	// at settle time (queryCompiledCtx allocates it; runQuery and the result
+	// cache fill it in).
+	rec *querystats.Record
 	// prof is the query's per-plan-node profile. runQuery allocates one per
 	// evaluated query (always-on explain accounting); ExplainCtx pre-sets it
 	// to keep the handle for rendering.
@@ -336,8 +341,11 @@ type Results struct {
 	Errors []error
 
 	// obs reports top-k pruning back to the originating store's counters;
-	// nil for results built outside a store.
-	obs *storeObs
+	// nil for results built outside a store. planKey attributes that pruning
+	// to the query shape in the workload statistics; empty for results built
+	// from already-evaluated lists (NewResults).
+	obs     *storeObs
+	planKey string
 }
 
 // NewResults wraps already-evaluated per-video similarity lists in a Results
@@ -365,7 +373,7 @@ func (r *Results) TopKCtx(ctx context.Context, k int) []Ranked {
 		return nil
 	}
 	if r.obs != nil {
-		r.obs.observeTopK(st)
+		r.obs.observeTopK(st, r.planKey)
 	}
 	return out
 }
@@ -409,7 +417,7 @@ func (s *Store) QueryCtx(ctx context.Context, query string, opts ...QueryOption)
 	}
 	sp.End()
 	if err != nil {
-		s.obs.endQuery(tr, "", "", err, nil)
+		s.obs.endQuery(tr, "", "", err, nil, nil)
 		return nil, err
 	}
 	return s.queryCompiledCtx(ctx, tr, cq, cfg)
@@ -447,7 +455,10 @@ func (s *Store) queryCompiledCtx(ctx context.Context, tr *obs.Trace, cq *Compile
 	tr.SetTag("class", class)
 	tr.SetTag("level", strconv.Itoa(cfg.level))
 	tr.SetTag("plan_key", cq.plan.Key)
-	defer func() { s.obs.endQuery(tr, engine, class, err, cfg.sink) }()
+	// The record is shared by pointer with runQuery and the result cache, so
+	// fields filled mid-query are visible when the deferred settle reads it.
+	cfg.rec = &querystats.Record{PlanKey: cq.plan.Key, Class: class, Engine: engine}
+	defer func() { s.obs.endQuery(tr, engine, class, err, cfg.sink, cfg.rec) }()
 
 	if rc := s.results.Load(); rc != nil && !cfg.noCache {
 		return s.queryCached(ctx, rc, tr, cq, &cfg)
@@ -475,12 +486,15 @@ func (s *Store) runQuery(ctx context.Context, tr *obs.Trace, cq *CompiledQuery, 
 	for _, v := range videos {
 		if cfg.videoID == nil && len(v.Sequence(cfg.level)) == 0 {
 			s.obs.videosSkipped.Inc()
+			if cfg.rec != nil {
+				cfg.rec.VideosSkipped++
+			}
 			continue
 		}
 		work = append(work, v)
 	}
 	tr.SetTag("videos", strconv.Itoa(len(work)))
-	res := &Results{Formula: cq.f, Class: cq.class, PerVideo: map[int]SimList{}, obs: s.obs}
+	res := &Results{Formula: cq.f, Class: cq.class, PerVideo: map[int]SimList{}, obs: s.obs, planKey: cq.plan.Key}
 	if len(work) == 0 {
 		return res, nil
 	}
@@ -566,6 +580,10 @@ func (s *Store) runQuery(ctx context.Context, tr *obs.Trace, cq *CompiledQuery, 
 	// Fold the profile's memo hits into the registry so explain output and
 	// /metrics tell one story (the golden tests assert they match).
 	o.planMemoHits.Add(cfg.prof.MemoHits())
+	if cfg.rec != nil {
+		cfg.rec.MemoHits = cfg.prof.MemoHits()
+		cfg.rec.VideosEvaluated = int64(len(res.PerVideo))
+	}
 	// Feed the observed per-node statistics back into the cost model and let
 	// the plan re-derive its physical annotation: the next evaluation of this
 	// plan (it stays cached) reorders children cheapest-first.

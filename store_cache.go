@@ -145,6 +145,9 @@ func (s *Store) queryCached(ctx context.Context, rc *resultCache, tr *obs.Trace,
 		case res != nil:
 			o.resHits.Inc()
 			tr.SetTag("result_cache", "hit")
+			if cfg.rec != nil {
+				cfg.rec.CacheHit = true
+			}
 			return res, nil
 		case !leader:
 			select {
@@ -163,6 +166,9 @@ func (s *Store) queryCached(ctx context.Context, rc *resultCache, tr *obs.Trace,
 			}
 			o.resDeduped.Inc()
 			tr.SetTag("result_cache", "hit")
+			if cfg.rec != nil {
+				cfg.rec.CacheHit = true
+			}
 			return fl.res, nil
 		default:
 			o.resMisses.Inc()

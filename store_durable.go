@@ -134,6 +134,10 @@ type durableState struct {
 	seq    uint64      // last committed sequence number
 	snap   uint64      // sequence the latest snapshot covers
 	closed bool
+	// lastCheckpoint is when the latest snapshot landed: set by
+	// checkpointLocked, seeded from the snapshot file's mtime at open. Zero
+	// when the directory has never been checkpointed.
+	lastCheckpoint time.Time
 }
 
 // walRecord is the WAL payload envelope. Op discriminates mutation kinds;
@@ -255,6 +259,11 @@ func OpenDurable(dir string, opts ...DurableOption) (*Store, error) {
 	}
 
 	d := &durableState{dir: dir, cfg: cfg, snap: snapSeq}
+	if snapPath != "" {
+		if fi, err := os.Stat(snapPath); err == nil {
+			d.lastCheckpoint = fi.ModTime()
+		}
+	}
 	d.seq = snapSeq
 	if info.LastSeq > d.seq {
 		d.seq = info.LastSeq
@@ -468,6 +477,7 @@ func (s *Store) checkpointLocked(d *durableState) error {
 		return err
 	}
 	d.snap = seq
+	d.lastCheckpoint = time.Now()
 	o := s.obs
 	o.checkpoints.Inc()
 	o.checkpointSeq.Set(int64(seq))
@@ -486,8 +496,10 @@ func (s *Store) checkpointLocked(d *durableState) error {
 // Close shuts a durable store's disk side down: pending log bytes are
 // flushed, the background flusher (SyncInterval) stopped, and the log file
 // closed. Queries keep working on the in-memory state; Add and Checkpoint
-// fail after Close. In-memory stores close as a no-op.
+// fail after Close. On any store — in-memory included — Close also stops the
+// metrics sampler started by StartSampling.
 func (s *Store) Close() error {
+	s.obs.sampler.Close()
 	d := s.durable
 	if d == nil {
 		return nil
@@ -519,6 +531,13 @@ type DurableStats struct {
 	Sync string `json:"sync"`
 	// ReadOnly marks a recovery-only open.
 	ReadOnly bool `json:"read_only,omitempty"`
+	// LastCheckpoint is when the latest snapshot landed (zero when the
+	// directory has never been checkpointed) — the health rollup reports
+	// checkpoint age from it.
+	LastCheckpoint time.Time `json:"last_checkpoint,omitempty"`
+	// CheckpointRecords echoes the automatic-checkpoint record trigger; the
+	// health rollup scales its WAL-lag threshold from it.
+	CheckpointRecords int `json:"checkpoint_records,omitempty"`
 }
 
 // DurableStats snapshots the durable state; zero for in-memory stores.
@@ -530,11 +549,13 @@ func (s *Store) DurableStats() DurableStats {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	st := DurableStats{
-		Dir:         d.dir,
-		Seq:         d.seq,
-		SnapshotSeq: d.snap,
-		Sync:        d.cfg.Sync.String(),
-		ReadOnly:    d.w == nil,
+		Dir:               d.dir,
+		Seq:               d.seq,
+		SnapshotSeq:       d.snap,
+		Sync:              d.cfg.Sync.String(),
+		ReadOnly:          d.w == nil,
+		LastCheckpoint:    d.lastCheckpoint,
+		CheckpointRecords: d.cfg.CheckpointRecords,
 	}
 	if d.w != nil {
 		st.WALSize = d.w.Size()

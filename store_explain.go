@@ -92,7 +92,7 @@ func (s *Store) ExplainCtx(ctx context.Context, query string, opts ...QueryOptio
 	}
 	sp.End()
 	if err != nil {
-		s.obs.endQuery(tr, "", "", err, nil)
+		s.obs.endQuery(tr, "", "", err, nil, nil)
 		return nil, err
 	}
 	prof := core.NewPlanProfile(cq.plan, cfg.exactProf)

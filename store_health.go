@@ -1,0 +1,88 @@
+package htlvideo
+
+// Store health: the component rollup behind GET /debug/health. Each
+// component carries a reason string — the degradation cause when degraded, an
+// informational summary (hit ratios, lag figures) when healthy — so the
+// document answers "why" as well as "whether". Serving layers (internal/
+// server, the shard coordinator) fold this document into their own rollups.
+
+import (
+	"fmt"
+	"time"
+
+	"htlvideo/internal/obs"
+)
+
+// Health assembles the store's health rollup. Safe to call concurrently with
+// queries; like Stats, it reads settled counters, so a snapshot taken
+// mid-query may not include that query yet.
+func (s *Store) Health() obs.HealthDoc {
+	var d obs.HealthDoc
+	o := s.obs
+
+	d.Add("store", true, fmt.Sprintf("%d videos, %d queries (%d errors)",
+		len(s.Videos()), o.queries.Value(), o.queryErrors.Value()))
+
+	hits, misses := o.cacheHits.Value(), o.cacheMisses.Value()
+	d.Add("picture-cache", true, fmt.Sprintf("%s hit ratio, %d systems cached",
+		ratioString(hits, hits+misses), o.cacheSize.Value()))
+
+	if s.results.Load() != nil {
+		rh, rm := o.resHits.Value(), o.resMisses.Value()
+		d.Add("result-cache", true, fmt.Sprintf("%s hit ratio, %d results cached",
+			ratioString(rh, rh+rm), o.resSize.Value()))
+	}
+
+	if s.durable != nil {
+		s.durableHealth(&d)
+	}
+	return d
+}
+
+// durableHealth adds the disk-side components: WAL replay lag against the
+// checkpoint trigger, append/fsync failures, and checkpoint recency.
+func (s *Store) durableHealth(d *obs.HealthDoc) {
+	ds := s.DurableStats()
+	o := s.obs
+
+	lag := ds.Seq - ds.SnapshotSeq
+	lagOK := true
+	lagReason := fmt.Sprintf("%d records replay on recovery", lag)
+	// Twice the automatic trigger means checkpointing is not keeping up —
+	// either checkpoints fail or a backlog is growing faster than it drains.
+	if ds.CheckpointRecords > 0 && lag >= 2*uint64(ds.CheckpointRecords) {
+		lagOK = false
+		lagReason = fmt.Sprintf("wal lag %d records, over twice the checkpoint trigger %d",
+			lag, ds.CheckpointRecords)
+	}
+	d.Add("wal", lagOK, lagReason)
+
+	appendErrs, syncErrs := o.walAppendErrors.Value(), o.walSyncErrors.Value()
+	if appendErrs+syncErrs > 0 {
+		d.Add("wal-io", false, fmt.Sprintf("%d append errors, %d fsync errors", appendErrs, syncErrs))
+	} else {
+		d.Add("wal-io", true, fmt.Sprintf("%d appends, %d fsyncs, policy %s",
+			o.walAppends.Value(), o.walSyncs.Value(), ds.Sync))
+	}
+
+	ckOK := o.checkpointErrors.Value() == 0
+	var ckReason string
+	switch {
+	case !ckOK:
+		ckReason = fmt.Sprintf("%d checkpoint failures", o.checkpointErrors.Value())
+	case ds.LastCheckpoint.IsZero():
+		ckReason = "no checkpoint yet"
+	default:
+		ckReason = fmt.Sprintf("last checkpoint %s ago (seq %d)",
+			time.Since(ds.LastCheckpoint).Round(time.Second), ds.SnapshotSeq)
+	}
+	d.Add("checkpoint", ckOK, ckReason)
+}
+
+// ratioString renders hits/total as a percentage ("n/a" before any lookups).
+func ratioString(hits, total int64) string {
+	if total == 0 {
+		return "n/a"
+	}
+	return fmt.Sprintf("%.0f%%", float64(hits)/float64(total)*100)
+}

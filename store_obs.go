@@ -6,13 +6,19 @@ package htlvideo
 // the metric names and the mapping from engines and formula classes to them.
 
 import (
+	"errors"
 	"net/http"
 	"strings"
 	"sync"
+	"time"
 
 	"htlvideo/internal/core"
+	"htlvideo/internal/faultinject"
 	"htlvideo/internal/htl"
 	"htlvideo/internal/obs"
+	"htlvideo/internal/obs/dash"
+	"htlvideo/internal/obs/querystats"
+	"htlvideo/internal/obs/timeseries"
 )
 
 // storeObs bundles one store's instrumentation. Hot-path counters are cached
@@ -22,6 +28,12 @@ type storeObs struct {
 	reg  *obs.Registry
 	slow *obs.SlowLog
 	ring *obs.TraceRing
+
+	// qstats aggregates per-plan-key workload statistics (the /debug/queries
+	// document); sampler keeps the registry's recent history for windowed
+	// rates and the dashboard (started on demand, stopped by Store.Close).
+	qstats  *querystats.Stats
+	sampler *timeseries.Sampler
 
 	mu   sync.Mutex
 	sink obs.TraceSink // store-wide sink, nil when unset
@@ -36,6 +48,10 @@ type storeObs struct {
 	fallbacks   *obs.Counter
 	queryLat    *obs.Histogram
 	videoLat    *obs.Histogram
+
+	// errClass holds one counter per error classification (see errorClass),
+	// cached so the settle path never takes the registry lock.
+	errClass map[string]*obs.Counter
 
 	cacheHits    *obs.Counter
 	cacheMisses  *obs.Counter
@@ -87,12 +103,98 @@ type storeObs struct {
 	checkpointLat    *obs.Histogram
 }
 
+// errorClasses are the buckets errorClass sorts failed queries into, each
+// with a query.errors.<class> counter: cancelled contexts, deterministic
+// validation/parse/capability errors, picture-system build failures,
+// contained evaluation panics, and injected transient faults.
+var errorClasses = []string{"context", "validation", "picture-build", "panic", "transient"}
+
+// errorClass classifies a failed query for the error-class counters and the
+// per-plan-key statistics (""" for success). Build failures are checked
+// before injected faults because a fault injected into the build stage wraps
+// both markers — the build classification is the more specific one.
+func errorClass(err error) string {
+	if err == nil {
+		return ""
+	}
+	var pe *PanicError
+	switch {
+	case ctxErr(err):
+		return "context"
+	case errors.Is(err, ErrPictureBuild):
+		return "picture-build"
+	case errors.As(err, &pe):
+		return "panic"
+	case errors.Is(err, faultinject.ErrInjected):
+		return "transient"
+	default:
+		return "validation"
+	}
+}
+
 func newStoreObs() *storeObs {
 	reg := obs.NewRegistry()
-	return &storeObs{
-		reg:  reg,
-		slow: obs.NewSlowLog(obs.DefaultSlowLogSize),
-		ring: obs.NewTraceRing(obs.DefaultTraceRingSize),
+	errClass := make(map[string]*obs.Counter, len(errorClasses))
+	for _, c := range errorClasses {
+		errClass[c] = reg.Counter("query.errors." + c)
+	}
+	reg.DescribeAll(map[string]string{
+		"query.total":                   "Queries issued, including failed ones.",
+		"query.errors":                  "Failed queries (see query.errors.<class> for the breakdown).",
+		"query.errors.context":          "Queries failed by context cancellation or deadline.",
+		"query.errors.validation":       "Queries failed by deterministic parse/validation/capability errors.",
+		"query.errors.picture-build":    "Queries failed in the picture-system build stage.",
+		"query.errors.panic":            "Queries failed by a contained evaluation panic.",
+		"query.errors.transient":        "Queries failed by an injected transient fault.",
+		"query.fallbacks":               "Auto-engine queries that fell back to the reference evaluator.",
+		"query.latency":                 "Whole-query latency.",
+		"video.latency":                 "Per-video evaluation latency.",
+		"cache.hits":                    "Picture-system cache hits.",
+		"cache.misses":                  "Picture-system cache misses (first builds).",
+		"cache.deduped":                 "Picture-system lookups that joined an in-flight build.",
+		"cache.evicted":                 "Failed picture-system builds evicted for retry.",
+		"cache.size":                    "Cached (video, level) picture systems.",
+		"query.plan_cache.hits":         "Queries answered from the compiled-plan cache.",
+		"query.plan_cache.misses":       "Queries compiled fresh.",
+		"query.plan_cache.size":         "Cached compiled plans.",
+		"query.plan.memo_hits":          "Plan-node evaluations answered from the per-video memo.",
+		"query.plan.reorders":           "Cost-model reoptimizations that changed a plan's child order.",
+		"query.topk.early_terminations": "Pruned top-k scans that stopped before consuming every entry.",
+		"query.topk.entries_skipped":    "Similarity-list entries top-k pruning proved irrelevant unread.",
+		"query.cache.hits":              "Result-cache hits.",
+		"query.cache.misses":            "Result-cache misses.",
+		"query.cache.deduped":           "Queries that joined a concurrent identical evaluation.",
+		"query.cache.evicted":           "Results evicted by capacity or TTL.",
+		"query.cache.size":              "Cached whole-query results.",
+		"pool.in_flight":                "Videos evaluating right now.",
+		"pool.queued":                   "Videos waiting for a worker.",
+		"pool.panics_recovered":         "Panics contained during per-video evaluation.",
+		"pool.videos_evaluated":         "Videos evaluated successfully.",
+		"pool.videos_failed":            "Videos whose evaluation failed.",
+		"pool.videos_skipped":           "Videos skipped for lacking the queried level.",
+		"sql.statements":                "SQL-baseline statements executed.",
+		"sql.rows":                      "Rows produced by SQL-baseline statements.",
+		"sql.stmt.latency":              "Per-statement SQL-baseline latency.",
+		"wal.appends":                   "WAL records appended.",
+		"wal.append_errors":             "WAL append failures.",
+		"wal.bytes":                     "Bytes appended to the WAL.",
+		"wal.syncs":                     "WAL fsyncs completed.",
+		"wal.sync_errors":               "WAL fsync failures.",
+		"wal.replayed_records":          "WAL records replayed during recovery.",
+		"wal.torn_truncations":          "Torn final WAL records truncated during recovery.",
+		"wal.size":                      "Current WAL length in bytes.",
+		"wal.seq":                       "Last committed WAL sequence number.",
+		"checkpoint.total":              "Checkpoints completed.",
+		"checkpoint.errors":             "Checkpoints that failed.",
+		"checkpoint.seq":                "Sequence number the latest checkpoint covers.",
+		"checkpoint.latency":            "Checkpoint duration.",
+	})
+	o := &storeObs{
+		reg:      reg,
+		slow:     obs.NewSlowLog(obs.DefaultSlowLogSize),
+		ring:     obs.NewTraceRing(obs.DefaultTraceRingSize),
+		qstats:   querystats.New(querystats.DefaultCapacity),
+		errClass: errClass,
 
 		queries:     reg.Counter("query.total"),
 		queryErrors: reg.Counter("query.errors"),
@@ -146,15 +248,20 @@ func newStoreObs() *storeObs {
 		checkpointSeq:    reg.Gauge("checkpoint.seq"),
 		checkpointLat:    reg.Histogram("checkpoint.latency", nil),
 	}
+	o.sampler = timeseries.New(reg.Snapshot)
+	return o
 }
 
-// observeTopK settles one pruned top-k scan's accounting.
-func (o *storeObs) observeTopK(st core.PruneStats) {
+// observeTopK settles one pruned top-k scan's accounting, attributing the
+// skipped entries to the plan key that produced the results (empty for
+// results built outside a query, e.g. the coordinator's merged lists).
+func (o *storeObs) observeTopK(st core.PruneStats, planKey string) {
 	if st.EarlyTerminated {
 		o.topkEarlyTerm.Inc()
 	}
 	if st.EntriesSkipped > 0 {
 		o.topkSkipped.Add(st.EntriesSkipped)
+		o.qstats.ObserveTopK(planKey, st.EntriesSkipped)
 	}
 }
 
@@ -166,16 +273,24 @@ func (o *storeObs) traceSink() obs.TraceSink {
 }
 
 // endQuery finishes a query's trace and settles its per-query accounting:
-// totals, per-engine and per-formula-class counters and latency histograms,
-// the slow log, and every attached sink. engine/class may be empty (parse
-// failures) to skip the breakdowns.
-func (o *storeObs) endQuery(tr *obs.Trace, engine, class string, err error, sink obs.TraceSink) {
+// totals, error classification, per-engine and per-formula-class counters and
+// latency histograms, the per-plan-key workload statistics, the slow log, and
+// every attached sink. engine/class may be empty (parse failures) to skip the
+// breakdowns; rec may be nil (nothing was compiled, so there is no plan key
+// to aggregate under).
+func (o *storeObs) endQuery(tr *obs.Trace, engine, class string, err error, sink obs.TraceSink, rec *querystats.Record) {
 	d := tr.Finish()
 	o.queries.Inc()
+	ec := errorClass(err)
 	if err != nil {
 		o.queryErrors.Inc()
+		if c := o.errClass[ec]; c != nil {
+			c.Inc()
+		}
 		tr.SetTag("error", truncateErr(err))
+		tr.SetTag("error_class", ec)
 	}
+	o.qstats.Observe(rec, d, ec)
 	o.queryLat.Observe(d)
 	if engine != "" {
 		o.reg.Counter("query.count.engine." + engine).Inc()
@@ -434,12 +549,50 @@ func (s *Store) SetTraceSink(sink obs.TraceSink) {
 	s.obs.mu.Unlock()
 }
 
+// QueryStats exposes the store's per-plan-key workload statistics — the
+// pg_stat_statements analogue behind GET /debug/queries. Always on; bound its
+// memory with SetQueryStatsCapacity.
+func (s *Store) QueryStats() *querystats.Stats { return s.obs.qstats }
+
+// SetQueryStatsCapacity rebounds the per-plan-key statistics LRU (capacity
+// < 1 selects querystats.DefaultCapacity). All-time totals survive eviction.
+func (s *Store) SetQueryStatsCapacity(capacity int) { s.obs.qstats.SetCapacity(capacity) }
+
+// Sampler exposes the store's timeseries sampler (the /debug/timeseries
+// backing store). It holds no history until StartSampling.
+func (s *Store) Sampler() *timeseries.Sampler { return s.obs.sampler }
+
+// StartSampling launches the background metrics sampler: the registry is
+// snapshotted every interval (timeseries.DefaultInterval when non-positive)
+// into a bounded ring, feeding windowed rates and the dashboard's
+// sparklines. Idempotent; Store.Close stops it.
+func (s *Store) StartSampling(interval time.Duration) { s.obs.sampler.Start(interval) }
+
 // DebugHandler serves the store's observability over HTTP: /metrics
 // (expvar-style JSON of the registry plus the Stats snapshot),
-// /debug/slowlog, /debug/traces, and /debug/pprof. cmd/htlquery mounts it
-// behind -metrics-addr.
+// /debug/slowlog, /debug/traces, /debug/pprof, and the workload-analytics
+// surface — /debug/queries (per-plan-key statistics), /debug/timeseries
+// (windowed rates and quantile trends), /debug/health (the component
+// rollup), and /debug/dash (the self-contained HTML dashboard).
+// cmd/htlquery mounts it behind -metrics-addr.
 func (s *Store) DebugHandler() http.Handler {
-	return obs.Handler(s.obs.reg, s.obs.slow, s.obs.ring, func() any { return s.Stats() })
+	mux := http.NewServeMux()
+	mux.Handle("/", obs.Handler(s.obs.reg, s.obs.slow, s.obs.ring, func() any { return s.Stats() }))
+	mux.HandleFunc("/debug/queries", func(w http.ResponseWriter, r *http.Request) {
+		querystats.ServeSnapshot(w, r, s.obs.qstats.Snapshot())
+	})
+	mux.Handle("/debug/timeseries", s.obs.sampler)
+	mux.HandleFunc("/debug/health", func(w http.ResponseWriter, _ *http.Request) {
+		obs.WriteHealth(w, s.Health())
+	})
+	mux.Handle("/debug/dash", dash.Handler(dash.Sources{
+		Title:   "htlvideo store",
+		Health:  s.Health,
+		Queries: s.obs.qstats.Snapshot,
+		Sampler: s.obs.sampler,
+		Sparks:  []string{"query.total", "query.latency", "pool.videos_evaluated", "pool.in_flight"},
+	}))
+	return mux
 }
 
 // WithTrace attaches a per-query trace sink: the query records a span per
